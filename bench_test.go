@@ -1,0 +1,361 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (at a reduced per-iteration budget so -bench=. stays fast;
+// the EXPERIMENTS.md numbers come from the full-budget CLI runs), plus
+// micro-benchmarks of the core mechanisms. Custom metrics expose the
+// reproduced quantity (TPC, hit ratios) alongside time/op.
+package dynloop_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dynloop"
+	"dynloop/internal/expt"
+	"dynloop/internal/harness"
+	"dynloop/internal/interp"
+	"dynloop/internal/isa"
+	"dynloop/internal/loopdet"
+	"dynloop/internal/looptab"
+	"dynloop/internal/spec"
+	"dynloop/internal/trace"
+)
+
+// benchBudget keeps one -bench=. pass quick while still exercising every
+// workload's steady state.
+const benchBudget = 200_000
+
+func benchCfg() expt.Config { return expt.Config{Budget: benchBudget} }
+
+// BenchmarkTable1LoopStats regenerates Table 1 (loop statistics for the
+// 18 workloads) per iteration.
+func BenchmarkTable1LoopStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.Table1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var ipe float64
+			for _, r := range rows {
+				ipe += r.S.ItersPerExec
+			}
+			b.ReportMetric(ipe/float64(len(rows)), "avg-iter/exec")
+		}
+	}
+}
+
+// BenchmarkFig4HitRatios regenerates Figure 4 (LET/LIT hit ratios vs
+// table size) per iteration.
+func BenchmarkFig4HitRatios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := expt.Fig4(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range pts {
+				if p.Entries == 16 {
+					b.ReportMetric(p.LETPct, "LET16-%")
+					b.ReportMetric(p.LITPct, "LIT16-%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig5InfiniteTPC regenerates Figure 5 (TPC with unlimited
+// TUs) per iteration.
+func BenchmarkFig5InfiniteTPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.Fig5(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var maxTPC float64
+			for _, r := range rows {
+				if r.TPCFull > maxTPC {
+					maxTPC = r.TPCFull
+				}
+			}
+			b.ReportMetric(maxTPC, "max-TPC")
+		}
+	}
+}
+
+// BenchmarkFig6TPCSTR regenerates Figure 6 (per-program TPC under STR
+// for 2..16 TUs) per iteration.
+func BenchmarkFig6TPCSTR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.Fig6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var avg4 float64
+			for _, r := range rows {
+				avg4 += r.TPC[4]
+			}
+			b.ReportMetric(avg4/float64(len(rows)), "avg-TPC-4TU")
+		}
+	}
+}
+
+// BenchmarkFig7Policies regenerates Figure 7 (average TPC for IDLE, STR,
+// STR(1..3)) per iteration.
+func BenchmarkFig7Policies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := expt.Fig7(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, c := range cells {
+				if c.Policy == "STR" && c.TUs == 4 {
+					b.ReportMetric(c.AvgTPC, "STR-4TU-TPC")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable2STR3 regenerates Table 2 (speculation statistics under
+// STR(3), 4 TUs) per iteration.
+func BenchmarkTable2STR3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.Table2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var hit float64
+			for _, r := range rows {
+				hit += r.M.HitRatio()
+			}
+			b.ReportMetric(hit/float64(len(rows)), "avg-hit-%")
+		}
+	}
+}
+
+// BenchmarkFig8DataSpec regenerates Figure 8 (live-in predictability)
+// per iteration.
+func BenchmarkFig8DataSpec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, avg, err := expt.Fig8(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(avg.S.SamePathPct, "same-path-%")
+			b.ReportMetric(avg.S.LrPredPct, "lr-pred-%")
+		}
+	}
+}
+
+// BenchmarkAblationReplacement runs the §2.3.2 replacement ablation.
+func BenchmarkAblationReplacement(b *testing.B) {
+	cfg := expt.Config{Budget: benchBudget, Benchmarks: []string{"gcc", "swim"}}
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.AblationReplacement(cfg, []int{4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationNestRule runs the STR(i)-interpretation ablation.
+func BenchmarkAblationNestRule(b *testing.B) {
+	cfg := expt.Config{Budget: benchBudget, Benchmarks: []string{"fpppp", "tomcatv"}}
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.AblationNestRule(cfg, []int{4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the mechanisms themselves ---
+
+// BenchmarkInterpreter measures raw interpreter throughput (no
+// consumers).
+func BenchmarkInterpreter(b *testing.B) {
+	bm, err := dynloop.BenchmarkByName("swim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := bm.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	cpu := u.NewCPU()
+	for i := 0; i < b.N; i++ {
+		if _, err := cpu.Run(1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(0)
+}
+
+// BenchmarkDetector measures the CLS per-instruction cost on a realistic
+// mixed stream.
+func BenchmarkDetector(b *testing.B) {
+	bm, err := dynloop.BenchmarkByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := bm.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu := u.NewCPU()
+	det := loopdet.New(loopdet.Config{Capacity: 16})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := cpu.Run(uint64(b.N), det); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngine measures the full pipeline (interpreter + detector +
+// speculation engine) per instruction.
+func BenchmarkEngine(b *testing.B) {
+	bm, err := dynloop.BenchmarkByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := bm.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu := u.NewCPU()
+	det := loopdet.New(loopdet.Config{Capacity: 16})
+	e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)})
+	det.AddObserver(e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := cpu.Run(uint64(b.N), det); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(e.Metrics().TPC(), "TPC")
+}
+
+// BenchmarkCLSBackEdge measures the detector's hot path: a taken
+// backward branch of a resident loop (one iteration event).
+func BenchmarkCLSBackEdge(b *testing.B) {
+	d := loopdet.New(loopdet.Config{Capacity: 16})
+	in := isa.Branch(isa.CondNEZ, 1, 10)
+	ev := trace.Event{PC: 20, Instr: &in, Taken: true, Target: 10}
+	d.Consume(&ev) // establish the loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Index = uint64(i)
+		d.Consume(&ev)
+	}
+}
+
+// BenchmarkLETLookup measures the associative-table hot path.
+func BenchmarkLETLookup(b *testing.B) {
+	let := looptab.NewLET(16)
+	for t := isa.Addr(0); t < 16; t++ {
+		let.OnExecStart(t)
+		let.OnExecEnd(t, 5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		let.PredictIters(isa.Addr(i & 15))
+	}
+}
+
+// BenchmarkSequences measures the input-sequence generators.
+func BenchmarkSequences(b *testing.B) {
+	seqs := map[string]interp.Sequence{
+		"counter":   interp.Counter(0, 3),
+		"uniform":   interp.Uniform(1, 100, 7),
+		"geometric": interp.Geometric(1, 0.7, 0, 9),
+	}
+	for name, s := range seqs {
+		b.Run(name, func(b *testing.B) {
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				sink += s.Next()
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkHarnessEndToEnd measures a complete small run: build, run,
+// flush, collect.
+func BenchmarkHarnessEndToEnd(b *testing.B) {
+	bm, err := dynloop.BenchmarkByName("m88ksim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		u, err := bm.Build(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STR()})
+		if _, err := harness.Run(u, harness.Config{Budget: 50_000}, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineBranchPred runs the conventional branch-predictor
+// baseline (BTFN / bimodal / gshare) over the suite.
+func BenchmarkBaselineBranchPred(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.BaselineBranchPred(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var bwd float64
+			for _, r := range rows {
+				bwd += r.Results[2].BackwardAccuracy() // gshare
+			}
+			b.ReportMetric(bwd/float64(len(rows)), "gshare-bwd-%")
+		}
+	}
+}
+
+// BenchmarkTraceFile measures trace-file write+replay throughput.
+func BenchmarkTraceFile(b *testing.B) {
+	bm, err := dynloop.BenchmarkByName("m88ksim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := bm.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := dynloop.NewTraceWriter(&buf, u.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu := u.NewCPU()
+	const n = 100_000
+	if _, err := cpu.Run(n, w); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := dynloop.NewTraceReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Replay(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

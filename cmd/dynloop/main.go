@@ -1,0 +1,457 @@
+// Command dynloop explores the reproduction from the terminal: list the
+// workloads, run the loop detector over one of them, run the thread
+// speculation model, or regenerate any of the paper's tables and figures.
+//
+// Usage:
+//
+//	dynloop list
+//	dynloop run    -bench swim [-n 4000000] [-seed 1]
+//	dynloop spec   -bench swim [-tus 4] [-policy str3] [-n 4000000]
+//	dynloop data   -bench li [-n 4000000]
+//	dynloop disasm -bench perl [-max 80]
+//	dynloop experiment table1|table2|fig4|fig5|fig6|fig7|fig8|ablations|all
+//	                   [-n 4000000] [-bench a,b,c] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynloop"
+	"dynloop/internal/expt"
+	"dynloop/internal/report"
+	"dynloop/internal/tracefile"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "spec":
+		err = cmdSpec(os.Args[2:])
+	case "data":
+		err = cmdData(os.Args[2:])
+	case "disasm":
+		err = cmdDisasm(os.Args[2:])
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "dynloop: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynloop:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `dynloop — dynamic loop detection & thread speculation (HPCA'98 reproduction)
+
+commands:
+  list                               list the 18 SPEC95-calibrated workloads
+  run    -bench NAME [-n N]          run the loop detector, print Table-1 stats
+  spec   -bench NAME [-tus K] [-policy idle|str|str1|str2|str3] [-n N]
+                                     run the speculation model, print metrics
+  data   -bench NAME [-n N]          run the Figure-8 data-speculation stats
+  disasm -bench NAME [-max LINES]    disassemble the generated program
+  experiment WHAT [-n N] [-bench a,b,...]
+                                     regenerate paper tables/figures:
+                                     table1 table2 fig4 fig5 fig6 fig7 fig8
+                                     baseline ablations all
+  trace  -bench NAME -o FILE [-n N]  record an instruction trace to a file
+  replay -i FILE [-tus K] [-policy P]
+                                     drive the detector + engine from a trace
+`)
+}
+
+func cmdList() error {
+	t := report.NewTable("Workloads (paper values: Table 1 & 2 of Tubella/González HPCA'98)",
+		"name", "suite", "paper TPC@4", "paper hit%", "description")
+	for _, bm := range dynloop.Benchmarks() {
+		t.AddRow(bm.Name, bm.Suite, bm.Paper.TPC4, bm.Paper.HitRatio, bm.Description)
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+// benchFlags adds the common -bench/-n/-seed flags.
+func benchFlags(fs *flag.FlagSet) (bench *string, n *uint64, seed *uint64) {
+	bench = fs.String("bench", "", "benchmark name (see: dynloop list)")
+	n = fs.Uint64("n", expt.DefaultBudget, "dynamic instruction budget")
+	seed = fs.Uint64("seed", 1, "workload input seed")
+	return
+}
+
+func buildBench(name string, seed uint64) (*dynloop.Unit, error) {
+	if name == "" {
+		return nil, fmt.Errorf("missing -bench (try: dynloop list)")
+	}
+	bm, err := dynloop.BenchmarkByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return bm.Build(seed)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	bench, n, seed := benchFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u, err := buildBench(*bench, *seed)
+	if err != nil {
+		return err
+	}
+	stats := dynloop.NewLoopStats()
+	res, err := dynloop.Run(u, dynloop.RunConfig{Budget: *n}, stats)
+	if err != nil {
+		return err
+	}
+	s := stats.Summary()
+	ds := res.Detector.Stats()
+	t := report.NewTable(fmt.Sprintf("%s: %d instructions", *bench, res.Executed),
+		"metric", "value")
+	t.AddRow("static loops", s.StaticLoops)
+	t.AddRow("executions", s.Execs)
+	t.AddRow("iterations", s.Iters)
+	t.AddRow("iter/exec", s.ItersPerExec)
+	t.AddRow("instr/iter", s.InstrPerIter)
+	t.AddRow("avg nesting", s.AvgNesting)
+	t.AddRow("max nesting", s.MaxNesting)
+	t.AddRow("in-loop fraction", s.InLoopFrac)
+	t.AddRow("one-shot executions", ds.OneShots)
+	t.AddRow("CLS evictions", ds.Evictions)
+	fmt.Print(t.String())
+	return nil
+}
+
+func parsePolicy(s string) (dynloop.Policy, error) {
+	switch strings.ToLower(s) {
+	case "idle":
+		return dynloop.Idle(), nil
+	case "str":
+		return dynloop.STR(), nil
+	case "str1":
+		return dynloop.STRn(1), nil
+	case "str2":
+		return dynloop.STRn(2), nil
+	case "str3":
+		return dynloop.STRn(3), nil
+	default:
+		return dynloop.Policy{}, fmt.Errorf("unknown policy %q (idle|str|str1|str2|str3)", s)
+	}
+}
+
+func cmdSpec(args []string) error {
+	fs := flag.NewFlagSet("spec", flag.ExitOnError)
+	bench, n, seed := benchFlags(fs)
+	tus := fs.Int("tus", 4, "thread units (0 = infinite machine)")
+	polName := fs.String("policy", "str3", "speculation policy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pol, err := parsePolicy(*polName)
+	if err != nil {
+		return err
+	}
+	u, err := buildBench(*bench, *seed)
+	if err != nil {
+		return err
+	}
+	e := dynloop.NewEngine(dynloop.EngineConfig{TUs: *tus, Policy: pol})
+	res, err := dynloop.Run(u, dynloop.RunConfig{Budget: *n}, e)
+	if err != nil {
+		return err
+	}
+	m := e.Metrics()
+	t := report.NewTable(fmt.Sprintf("%s: %s, %d TUs, %d instructions", *bench, pol, *tus, res.Executed),
+		"metric", "value")
+	t.AddRow("TPC", m.TPC())
+	t.AddRow("cycles", m.Cycles)
+	t.AddRow("speculation events", m.SpecEvents)
+	t.AddRow("threads spawned", m.ThreadsSpawned)
+	t.AddRow("threads promoted", m.ThreadsPromoted)
+	t.AddRow("threads squashed", m.ThreadsSquashed)
+	t.AddRow("threads flushed", m.ThreadsFlushed)
+	t.AddRow("threads/spec", m.ThreadsPerSpec())
+	t.AddRow("hit ratio %", m.HitRatio())
+	t.AddRow("instr to verif", m.InstrToVerif())
+	fmt.Print(t.String())
+	return nil
+}
+
+func cmdData(args []string) error {
+	fs := flag.NewFlagSet("data", flag.ExitOnError)
+	bench, n, seed := benchFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u, err := buildBench(*bench, *seed)
+	if err != nil {
+		return err
+	}
+	c := dynloop.NewDataStats()
+	res, err := dynloop.Run(u, dynloop.RunConfig{Budget: *n}, c)
+	if err != nil {
+		return err
+	}
+	s := c.Summary()
+	t := report.NewTable(fmt.Sprintf("%s: data speculation statistics, %d instructions", *bench, res.Executed),
+		"metric", "value")
+	t.AddRow("loops with iterations", s.Loops)
+	t.AddRow("evaluated iterations", s.Iters)
+	t.AddRow("same path %", s.SamePathPct)
+	t.AddRow("live-in regs predicted %", s.LrPredPct)
+	t.AddRow("live-in mem predicted %", s.LmPredPct)
+	t.AddRow("all regs correct %", s.AllLrPct)
+	t.AddRow("all mem correct %", s.AllLmPct)
+	t.AddRow("all data correct %", s.AllDataPct)
+	fmt.Print(t.String())
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	bench, _, seed := benchFlags(fs)
+	maxLines := fs.Int("max", 60, "maximum lines to print (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u, err := buildBench(*bench, *seed)
+	if err != nil {
+		return err
+	}
+	d := u.Prog.Disassemble()
+	if *maxLines > 0 {
+		lines := strings.SplitAfter(d, "\n")
+		if len(lines) > *maxLines {
+			lines = append(lines[:*maxLines], fmt.Sprintf("... (%d more lines)\n", len(lines)-*maxLines))
+		}
+		d = strings.Join(lines, "")
+	}
+	fmt.Print(d)
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("missing experiment name (table1|table2|fig4|fig5|fig6|fig7|fig8|ablations|all)")
+	}
+	what := args[0]
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	n := fs.Uint64("n", expt.DefaultBudget, "per-benchmark instruction budget")
+	seed := fs.Uint64("seed", 1, "workload input seed")
+	benches := fs.String("bench", "", "comma-separated benchmark subset")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	cfg := expt.Config{Budget: *n, Seed: *seed}
+	if *benches != "" {
+		cfg.Benchmarks = strings.Split(*benches, ",")
+	}
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			rows, err := expt.Table1(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderTable1(rows))
+		case "table2":
+			rows, err := expt.Table2(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderTable2(rows))
+		case "fig4":
+			pts, err := expt.Fig4(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderFig4(pts))
+		case "fig5":
+			rows, err := expt.Fig5(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderFig5(rows))
+		case "fig6":
+			rows, err := expt.Fig6(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderFig6(rows))
+		case "fig7":
+			cells, err := expt.Fig7(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderFig7(cells))
+		case "baseline":
+			rows, err := expt.BaselineBranchPred(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderBaseline(rows))
+			fmt.Println()
+			trows, err := expt.BaselineTaskPred(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderTaskPred(trows))
+		case "fig8":
+			rows, avg, err := expt.Fig8(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderFig8(rows, avg))
+		case "ablations":
+			cls, err := expt.AblationCLSSize(cfg, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderCLSSize(cls))
+			let, err := expt.AblationLETCapacity(cfg, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderLETCapacity(let))
+			rep, err := expt.AblationReplacement(cfg, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderReplacement(rep))
+			os, err := expt.AblationOneShots(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderOneShots(os))
+			nr, err := expt.AblationNestRule(cfg, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderNestRule(nr))
+			ex, err := expt.AblationExclusion(cfg, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderExclusion(ex))
+			or, err := expt.AblationOracle(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.RenderOracle(or))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		fmt.Println()
+		return nil
+	}
+	if what == "all" {
+		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "table2", "fig8", "baseline", "ablations"} {
+			if err := run(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return run(what)
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	bench, n, seed := benchFlags(fs)
+	out := fs.String("o", "", "output trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("missing -o FILE")
+	}
+	u, err := buildBench(*bench, *seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := tracefile.NewWriter(f, u.Prog)
+	if err != nil {
+		return err
+	}
+	cpu := u.NewCPU()
+	executed, err := cpu.Run(*n, w)
+	if err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d instructions of %s to %s\n", executed, *bench, *out)
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file")
+	tus := fs.Int("tus", 4, "thread units")
+	polName := fs.String("policy", "str3", "speculation policy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -i FILE")
+	}
+	pol, err := parsePolicy(*polName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := tracefile.NewReader(f)
+	if err != nil {
+		return err
+	}
+	det := dynloop.NewDetector(dynloop.DetectorConfig{Capacity: 16})
+	stats := dynloop.NewLoopStats()
+	e := dynloop.NewEngine(dynloop.EngineConfig{TUs: *tus, Policy: pol})
+	det.AddObserver(stats)
+	det.AddObserver(e)
+	nEvents, err := r.Replay(det)
+	if err != nil {
+		return err
+	}
+	det.Flush()
+	s, m := stats.Summary(), e.Metrics()
+	t := report.NewTable(fmt.Sprintf("replay of %q (%d events)", r.Program().Name, nEvents),
+		"metric", "value")
+	t.AddRow("static loops", s.StaticLoops)
+	t.AddRow("iter/exec", s.ItersPerExec)
+	t.AddRow("TPC", m.TPC())
+	t.AddRow("hit ratio %", m.HitRatio())
+	fmt.Print(t.String())
+	return nil
+}

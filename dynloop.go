@@ -1,0 +1,194 @@
+// Package dynloop is a library reproduction of "Control Speculation in
+// Multithreaded Processors through Dynamic Loop Detection" (Tubella &
+// González, HPCA 1998).
+//
+// It provides, as a pipeline of composable pieces:
+//
+//   - a dynamic loop detector (the paper's Current Loop Stack, §2) that
+//     discovers loop executions and iterations in a retired instruction
+//     stream with no compiler support;
+//   - the LET/LIT loop-characterisation tables with the paper's LRU and
+//     hit-ratio semantics (§2.3);
+//   - a thread-level control-speculation engine for a multithreaded
+//     machine model, with the IDLE, STR and STR(i) policies and the TPC
+//     metric (§3);
+//   - the §4 data-speculation statistics (path regularity, live-in
+//     stride predictability);
+//   - an execution substrate (mini-ISA, structured program builder,
+//     interpreter) and 18 synthetic SPEC95-calibrated workloads; and
+//   - experiment drivers regenerating every table and figure of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	bm, _ := dynloop.BenchmarkByName("swim")
+//	unit, _ := bm.Build(1)
+//	stats := dynloop.NewLoopStats()
+//	engine := dynloop.NewEngine(dynloop.EngineConfig{TUs: 4, Policy: dynloop.STR()})
+//	res, _ := dynloop.Run(unit, dynloop.RunConfig{Budget: 4_000_000}, stats, engine)
+//	fmt.Println(res.Executed, stats.Summary().ItersPerExec, engine.Metrics().TPC())
+//
+// See the examples directory for runnable programs and DESIGN.md for the
+// mapping from the paper to the modules.
+package dynloop
+
+import (
+	"io"
+
+	"dynloop/internal/branchpred"
+	"dynloop/internal/builder"
+	"dynloop/internal/datapred"
+	"dynloop/internal/expt"
+	"dynloop/internal/harness"
+	"dynloop/internal/loopdet"
+	"dynloop/internal/loopstats"
+	"dynloop/internal/looptab"
+	"dynloop/internal/program"
+	"dynloop/internal/spec"
+	"dynloop/internal/tracefile"
+	"dynloop/internal/workload"
+)
+
+// Core pipeline types.
+type (
+	// Unit is a built program plus its input-sequence factories.
+	Unit = builder.Unit
+	// RunConfig parametrises a pipeline run.
+	RunConfig = harness.Config
+	// RunResult reports what a run did.
+	RunResult = harness.Result
+	// Detector is the Current Loop Stack mechanism (§2.2).
+	Detector = loopdet.Detector
+	// DetectorConfig parametrises a Detector.
+	DetectorConfig = loopdet.Config
+	// Exec is one loop execution tracked by the detector.
+	Exec = loopdet.Exec
+	// Observer receives loop events from the detector.
+	Observer = loopdet.Observer
+	// EndReason says why a loop execution ended.
+	EndReason = loopdet.EndReason
+)
+
+// Workloads.
+type (
+	// Benchmark is one synthetic SPEC95 stand-in workload.
+	Benchmark = workload.Benchmark
+	// PaperRow carries the published reference numbers of a benchmark.
+	PaperRow = workload.PaperRow
+)
+
+// Speculation engine (§3).
+type (
+	// Engine is the thread-speculation machine model.
+	Engine = spec.Engine
+	// EngineConfig parametrises an Engine.
+	EngineConfig = spec.Config
+	// EngineMetrics are the engine's aggregate results.
+	EngineMetrics = spec.Metrics
+	// Policy selects IDLE, STR or STR(i).
+	Policy = spec.Policy
+)
+
+// Statistics collectors.
+type (
+	// LoopStats collects the paper's Table 1 statistics.
+	LoopStats = loopstats.Collector
+	// LoopStatsSummary is one Table 1 row.
+	LoopStatsSummary = loopstats.Summary
+	// TableTracker measures LET/LIT hit ratios (§2.3.1, Figure 4).
+	TableTracker = looptab.Tracker
+	// DataStats collects the §4 data-speculation statistics (Figure 8).
+	DataStats = datapred.Collector
+	// DataStatsSummary is the Figure 8 result set.
+	DataStatsSummary = datapred.Summary
+)
+
+// Experiments.
+type (
+	// ExperimentConfig parametrises the table/figure drivers.
+	ExperimentConfig = expt.Config
+)
+
+// Benchmarks returns the 18 synthetic SPEC95 workloads, sorted by name.
+func Benchmarks() []Benchmark { return workload.All() }
+
+// BenchmarkNames returns the workload names, sorted.
+func BenchmarkNames() []string { return workload.Names() }
+
+// BenchmarkByName looks a workload up by its SPEC95 name.
+func BenchmarkByName(name string) (Benchmark, error) { return workload.ByName(name) }
+
+// NewProgram returns a structured program builder (the codegen DSL used
+// by the workloads; see package documentation for the register and
+// memory conventions it maintains).
+func NewProgram(name string, seed uint64) *builder.Builder { return builder.New(name, seed) }
+
+// RandomProgram generates a random structured program for property
+// testing and fuzzing.
+func RandomProgram(seed uint64) (*Unit, error) {
+	return builder.Random(seed, builder.RandomOpt{})
+}
+
+// Run executes a unit through a fresh detector with the observers
+// attached (see harness.Run).
+func Run(u *Unit, cfg RunConfig, observers ...Observer) (RunResult, error) {
+	return harness.Run(u, cfg, observers...)
+}
+
+// NewDetector returns a standalone loop detector; feed it trace events
+// directly when not using Run.
+func NewDetector(cfg DetectorConfig) *Detector { return loopdet.New(cfg) }
+
+// NewLoopStats returns a Table-1 statistics collector.
+func NewLoopStats() *LoopStats { return loopstats.NewCollector() }
+
+// NewTableTracker returns a LET/LIT hit-ratio tracker with the given
+// table capacities (0 = unbounded).
+func NewTableTracker(letCapacity, litCapacity int) *TableTracker {
+	return looptab.NewTracker(letCapacity, litCapacity)
+}
+
+// NewEngine returns a speculation engine.
+func NewEngine(cfg EngineConfig) *Engine { return spec.NewEngine(cfg) }
+
+// NewDataStats returns a Figure-8 data-speculation collector.
+func NewDataStats() *DataStats { return datapred.NewCollector(datapred.Config{}) }
+
+// Idle returns the IDLE policy (§3.1.2).
+func Idle() Policy { return spec.Idle() }
+
+// STR returns the stride policy (§3.1.2).
+func STR() Policy { return spec.STR() }
+
+// STRn returns the STR(i) policy (§3.1.2).
+func STRn(i int) Policy { return spec.STRn(i) }
+
+// Trace recording and replay (the ATOM-methodology analogue): record a
+// run once, then drive the detector and its consumers from the file.
+type (
+	// TraceWriter streams events to a trace file.
+	TraceWriter = tracefile.Writer
+	// TraceReader replays a recorded trace file.
+	TraceReader = tracefile.Reader
+)
+
+// NewTraceWriter writes a trace-file header (embedding the program) and
+// returns a writer that implements the trace consumer interface.
+func NewTraceWriter(w io.Writer, p *program.Program) (*TraceWriter, error) {
+	return tracefile.NewWriter(w, p)
+}
+
+// NewTraceReader opens a recorded trace for replay.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	return tracefile.NewReader(r)
+}
+
+// NewOracleRecorder returns an observer that records every execution's
+// true iteration count, for EngineConfig.OracleIters (perfect-prediction
+// upper-bound studies).
+func NewOracleRecorder() *spec.OracleRecorder { return spec.NewOracleRecorder() }
+
+// NewBranchPredictorSuite returns the conventional branch-prediction
+// baseline (BTFN, bimodal, gshare) as a raw-stream consumer — attach it
+// through RunConfig.PreDetector to score it on any workload.
+func NewBranchPredictorSuite() *branchpred.Collector { return branchpred.DefaultSuite() }

@@ -1,0 +1,87 @@
+// Stencil: run the pipeline on a tomcatv-like regular mesh kernel and
+// show why vector codes are the paper's best case — near-perfect LET/LIT
+// hit ratios and a TPC close to the machine width.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynloop"
+	"dynloop/internal/builder"
+	"dynloop/internal/report"
+)
+
+func buildMesh() (*dynloop.Unit, error) {
+	b := dynloop.NewProgram("mesh", 42)
+	b.MovI(24, builder.HeapBase)
+	// Two mesh sweeps per "time step": 32 rows x 48 columns, constant
+	// trips, affine memory walks — the shape of tomcatv/swim.
+	sweep := b.Func("sweep", func() {
+		b.CountedLoop(builder.TripImm(32), builder.LoopOpt{}, func() {
+			b.CountedLoop(builder.TripImm(48), builder.LoopOpt{}, func() {
+				b.LoadAt(20, 24, 0)
+				b.Work(30)
+				b.StoreAt(24, 1, 16)
+			})
+			b.Advance(24, 64)
+		})
+	})
+	for i := 0; i < 24; i++ { // time steps, inlined (no driver loop)
+		b.Call(sweep)
+		b.Call(sweep)
+	}
+	return b.Build()
+}
+
+func main() {
+	unit, err := buildMesh()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One run, all the paper's instruments attached at once.
+	stats := dynloop.NewLoopStats()
+	tables := dynloop.NewTableTracker(16, 4) // the paper's preferred sizes
+	data := dynloop.NewDataStats()
+	engines := map[int]*dynloop.Engine{}
+	var observers []dynloop.Observer
+	observers = append(observers, stats, tables, data)
+	for _, tus := range []int{2, 4, 8} {
+		e := dynloop.NewEngine(dynloop.EngineConfig{TUs: tus, Policy: dynloop.STR()})
+		engines[tus] = e
+		observers = append(observers, e)
+	}
+	res, err := dynloop.Run(unit, dynloop.RunConfig{}, observers...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := stats.Summary()
+	t := report.NewTable(fmt.Sprintf("mesh kernel: %d instructions", res.Executed),
+		"metric", "value")
+	t.AddRow("static loops", s.StaticLoops)
+	t.AddRow("iterations/execution", s.ItersPerExec)
+	t.AddRow("instructions/iteration", s.InstrPerIter)
+	t.AddRow("max nesting", s.MaxNesting)
+	let, _ := tables.LET.HitRatio()
+	lit, _ := tables.LIT.HitRatio()
+	t.AddRow("LET hit % (16 entries)", 100*let)
+	t.AddRow("LIT hit % (4 entries)", 100*lit)
+	d := data.Summary()
+	t.AddRow("same-path iterations %", d.SamePathPct)
+	t.AddRow("live-in regs predicted %", d.LrPredPct)
+	t.AddRow("live-in mem predicted %", d.LmPredPct)
+	fmt.Print(t.String())
+
+	fmt.Println()
+	t2 := report.NewTable("thread-level parallelism under STR", "TUs", "TPC", "hit %")
+	for _, tus := range []int{2, 4, 8} {
+		m := engines[tus].Metrics()
+		t2.AddRow(tus, m.TPC(), m.HitRatio())
+	}
+	fmt.Print(t2.String())
+	fmt.Println("\nConstant trip counts make the stride predictor exact, so almost")
+	fmt.Println("every speculated iteration is confirmed — the regular-FP story of")
+	fmt.Println("the paper's Table 2 (swim, tomcatv, wave5).")
+}

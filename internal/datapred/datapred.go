@@ -1,0 +1,410 @@
+// Package datapred gathers the paper's §4 data-speculation statistics
+// (Figure 8): how often iterations of a loop follow the loop's most
+// frequent control path, and how often the live-in registers and memory
+// locations of an iteration can be predicted from the previous iteration's
+// value plus the last stride.
+//
+// A live-in of an iteration is a register or memory location read before
+// it is written inside the iteration (including nested subroutines and
+// inner loops, which belong to the iteration). Tables are unbounded here,
+// as the paper assumes for Figure 8 ("LIT and LET tables have enough
+// capacity to store all the loops").
+package datapred
+
+import (
+	"dynloop/internal/isa"
+	"dynloop/internal/loopdet"
+	"dynloop/internal/predict"
+	"dynloop/internal/trace"
+)
+
+// Config tunes resource caps of the collector. The caps exist because our
+// substrate is a simulator: the paper's hardware proposal stores a fixed
+// number of live-ins per LIT entry anyway.
+type Config struct {
+	// MaxMemPerLoop caps the distinct memory locations tracked per loop
+	// (default 4096). Further locations are ignored and counted in
+	// Summary.MemOverflow.
+	MaxMemPerLoop int
+	// MaxPathsPerLoop caps distinct path signatures tracked per loop
+	// (default 4096).
+	MaxPathsPerLoop int
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxMemPerLoop == 0 {
+		c.MaxMemPerLoop = 4096
+	}
+	if c.MaxPathsPerLoop == 0 {
+		c.MaxPathsPerLoop = 4096
+	}
+}
+
+// pathStat accumulates prediction outcomes for iterations of one control
+// path of one loop.
+type pathStat struct {
+	iters     uint64
+	lrAttempt uint64
+	lrCorrect uint64
+	lmAttempt uint64
+	lmCorrect uint64
+	// lrLast/lmLast count last-value (stride-less) prediction hits over
+	// the same attempts, for the predictor-choice ablation: the paper's
+	// LIT stores value+stride; these quantify what the stride buys.
+	lrLast  uint64
+	lmLast  uint64
+	allLr   uint64
+	allLm   uint64
+	allData uint64
+}
+
+// loopAcc is the per-loop accumulated state: value predictors (shared
+// across paths, fed by every iteration) and per-path outcome buckets.
+type loopAcc struct {
+	regPred  [isa.NumRegs]predict.Stride
+	memPred  map[uint64]*predict.Stride
+	paths    map[uint64]*pathStat
+	iters    uint64
+	overflow uint64
+}
+
+// frame tracks the current iteration of one active loop execution.
+type frame struct {
+	loop *loopAcc
+	gen  uint32
+	// regState is 0 (unseen this iteration), gen<<1 (read first) or
+	// gen<<1|1 (written first).
+	regState [isa.NumRegs]uint32
+	regFirst [isa.NumRegs]int64
+	regLive  []isa.Reg
+	memFirst map[uint64]int64
+	memSeen  map[uint64]bool // true = written before read
+	pathHash uint64
+	started  bool
+}
+
+const fnvOffset = 14695981039346656037
+const fnvPrime = 1099511628211
+
+func (f *frame) reset() {
+	f.gen++
+	f.regLive = f.regLive[:0]
+	f.memFirst = nil
+	f.memSeen = nil
+	f.pathHash = fnvOffset
+	f.started = true
+}
+
+func (f *frame) noteRegRead(r isa.Reg, v int64) {
+	if f.regState[r]>>1 == f.gen {
+		return // already seen this iteration
+	}
+	f.regState[r] = f.gen << 1
+	f.regFirst[r] = v
+	f.regLive = append(f.regLive, r)
+}
+
+func (f *frame) noteRegWrite(r isa.Reg) {
+	if f.regState[r]>>1 == f.gen {
+		return
+	}
+	f.regState[r] = f.gen<<1 | 1
+}
+
+func (f *frame) noteMemRead(addr uint64, v int64) {
+	if f.memSeen == nil {
+		f.memSeen = make(map[uint64]bool)
+		f.memFirst = make(map[uint64]int64)
+	}
+	if _, ok := f.memSeen[addr]; ok {
+		return
+	}
+	f.memSeen[addr] = false
+	f.memFirst[addr] = v
+}
+
+func (f *frame) noteMemWrite(addr uint64) {
+	if f.memSeen == nil {
+		f.memSeen = make(map[uint64]bool)
+		f.memFirst = make(map[uint64]int64)
+	}
+	if _, ok := f.memSeen[addr]; ok {
+		return
+	}
+	f.memSeen[addr] = true
+}
+
+// Collector implements the Figure-8 measurement as a detector observer.
+type Collector struct {
+	cfg    Config
+	shadow [isa.NumRegs]int64
+	frames []*frame
+	byID   map[uint64]*frame
+	loops  map[isa.Addr]*loopAcc
+	reads  []isa.Reg
+}
+
+// NewCollector returns a collector with the given configuration.
+func NewCollector(cfg Config) *Collector {
+	cfg.setDefaults()
+	return &Collector{
+		cfg:   cfg,
+		byID:  make(map[uint64]*frame),
+		loops: make(map[isa.Addr]*loopAcc),
+	}
+}
+
+// Instr implements loopdet.StreamObserver: classify reads/writes into
+// every active iteration frame and maintain the register shadow.
+func (c *Collector) Instr(ev *trace.Event) {
+	in := ev.Instr
+	if len(c.frames) > 0 {
+		c.reads = in.Reads(c.reads[:0])
+		for _, fr := range c.frames {
+			if !fr.started {
+				continue
+			}
+			fr.pathHash = (fr.pathHash ^ uint64(ev.PC)) * fnvPrime
+			for _, r := range c.reads {
+				fr.noteRegRead(r, c.shadow[r])
+			}
+			switch in.Kind {
+			case isa.KindLoad:
+				fr.noteMemRead(ev.MemAddr, ev.MemVal)
+			case isa.KindStore:
+				fr.noteMemWrite(ev.MemAddr)
+			}
+			if ev.WroteReg {
+				fr.noteRegWrite(ev.WrittenReg)
+			}
+		}
+	}
+	if ev.WroteReg {
+		c.shadow[ev.WrittenReg] = ev.WrittenVal
+	}
+}
+
+// ExecStart implements loopdet.Observer.
+func (c *Collector) ExecStart(x *loopdet.Exec) {
+	la := c.loops[x.T]
+	if la == nil {
+		la = &loopAcc{
+			memPred: make(map[uint64]*predict.Stride),
+			paths:   make(map[uint64]*pathStat),
+		}
+		c.loops[x.T] = la
+	}
+	fr := &frame{loop: la}
+	fr.reset()
+	c.frames = append(c.frames, fr)
+	c.byID[x.ID] = fr
+}
+
+// IterStart implements loopdet.Observer: the previous iteration is
+// complete — evaluate and train the predictors — and a fresh one begins.
+func (c *Collector) IterStart(x *loopdet.Exec, index uint64) {
+	fr := c.byID[x.ID]
+	if fr == nil {
+		return
+	}
+	if x.Iters > 2 {
+		c.finishIteration(fr)
+	}
+	fr.reset()
+}
+
+// ExecEnd implements loopdet.Observer.
+func (c *Collector) ExecEnd(x *loopdet.Exec, reason loopdet.EndReason, index uint64) {
+	fr := c.byID[x.ID]
+	if fr == nil {
+		return
+	}
+	switch reason {
+	case loopdet.EndEvicted, loopdet.EndFlush:
+		// Partial iteration; discard.
+	default:
+		c.finishIteration(fr)
+	}
+	delete(c.byID, x.ID)
+	for i := len(c.frames) - 1; i >= 0; i-- {
+		if c.frames[i] == fr {
+			copy(c.frames[i:], c.frames[i+1:])
+			c.frames = c.frames[:len(c.frames)-1]
+			break
+		}
+	}
+}
+
+// OneShot implements loopdet.Observer; one-shot executions have no
+// detected iterations.
+func (c *Collector) OneShot(t, b isa.Addr, index uint64) {}
+
+// finishIteration evaluates the just-completed iteration of fr against
+// the loop's predictors, then trains them with the observed live-ins.
+func (c *Collector) finishIteration(fr *frame) {
+	la := fr.loop
+	la.iters++
+	ps := la.paths[fr.pathHash]
+	if ps == nil {
+		if len(la.paths) >= c.cfg.MaxPathsPerLoop {
+			// Bucket overflow paths together; they are by construction
+			// rare paths.
+			ps = la.paths[0]
+			if ps == nil {
+				ps = &pathStat{}
+				la.paths[0] = ps
+			}
+		} else {
+			ps = &pathStat{}
+			la.paths[fr.pathHash] = ps
+		}
+	}
+	ps.iters++
+
+	allReg, allMem := true, true
+	for _, r := range fr.regLive {
+		v := fr.regFirst[r]
+		pr := &la.regPred[r]
+		if pr.Samples() >= 2 {
+			pred, _ := pr.Predict()
+			ps.lrAttempt++
+			if pred == v {
+				ps.lrCorrect++
+			} else {
+				allReg = false
+			}
+			if last, ok := pr.HaveLast(); ok && last == v {
+				ps.lrLast++
+			}
+		} else {
+			allReg = false
+		}
+		pr.Observe(v)
+	}
+	for addr, written := range fr.memSeen {
+		if written {
+			continue // written before read: not a live-in
+		}
+		v := fr.memFirst[addr]
+		pr := la.memPred[addr]
+		if pr == nil {
+			if len(la.memPred) >= c.cfg.MaxMemPerLoop {
+				la.overflow++
+				allMem = false
+				continue
+			}
+			pr = &predict.Stride{}
+			la.memPred[addr] = pr
+		}
+		if pr.Samples() >= 2 {
+			pred, _ := pr.Predict()
+			ps.lmAttempt++
+			if pred == v {
+				ps.lmCorrect++
+			} else {
+				allMem = false
+			}
+			if last, ok := pr.HaveLast(); ok && last == v {
+				ps.lmLast++
+			}
+		} else {
+			allMem = false
+		}
+		pr.Observe(v)
+	}
+	if allReg {
+		ps.allLr++
+	}
+	if allMem {
+		ps.allLm++
+	}
+	if allReg && allMem {
+		ps.allData++
+	}
+}
+
+// Summary is the Figure-8 result set; all percentages except SamePathPct
+// are measured over iterations of each loop's most frequent path, as in
+// the paper.
+type Summary struct {
+	// Loops is the number of distinct loops with at least one evaluated
+	// iteration.
+	Loops int
+	// Iters is the number of evaluated iterations.
+	Iters uint64
+	// SamePathPct is the percentage of iterations covered by their loop's
+	// most frequent path.
+	SamePathPct float64
+	// LrPredPct is the percentage of live-in register reads predicted
+	// correctly (last value + stride).
+	LrPredPct float64
+	// LmPredPct is the same for live-in memory locations.
+	LmPredPct float64
+	// AllLrPct is the percentage of iterations with every live-in
+	// register predicted correctly.
+	AllLrPct float64
+	// AllLmPct is the same for live-in memory locations.
+	AllLmPct float64
+	// AllDataPct is the percentage of iterations with all live-in values
+	// correct.
+	AllDataPct float64
+	// LrLastPct and LmLastPct are the same accuracies under a plain
+	// last-value predictor (no stride), quantifying what the stride buys.
+	LrLastPct, LmLastPct float64
+	// MemOverflow counts live-in locations dropped by the per-loop cap.
+	MemOverflow uint64
+}
+
+// Summary aggregates the per-loop, per-path buckets into the Figure-8
+// metrics.
+func (c *Collector) Summary() Summary {
+	var s Summary
+	var sameIters uint64
+	var lrA, lrC, lmA, lmC, lrL, lmL, allLr, allLm, allData, mfpIters uint64
+	for _, la := range c.loops {
+		if la.iters == 0 {
+			continue
+		}
+		s.Loops++
+		s.Iters += la.iters
+		s.MemOverflow += la.overflow
+		// Most frequent path of this loop.
+		var best *pathStat
+		for _, ps := range la.paths {
+			if best == nil || ps.iters > best.iters {
+				best = ps
+			}
+		}
+		if best == nil {
+			continue
+		}
+		sameIters += best.iters
+		mfpIters += best.iters
+		lrA += best.lrAttempt
+		lrC += best.lrCorrect
+		lmA += best.lmAttempt
+		lmC += best.lmCorrect
+		lrL += best.lrLast
+		lmL += best.lmLast
+		allLr += best.allLr
+		allLm += best.allLm
+		allData += best.allData
+	}
+	if s.Iters > 0 {
+		s.SamePathPct = 100 * float64(sameIters) / float64(s.Iters)
+	}
+	if lrA > 0 {
+		s.LrPredPct = 100 * float64(lrC) / float64(lrA)
+		s.LrLastPct = 100 * float64(lrL) / float64(lrA)
+	}
+	if lmA > 0 {
+		s.LmPredPct = 100 * float64(lmC) / float64(lmA)
+		s.LmLastPct = 100 * float64(lmL) / float64(lmA)
+	}
+	if mfpIters > 0 {
+		s.AllLrPct = 100 * float64(allLr) / float64(mfpIters)
+		s.AllLmPct = 100 * float64(allLm) / float64(mfpIters)
+		s.AllDataPct = 100 * float64(allData) / float64(mfpIters)
+	}
+	return s
+}

@@ -1,0 +1,387 @@
+package expt
+
+import (
+	"dynloop/internal/loopstats"
+	"dynloop/internal/looptab"
+	"dynloop/internal/report"
+	"dynloop/internal/spec"
+)
+
+// CLSSizeRow is one CLS-capacity point of the AblationCLSSize sweep.
+type CLSSizeRow struct {
+	Capacity int
+	// Evictions is the total CLS overflow count across the suite.
+	Evictions uint64
+	// MaxDepthHits counts benchmarks whose observed nesting hit the cap.
+	MaxDepthHits int
+	// AvgTPC is the suite-average STR(3)/4-TU TPC at this capacity.
+	AvgTPC float64
+}
+
+// AblationCLSSize sweeps the CLS capacity (the paper fixes 16 and argues
+// it never overflows on SPEC95: "the maximum nesting level is lower than
+// 16"). The sweep shows where detection starts degrading.
+func AblationCLSSize(cfg Config, capacities []int) ([]CLSSizeRow, error) {
+	if len(capacities) == 0 {
+		capacities = []int{2, 4, 8, 16}
+	}
+	bms, err := cfg.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]CLSSizeRow, 0, len(capacities))
+	for _, capEntries := range capacities {
+		row := CLSSizeRow{Capacity: capEntries}
+		runCfg := cfg
+		runCfg.CLSCapacity = capEntries
+		var tpcSum float64
+		for _, bm := range bms {
+			ls := loopstats.NewCollector()
+			e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)})
+			u, err := bm.Build(runCfg.seed())
+			if err != nil {
+				return nil, err
+			}
+			res, err := runWithResult(runCfg, u, ls, e)
+			if err != nil {
+				return nil, err
+			}
+			row.Evictions += res.Detector.Stats().Evictions
+			if res.Detector.Stats().MaxDepth >= capEntries {
+				row.MaxDepthHits++
+			}
+			tpcSum += e.Metrics().TPC()
+		}
+		row.AvgTPC = tpcSum / float64(len(bms))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderCLSSize formats the CLS-capacity ablation.
+func RenderCLSSize(rows []CLSSizeRow) string {
+	t := report.NewTable("Ablation: CLS capacity (paper uses 16; overflow drops the outermost entry)",
+		"CLS entries", "evictions", "benchmarks at cap", "avg TPC (STR(3), 4 TUs)")
+	for _, r := range rows {
+		t.AddRow(r.Capacity, r.Evictions, r.MaxDepthHits, r.AvgTPC)
+	}
+	return t.String()
+}
+
+// LETCapacityRow is one point of the engine-LET capacity sweep.
+type LETCapacityRow struct {
+	Capacity int // 0 = unbounded
+	AvgTPC   float64
+	AvgHit   float64
+}
+
+// AblationLETCapacity sweeps the speculation engine's iteration-count
+// LET size (the paper leaves it open; the Figure 4 experiment suggests
+// 16 entries suffice for history hits).
+func AblationLETCapacity(cfg Config, capacities []int) ([]LETCapacityRow, error) {
+	if len(capacities) == 0 {
+		capacities = []int{2, 4, 8, 16, 0}
+	}
+	bms, err := cfg.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]LETCapacityRow, 0, len(capacities))
+	for _, capEntries := range capacities {
+		var tpcSum, hitSum float64
+		for _, bm := range bms {
+			e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3), LETCapacity: capEntries})
+			if err := cfg.run(bm, e); err != nil {
+				return nil, err
+			}
+			tpcSum += e.Metrics().TPC()
+			hitSum += e.Metrics().HitRatio()
+		}
+		rows = append(rows, LETCapacityRow{
+			Capacity: capEntries,
+			AvgTPC:   tpcSum / float64(len(bms)),
+			AvgHit:   hitSum / float64(len(bms)),
+		})
+	}
+	return rows, nil
+}
+
+// RenderLETCapacity formats the engine-LET ablation.
+func RenderLETCapacity(rows []LETCapacityRow) string {
+	t := report.NewTable("Ablation: speculation-engine LET capacity (0 = unbounded)",
+		"LET entries", "avg TPC", "avg hit %")
+	for _, r := range rows {
+		t.AddRow(r.Capacity, r.AvgTPC, r.AvgHit)
+	}
+	return t.String()
+}
+
+// ReplacementRow compares LRU against the §2.3.2 nesting-aware insertion
+// policy at one table size.
+type ReplacementRow struct {
+	Entries int
+	// Hit ratios in percent, suite-averaged.
+	LRULet, LRULit, NestLet, NestLit float64
+	// Inhibited counts skipped insertions under the nesting-aware policy.
+	Inhibited uint64
+}
+
+// AblationReplacement reproduces the paper's §2.3.2 finding: the
+// nesting-aware insertion-inhibit policy improves on LRU only
+// negligibly.
+func AblationReplacement(cfg Config, sizes []int) ([]ReplacementRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{2, 4, 8}
+	}
+	bms, err := cfg.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ReplacementRow, 0, len(sizes))
+	for _, size := range sizes {
+		row := ReplacementRow{Entries: size}
+		for _, bm := range bms {
+			lru := looptab.NewTracker(size, size)
+			if err := cfg.run(bm, lru); err != nil {
+				return nil, err
+			}
+			nest := looptab.NewTracker(size, size)
+			nest.EnableNestingAware()
+			if err := cfg.run(bm, nest); err != nil {
+				return nil, err
+			}
+			let, _ := lru.LET.HitRatio()
+			lit, _ := lru.LIT.HitRatio()
+			nlet, _ := nest.LET.HitRatio()
+			nlit, _ := nest.LIT.HitRatio()
+			row.LRULet += let
+			row.LRULit += lit
+			row.NestLet += nlet
+			row.NestLit += nlit
+			row.Inhibited += nest.LET.Inhibited() + nest.LIT.Inhibited()
+		}
+		n := float64(len(bms))
+		row.LRULet = 100 * row.LRULet / n
+		row.LRULit = 100 * row.LRULit / n
+		row.NestLet = 100 * row.NestLet / n
+		row.NestLit = 100 * row.NestLit / n
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderReplacement formats the replacement-policy ablation.
+func RenderReplacement(rows []ReplacementRow) string {
+	t := report.NewTable("Ablation: LRU vs nesting-aware insertion (§2.3.2; paper: negligible difference)",
+		"entries", "LRU LET%", "nest LET%", "LRU LIT%", "nest LIT%", "inhibited")
+	for _, r := range rows {
+		t.AddRow(r.Entries, r.LRULet, r.NestLet, r.LRULit, r.NestLit, r.Inhibited)
+	}
+	return t.String()
+}
+
+// OneShotRow compares Table-1 statistics with and without counting
+// single-iteration executions.
+type OneShotRow struct {
+	Bench                  string
+	WithIPE, WithoutIPE    float64 // iterations per execution
+	WithExecs, WithoutExec uint64
+}
+
+// AblationOneShots quantifies the effect of counting one-iteration
+// executions in the Table 1 statistics (the paper's definition detects
+// them but does not say whether they are included; we default to
+// counting them).
+func AblationOneShots(cfg Config) ([]OneShotRow, error) {
+	bms, err := cfg.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]OneShotRow, 0, len(bms))
+	for _, bm := range bms {
+		with := loopstats.NewCollector()
+		without := loopstats.NewCollector()
+		without.CountOneShots = false
+		if err := cfg.run(bm, with, without); err != nil {
+			return nil, err
+		}
+		w, wo := with.Summary(), without.Summary()
+		rows = append(rows, OneShotRow{
+			Bench: bm.Name, WithIPE: w.ItersPerExec, WithoutIPE: wo.ItersPerExec,
+			WithExecs: w.Execs, WithoutExec: wo.Execs,
+		})
+	}
+	return rows, nil
+}
+
+// RenderOneShots formats the one-shot ablation.
+func RenderOneShots(rows []OneShotRow) string {
+	t := report.NewTable("Ablation: counting 1-iteration executions in Table 1",
+		"bench", "iter/exec (with)", "iter/exec (without)", "execs (with)", "execs (without)")
+	for _, r := range rows {
+		t.AddRow(r.Bench, r.WithIPE, r.WithoutIPE, r.WithExecs, r.WithoutExec)
+	}
+	return t.String()
+}
+
+// NestRuleRow compares the two STR(i) interpretations at one machine
+// size.
+type NestRuleRow struct {
+	Policy string
+	TUs    int
+	// Suite-average TPC under each interpretation.
+	StarvationTPC, StaticTPC float64
+}
+
+// AblationNestRule compares the starvation-based STR(i) reading (our
+// default; consistent with the paper's Table 2) against the literal
+// structural reading (see spec.NestRule and DESIGN.md).
+func AblationNestRule(cfg Config, tus []int) ([]NestRuleRow, error) {
+	if len(tus) == 0 {
+		tus = []int{4, 8}
+	}
+	bms, err := cfg.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	var rows []NestRuleRow
+	for _, i := range []int{1, 3} {
+		for _, k := range tus {
+			row := NestRuleRow{Policy: spec.STRn(i).String(), TUs: k}
+			for _, bm := range bms {
+				starve := spec.NewEngine(spec.Config{TUs: k, Policy: spec.STRn(i)})
+				if err := cfg.run(bm, starve); err != nil {
+					return nil, err
+				}
+				static := spec.NewEngine(spec.Config{TUs: k, Policy: spec.STRn(i), NestRule: spec.NestRuleStatic})
+				if err := cfg.run(bm, static); err != nil {
+					return nil, err
+				}
+				row.StarvationTPC += starve.Metrics().TPC()
+				row.StaticTPC += static.Metrics().TPC()
+			}
+			n := float64(len(bms))
+			row.StarvationTPC /= n
+			row.StaticTPC /= n
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderNestRule formats the STR(i)-interpretation ablation.
+func RenderNestRule(rows []NestRuleRow) string {
+	t := report.NewTable("Ablation: STR(i) interpretation (starvation-based vs literal structural)",
+		"policy", "TUs", "avg TPC (starvation)", "avg TPC (static)")
+	for _, r := range rows {
+		t.AddRow(r.Policy, r.TUs, r.StarvationTPC, r.StaticTPC)
+	}
+	return t.String()
+}
+
+// ExclusionRow compares speculation with and without the §2.3.2
+// exclusion table on one benchmark.
+type ExclusionRow struct {
+	Bench         string
+	OffHit, OnHit float64
+	OffTPC, OnTPC float64
+	Denied        uint64
+	Excluded      int
+}
+
+// AblationExclusion measures the §2.3.2 exclusion table ("those loops
+// with a poor prediction rate may be good candidates to store in this
+// table"): loops whose predicted threads resolve below the threshold are
+// denied further speculation.
+func AblationExclusion(cfg Config, threshold float64) ([]ExclusionRow, error) {
+	if threshold == 0 {
+		threshold = 0.85
+	}
+	bms, err := cfg.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ExclusionRow, 0, len(bms))
+	for _, bm := range bms {
+		off := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)})
+		if err := cfg.run(bm, off); err != nil {
+			return nil, err
+		}
+		on := spec.NewEngine(spec.Config{
+			TUs: 4, Policy: spec.STRn(3),
+			Exclude: true, ExcludeThreshold: threshold,
+		})
+		if err := cfg.run(bm, on); err != nil {
+			return nil, err
+		}
+		mOff, mOn := off.Metrics(), on.Metrics()
+		rows = append(rows, ExclusionRow{
+			Bench:  bm.Name,
+			OffHit: mOff.HitRatio(), OnHit: mOn.HitRatio(),
+			OffTPC: mOff.TPC(), OnTPC: mOn.TPC(),
+			Denied: mOn.DeniedSpawns, Excluded: mOn.ExcludedLoops,
+		})
+	}
+	return rows, nil
+}
+
+// RenderExclusion formats the exclusion-table ablation.
+func RenderExclusion(rows []ExclusionRow) string {
+	t := report.NewTable("Ablation: §2.3.2 exclusion table (STR(3), 4 TUs)",
+		"bench", "hit% off", "hit% on", "TPC off", "TPC on", "denied", "excluded loops")
+	for _, r := range rows {
+		t.AddRow(r.Bench, r.OffHit, r.OnHit, r.OffTPC, r.OnTPC, r.Denied, r.Excluded)
+	}
+	return t.String()
+}
+
+// OracleRow compares the STR policy against speculation with perfect
+// iteration-count knowledge.
+type OracleRow struct {
+	Bench             string
+	STRTPC, OracleTPC float64
+	STRHit, OracleHit float64
+}
+
+// AblationOracle bounds the cost of iteration-count misprediction: a
+// first run records every execution's true count, a second run
+// speculates with it. The gap between the STR and oracle columns is all
+// the TPC that better iteration-count prediction could ever recover.
+func AblationOracle(cfg Config) ([]OracleRow, error) {
+	bms, err := cfg.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]OracleRow, 0, len(bms))
+	for _, bm := range bms {
+		rec := spec.NewOracleRecorder()
+		if err := cfg.run(bm, rec); err != nil {
+			return nil, err
+		}
+		str := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STR()})
+		if err := cfg.run(bm, str); err != nil {
+			return nil, err
+		}
+		oracle := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STR(), OracleIters: rec.Counts()})
+		if err := cfg.run(bm, oracle); err != nil {
+			return nil, err
+		}
+		mS, mO := str.Metrics(), oracle.Metrics()
+		rows = append(rows, OracleRow{
+			Bench:  bm.Name,
+			STRTPC: mS.TPC(), OracleTPC: mO.TPC(),
+			STRHit: mS.HitRatio(), OracleHit: mO.HitRatio(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderOracle formats the oracle ablation.
+func RenderOracle(rows []OracleRow) string {
+	t := report.NewTable("Ablation: STR vs oracle iteration counts (4 TUs)",
+		"bench", "STR TPC", "oracle TPC", "STR hit%", "oracle hit%")
+	for _, r := range rows {
+		t.AddRow(r.Bench, r.STRTPC, r.OracleTPC, r.STRHit, r.OracleHit)
+	}
+	return t.String()
+}

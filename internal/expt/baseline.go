@@ -1,0 +1,125 @@
+package expt
+
+import (
+	"dynloop/internal/branchpred"
+	"dynloop/internal/harness"
+	"dynloop/internal/report"
+	"dynloop/internal/spec"
+	"dynloop/internal/taskpred"
+	"dynloop/internal/trace"
+	"dynloop/internal/workload"
+)
+
+// BaselineRow is one benchmark's conventional branch-prediction
+// accuracies — the intra-thread control-speculation baseline the paper
+// positions itself against (§1).
+type BaselineRow struct {
+	Bench string
+	// Results holds one entry per predictor (BTFN, bimodal, gshare).
+	Results []branchpred.Result
+}
+
+// BaselineBranchPred measures the classic predictors on every workload.
+// The column to look at is the backward-branch accuracy: the paper's
+// premise is that loop closing branches are highly predictable, which is
+// exactly what the whole-iteration speculation exploits.
+func BaselineBranchPred(cfg Config) ([]BaselineRow, error) {
+	bms, err := cfg.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	return parMap(bms, func(bm workload.Benchmark) (BaselineRow, error) {
+		u, err := bm.Build(cfg.seed())
+		if err != nil {
+			return BaselineRow{}, err
+		}
+		suite := branchpred.DefaultSuite()
+		hc := harness.Config{
+			Budget:      cfg.budget(),
+			CLSCapacity: cfg.CLSCapacity,
+			PreDetector: []trace.Consumer{suite},
+		}
+		if _, err := harness.Run(u, hc); err != nil {
+			return BaselineRow{}, err
+		}
+		return BaselineRow{Bench: bm.Name, Results: suite.Results()}, nil
+	})
+}
+
+// RenderBaseline formats the branch-prediction baseline.
+func RenderBaseline(rows []BaselineRow) string {
+	t := report.NewTable("Baseline: conventional branch prediction (accuracy %; bwd = backward/loop-closing branches)",
+		"bench", "BTFN", "BTFN bwd", "bimodal", "bimodal bwd", "gshare", "gshare bwd")
+	var sums [6]float64
+	for _, r := range rows {
+		cells := make([]any, 0, 7)
+		cells = append(cells, r.Bench)
+		for i, res := range r.Results {
+			cells = append(cells, res.Accuracy(), res.BackwardAccuracy())
+			sums[2*i] += res.Accuracy()
+			sums[2*i+1] += res.BackwardAccuracy()
+		}
+		t.AddRow(cells...)
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		t.AddRow("AVG", sums[0]/n, sums[1]/n, sums[2]/n, sums[3]/n, sums[4]/n, sums[5]/n)
+	}
+	return t.String()
+}
+
+// TaskPredRow compares the two thread-selection questions on one
+// benchmark: "which loop executes next?" (multiscalar-style next-task
+// prediction, Jacobson et al., the paper's §3 comparator) vs "how many
+// iterations will this loop run?" (the paper's LET, measured as the
+// STR(3)/4TU speculation hit ratio).
+type TaskPredRow struct {
+	Bench string
+	// NextTaskPct is the next-execution-target accuracy; Scored is the
+	// number of predictions it is based on.
+	NextTaskPct float64
+	Scored      uint64
+	// IterHitPct is the engine's speculation hit ratio on the same run
+	// configuration (the paper's Table 2 quantity).
+	IterHitPct float64
+}
+
+// BaselineTaskPred measures the multiscalar-style next-task predictor
+// against the paper's iteration-count speculation on every workload.
+func BaselineTaskPred(cfg Config) ([]TaskPredRow, error) {
+	bms, err := cfg.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	return parMap(bms, func(bm workload.Benchmark) (TaskPredRow, error) {
+		tp := taskpred.New(taskpred.Config{})
+		e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)})
+		if err := cfg.run(bm, tp, e); err != nil {
+			return TaskPredRow{}, err
+		}
+		acc, n := tp.Accuracy()
+		return TaskPredRow{
+			Bench:       bm.Name,
+			NextTaskPct: acc,
+			Scored:      n,
+			IterHitPct:  e.Metrics().HitRatio(),
+		}, nil
+	})
+}
+
+// RenderTaskPred formats the next-task baseline.
+func RenderTaskPred(rows []TaskPredRow) string {
+	t := report.NewTable("Baseline: next-task prediction (multiscalar-style) vs iteration-count speculation",
+		"bench", "next-task %", "scored", "iteration hit %")
+	var a, b float64
+	for _, r := range rows {
+		t.AddRow(r.Bench, r.NextTaskPct, r.Scored, r.IterHitPct)
+		a += r.NextTaskPct
+		b += r.IterHitPct
+	}
+	if len(rows) > 0 {
+		n := float64(len(rows))
+		t.AddRow("AVG", a/n, "", b/n)
+	}
+	return t.String()
+}

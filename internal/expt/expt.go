@@ -1,0 +1,114 @@
+// Package expt drives the experiments that regenerate every table and
+// figure of the paper's evaluation, plus the ablations called out in
+// DESIGN.md. The CLI (cmd/dynloop), the examples and the root benchmark
+// harness all run experiments through this package.
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dynloop/internal/builder"
+	"dynloop/internal/harness"
+	"dynloop/internal/loopdet"
+	"dynloop/internal/workload"
+)
+
+// Config parametrises an experiment run.
+type Config struct {
+	// Budget is the per-benchmark dynamic instruction budget. 0 selects
+	// DefaultBudget. (The paper ran the first 10^9 instructions; all our
+	// statistics stabilise far below that on the synthetic workloads —
+	// see DESIGN.md.)
+	Budget uint64
+	// Seed decorrelates workload input sequences; 0 selects 1.
+	Seed uint64
+	// Benchmarks restricts the run to a subset (nil = all 18).
+	Benchmarks []string
+	// CLSCapacity overrides the CLS size (0 = the paper's 16).
+	CLSCapacity int
+}
+
+// DefaultBudget is the per-benchmark instruction budget experiments use
+// unless configured otherwise.
+const DefaultBudget = 4_000_000
+
+func (c Config) budget() uint64 {
+	if c.Budget == 0 {
+		return DefaultBudget
+	}
+	return c.Budget
+}
+
+func (c Config) seed() uint64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+// benchmarks resolves the configured subset.
+func (c Config) benchmarks() ([]workload.Benchmark, error) {
+	if len(c.Benchmarks) == 0 {
+		return workload.All(), nil
+	}
+	out := make([]workload.Benchmark, 0, len(c.Benchmarks))
+	for _, name := range c.Benchmarks {
+		bm, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bm)
+	}
+	return out, nil
+}
+
+// run builds one benchmark and executes it under the configured budget
+// with the given observers attached.
+func (c Config) run(bm workload.Benchmark, observers ...loopdet.Observer) error {
+	u, err := bm.Build(c.seed())
+	if err != nil {
+		return fmt.Errorf("expt: build %s: %w", bm.Name, err)
+	}
+	return c.runUnit(u, observers...)
+}
+
+func (c Config) runUnit(u *builder.Unit, observers ...loopdet.Observer) error {
+	_, err := runWithResult(c, u, observers...)
+	return err
+}
+
+// runWithResult runs a built unit and exposes the harness result (used by
+// ablations that need detector statistics).
+func runWithResult(cfg Config, u *builder.Unit, observers ...loopdet.Observer) (harness.Result, error) {
+	hc := harness.Config{Budget: cfg.budget(), CLSCapacity: cfg.CLSCapacity}
+	return harness.Run(u, hc, observers...)
+}
+
+// parMap runs fn once per benchmark, concurrently (bounded by
+// runtime.GOMAXPROCS), and returns the results in benchmark order.
+// Every run builds its own unit and observers, so runs are independent;
+// determinism is preserved because results are slotted by index.
+func parMap[T any](bms []workload.Benchmark, fn func(bm workload.Benchmark) (T, error)) ([]T, error) {
+	out := make([]T, len(bms))
+	errs := make([]error, len(bms))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, bm := range bms {
+		wg.Add(1)
+		go func(i int, bm workload.Benchmark) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = fn(bm)
+		}(i, bm)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

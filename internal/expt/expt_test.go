@@ -1,0 +1,155 @@
+package expt
+
+import (
+	"errors"
+	"testing"
+
+	"dynloop/internal/workload"
+)
+
+// TestConfigDefaults covers budget/seed defaulting and subset
+// resolution.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if c.budget() != DefaultBudget || c.seed() != 1 {
+		t.Fatalf("defaults: budget=%d seed=%d", c.budget(), c.seed())
+	}
+	c = Config{Budget: 5, Seed: 9}
+	if c.budget() != 5 || c.seed() != 9 {
+		t.Fatalf("overrides ignored")
+	}
+	bms, err := Config{}.benchmarks()
+	if err != nil || len(bms) != 18 {
+		t.Fatalf("all benchmarks: %d %v", len(bms), err)
+	}
+	bms, err = Config{Benchmarks: []string{"swim", "perl"}}.benchmarks()
+	if err != nil || len(bms) != 2 || bms[0].Name != "swim" {
+		t.Fatalf("subset: %v %v", bms, err)
+	}
+	if _, err := (Config{Benchmarks: []string{"nope"}}).benchmarks(); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+// TestParMapOrderAndErrors: results keep benchmark order; any error
+// surfaces.
+func TestParMapOrderAndErrors(t *testing.T) {
+	bms, err := Config{}.benchmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := parMap(bms, func(bm workload.Benchmark) (string, error) {
+		return bm.Name, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bms {
+		if names[i] != bms[i].Name {
+			t.Fatalf("order broken at %d: %s vs %s", i, names[i], bms[i].Name)
+		}
+	}
+	boom := errors.New("boom")
+	_, err = parMap(bms, func(bm workload.Benchmark) (string, error) {
+		if bm.Name == "li" {
+			return "", boom
+		}
+		return bm.Name, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestParallelEqualsSerial: a parallel Table1 run must equal a repeat of
+// itself (each goroutine owns its unit, so parallelism cannot leak).
+func TestParallelEqualsSerial(t *testing.T) {
+	cfg := Config{Budget: 60_000}
+	a, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d diverged:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestDriversSmoke exercises every table/figure/ablation driver on a
+// small subset so the drivers themselves are covered in-package (the
+// root integration tests exercise them through the facade).
+func TestDriversSmoke(t *testing.T) {
+	cfg := Config{Budget: 80_000, Benchmarks: []string{"m88ksim", "perl"}}
+	if rows, err := Table1(cfg); err != nil || len(rows) != 2 {
+		t.Fatalf("table1: %v", err)
+	} else if RenderTable1(rows) == "" {
+		t.Fatal("empty render")
+	}
+	if rows, err := Table2(cfg); err != nil || len(rows) != 2 {
+		t.Fatalf("table2: %v", err)
+	} else if RenderTable2(rows) == "" {
+		t.Fatal("empty render")
+	}
+	if pts, err := Fig4(cfg); err != nil || RenderFig4(pts) == "" {
+		t.Fatalf("fig4: %v", err)
+	}
+	if rows, err := Fig5(cfg); err != nil || RenderFig5(rows) == "" {
+		t.Fatalf("fig5: %v", err)
+	}
+	if rows, err := Fig6(cfg); err != nil || RenderFig6(rows) == "" {
+		t.Fatalf("fig6: %v", err)
+	}
+	if cells, err := Fig7(cfg); err != nil || RenderFig7(cells) == "" {
+		t.Fatalf("fig7: %v", err)
+	}
+	if rows, avg, err := Fig8(cfg); err != nil || RenderFig8(rows, avg) == "" {
+		t.Fatalf("fig8: %v", err)
+	}
+	if rows, err := BaselineBranchPred(cfg); err != nil || RenderBaseline(rows) == "" {
+		t.Fatalf("baseline: %v", err)
+	}
+	if rows, err := BaselineTaskPred(cfg); err != nil || RenderTaskPred(rows) == "" {
+		t.Fatalf("taskpred: %v", err)
+	}
+	if rows, err := AblationCLSSize(cfg, []int{4}); err != nil || RenderCLSSize(rows) == "" {
+		t.Fatalf("cls: %v", err)
+	}
+	if rows, err := AblationLETCapacity(cfg, []int{4}); err != nil || RenderLETCapacity(rows) == "" {
+		t.Fatalf("let: %v", err)
+	}
+	if rows, err := AblationReplacement(cfg, []int{4}); err != nil || RenderReplacement(rows) == "" {
+		t.Fatalf("replacement: %v", err)
+	}
+	if rows, err := AblationOneShots(cfg); err != nil || RenderOneShots(rows) == "" {
+		t.Fatalf("oneshots: %v", err)
+	}
+	if rows, err := AblationNestRule(cfg, []int{4}); err != nil || RenderNestRule(rows) == "" {
+		t.Fatalf("nestrule: %v", err)
+	}
+	if rows, err := AblationExclusion(cfg, 0.85); err != nil || RenderExclusion(rows) == "" {
+		t.Fatalf("exclusion: %v", err)
+	}
+	if rows, err := AblationOracle(cfg); err != nil || RenderOracle(rows) == "" {
+		t.Fatalf("oracle: %v", err)
+	}
+}
+
+// TestOracleBeatsBlindSTR: the oracle ablation's defining property.
+func TestOracleBeatsBlindSTR(t *testing.T) {
+	rows, err := AblationOracle(Config{Budget: 150_000, Benchmarks: []string{"applu"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.OracleHit < r.STRHit {
+		t.Fatalf("oracle hit %.1f < STR hit %.1f", r.OracleHit, r.STRHit)
+	}
+	if r.OracleTPC+1e-9 < r.STRTPC {
+		t.Fatalf("oracle TPC %.2f < STR TPC %.2f", r.OracleTPC, r.STRTPC)
+	}
+}

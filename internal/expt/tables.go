@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"fmt"
+
+	"dynloop/internal/loopstats"
+	"dynloop/internal/report"
+	"dynloop/internal/spec"
+	"dynloop/internal/workload"
+)
+
+// Table1Row is one benchmark's loop statistics next to the paper's.
+type Table1Row struct {
+	Bench string
+	S     loopstats.Summary
+	Paper workload.PaperRow
+}
+
+// Table1 reproduces the paper's Table 1 (loop statistics per program).
+func Table1(cfg Config) ([]Table1Row, error) {
+	bms, err := cfg.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	return parMap(bms, func(bm workload.Benchmark) (Table1Row, error) {
+		c := loopstats.NewCollector()
+		if err := cfg.run(bm, c); err != nil {
+			return Table1Row{}, err
+		}
+		return Table1Row{Bench: bm.Name, S: c.Summary(), Paper: bm.Paper}, nil
+	})
+}
+
+// RenderTable1 formats Table 1 with the paper's values alongside.
+func RenderTable1(rows []Table1Row) string {
+	t := report.NewTable("Table 1: loop statistics (paper's value in parentheses)",
+		"bench", "#instr", "#loops", "#iter/exec", "#instr/iter", "avg.nl", "max.nl")
+	for _, r := range rows {
+		t.AddRow(r.Bench,
+			r.S.Instrs,
+			fmt.Sprintf("%d (%d)", r.S.StaticLoops, r.Paper.Loops),
+			fmt.Sprintf("%.2f (%.2f)", r.S.ItersPerExec, r.Paper.ItersPerExec),
+			fmt.Sprintf("%.1f (%.1f)", r.S.InstrPerIter, r.Paper.InstrPerIter),
+			fmt.Sprintf("%.2f (%.2f)", r.S.AvgNesting, r.Paper.AvgNL),
+			fmt.Sprintf("%d (%d)", r.S.MaxNesting, r.Paper.MaxNL))
+	}
+	return t.String()
+}
+
+// Table2Row is one benchmark's STR(3)/4-TU speculation statistics.
+type Table2Row struct {
+	Bench string
+	M     spec.Metrics
+	Paper workload.PaperRow
+}
+
+// Table2 reproduces the paper's Table 2: control speculation statistics
+// under STR(3) with 4 TUs.
+func Table2(cfg Config) ([]Table2Row, error) {
+	bms, err := cfg.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	return parMap(bms, func(bm workload.Benchmark) (Table2Row, error) {
+		e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)})
+		if err := cfg.run(bm, e); err != nil {
+			return Table2Row{}, err
+		}
+		return Table2Row{Bench: bm.Name, M: e.Metrics(), Paper: bm.Paper}, nil
+	})
+}
+
+// RenderTable2 formats Table 2 with the paper's TPC and hit ratio
+// alongside.
+func RenderTable2(rows []Table2Row) string {
+	t := report.NewTable("Table 2: control speculation statistics, STR(3), 4 TUs (paper in parentheses)",
+		"bench", "#spec.", "#threads/spec.", "hit ratio(%)", "#instr.to verif", "TPC")
+	for _, r := range rows {
+		t.AddRow(r.Bench,
+			r.M.SpecEvents,
+			fmt.Sprintf("%.2f", r.M.ThreadsPerSpec()),
+			fmt.Sprintf("%.2f (%.2f)", r.M.HitRatio(), r.Paper.HitRatio),
+			fmt.Sprintf("%.0f", r.M.InstrToVerif()),
+			fmt.Sprintf("%.2f (%.2f)", r.M.TPC(), r.Paper.TPC4))
+	}
+	return t.String()
+}

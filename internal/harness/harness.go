@@ -1,0 +1,72 @@
+// Package harness wires the pipeline together: a built Unit executes on a
+// fresh CPU, the instruction stream flows through a loop Detector, and
+// any number of observers (statistics collectors, tables, speculation
+// engines) watch the loop events. Experiments, examples and tests all run
+// through this package.
+package harness
+
+import (
+	"dynloop/internal/builder"
+	"dynloop/internal/loopdet"
+	"dynloop/internal/trace"
+)
+
+// DefaultCLSCapacity is the paper's CLS size (16 entries, §2.3.1).
+const DefaultCLSCapacity = 16
+
+// Config parametrises a run.
+type Config struct {
+	// Budget is the dynamic instruction limit (0 = run to halt).
+	Budget uint64
+	// CLSCapacity bounds the CLS; 0 selects DefaultCLSCapacity, negative
+	// means unbounded.
+	CLSCapacity int
+	// Extra trace consumers that should see the raw stream before the
+	// detector (e.g. trace.Hash for determinism checks).
+	PreDetector []trace.Consumer
+}
+
+func (c Config) clsCapacity() int {
+	switch {
+	case c.CLSCapacity == 0:
+		return DefaultCLSCapacity
+	case c.CLSCapacity < 0:
+		return 0
+	default:
+		return c.CLSCapacity
+	}
+}
+
+// Result reports what a run did.
+type Result struct {
+	// Executed is the number of retired instructions.
+	Executed uint64
+	// Halted reports whether the program ran to completion (rather than
+	// exhausting the budget).
+	Halted bool
+	// Detector is the detector used, for stats inspection.
+	Detector *loopdet.Detector
+}
+
+// Run executes the unit under a fresh detector with the given observers
+// attached, flushes the detector at the end, and returns the result.
+func Run(u *builder.Unit, cfg Config, observers ...loopdet.Observer) (Result, error) {
+	cpu := u.NewCPU()
+	det := loopdet.New(loopdet.Config{Capacity: cfg.clsCapacity()})
+	for _, o := range observers {
+		det.AddObserver(o)
+	}
+	var sink trace.Consumer = det
+	if len(cfg.PreDetector) > 0 {
+		tee := make(trace.Tee, 0, len(cfg.PreDetector)+1)
+		tee = append(tee, cfg.PreDetector...)
+		tee = append(tee, det)
+		sink = tee
+	}
+	n, err := cpu.Run(cfg.Budget, sink)
+	if err != nil {
+		return Result{Executed: n, Detector: det}, err
+	}
+	det.Flush()
+	return Result{Executed: n, Halted: cpu.Halted(), Detector: det}, nil
+}

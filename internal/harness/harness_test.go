@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"testing"
+
+	"dynloop/internal/builder"
+	"dynloop/internal/loopdet"
+	"dynloop/internal/trace"
+)
+
+func unit(t *testing.T) *builder.Unit {
+	t.Helper()
+	b := builder.New("h", 1)
+	b.CountedLoop(builder.TripImm(5), builder.LoopOpt{}, func() { b.Work(4) })
+	u, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// TestRunToCompletion: default config runs to halt and flushes.
+func TestRunToCompletion(t *testing.T) {
+	res, err := Run(unit(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || res.Executed == 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Detector.Depth() != 0 {
+		t.Fatal("detector not flushed")
+	}
+}
+
+// TestBudgetStops: the budget truncates the run without error.
+func TestBudgetStops(t *testing.T) {
+	res, err := Run(unit(t), Config{Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted || res.Executed != 10 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestCLSCapacityMapping: 0 selects the paper's default, negative means
+// unbounded.
+func TestCLSCapacityMapping(t *testing.T) {
+	if got := (Config{}).clsCapacity(); got != DefaultCLSCapacity {
+		t.Fatalf("default capacity = %d", got)
+	}
+	if got := (Config{CLSCapacity: -1}).clsCapacity(); got != 0 {
+		t.Fatalf("unbounded capacity = %d", got)
+	}
+	if got := (Config{CLSCapacity: 3}).clsCapacity(); got != 3 {
+		t.Fatalf("explicit capacity = %d", got)
+	}
+}
+
+// TestPreDetectorConsumers: extra consumers see the raw stream before the
+// detector.
+func TestPreDetectorConsumers(t *testing.T) {
+	var counter trace.Counter
+	res, err := Run(unit(t), Config{PreDetector: []trace.Consumer{&counter}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter.Total != res.Executed {
+		t.Fatalf("pre-detector consumer saw %d of %d", counter.Total, res.Executed)
+	}
+}
+
+// TestObserversAttached: loop events reach the observers.
+func TestObserversAttached(t *testing.T) {
+	var execs int
+	obs := &execCounter{n: &execs}
+	if _, err := Run(unit(t), Config{}, obs); err != nil {
+		t.Fatal(err)
+	}
+	if execs != 1 {
+		t.Fatalf("execs = %d, want 1", execs)
+	}
+}
+
+type execCounter struct {
+	loopdet.NopObserver
+	n *int
+}
+
+func (e *execCounter) ExecStart(*loopdet.Exec) { *e.n++ }

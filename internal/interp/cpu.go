@@ -1,0 +1,197 @@
+// Package interp executes programs of the substrate ISA and emits one
+// trace.Event per retired instruction. It replaces the paper's
+// ATOM-instrumented Alpha binaries: the loop detector, tables, speculation
+// engine and data-speculation statistics all run as consumers of the
+// stream this interpreter produces.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"dynloop/internal/isa"
+	"dynloop/internal/program"
+	"dynloop/internal/trace"
+)
+
+// Errors reported by Run.
+var (
+	// ErrNoProgram is returned when the CPU has no program loaded.
+	ErrNoProgram = errors.New("interp: no program loaded")
+	// ErrCallDepth is returned when the call stack exceeds MaxCallDepth.
+	ErrCallDepth = errors.New("interp: call stack overflow")
+	// ErrRetEmpty is returned on a return with an empty call stack.
+	ErrRetEmpty = errors.New("interp: return with empty call stack")
+	// ErrPC is returned when the PC leaves the program.
+	ErrPC = errors.New("interp: PC out of range")
+)
+
+// MaxCallDepth bounds the call stack; exceeding it is a program bug and
+// aborts the run rather than looping forever.
+const MaxCallDepth = 4096
+
+// CPU is a single-context interpreter. Create one with New, then call Run.
+type CPU struct {
+	prog *program.Program
+	regs [isa.NumRegs]int64
+	mem  Memory
+	// stack holds return addresses.
+	stack []isa.Addr
+	pc    isa.Addr
+	// seqs maps sequence ids to value streams.
+	seqs map[int64]Sequence
+	// retired counts instructions executed so far across Run calls.
+	retired uint64
+	halted  bool
+}
+
+// New returns a CPU ready to execute p from its entry point.
+func New(p *program.Program) *CPU {
+	return &CPU{prog: p, pc: p.Entry, seqs: make(map[int64]Sequence)}
+}
+
+// BindSeq attaches a value sequence to id; KindSeq instructions with that
+// id read from it. Unbound sequences read as zero.
+func (c *CPU) BindSeq(id int64, s Sequence) { c.seqs[id] = s }
+
+// Reg returns the current value of register r.
+func (c *CPU) Reg(r isa.Reg) int64 { return c.regs[r] }
+
+// SetReg sets register r; useful for test setup.
+func (c *CPU) SetReg(r isa.Reg, v int64) { c.regs[r] = v }
+
+// Mem returns the data memory, for test inspection and preloading.
+func (c *CPU) Mem() *Memory { return &c.mem }
+
+// Retired returns the number of instructions executed so far.
+func (c *CPU) Retired() uint64 { return c.retired }
+
+// Halted reports whether the program has executed Halt.
+func (c *CPU) Halted() bool { return c.halted }
+
+// PC returns the current program counter.
+func (c *CPU) PC() isa.Addr { return c.pc }
+
+// Run executes up to budget instructions (0 means unlimited), emitting one
+// event per retired instruction to sink (which may be nil). It returns the
+// number of instructions retired by this call. Execution stops at the
+// budget, at a Halt, or on a machine error (bad PC, call stack abuse).
+//
+// The event struct is reused across instructions; consumers must not
+// retain the pointer.
+func (c *CPU) Run(budget uint64, sink trace.Consumer) (uint64, error) {
+	if c.prog == nil {
+		return 0, ErrNoProgram
+	}
+	var ev trace.Event
+	var done uint64
+	code := c.prog.Code
+	n := isa.Addr(len(code))
+	for !c.halted && (budget == 0 || done < budget) {
+		if c.pc >= n {
+			return done, fmt.Errorf("%w: pc=%d len=%d", ErrPC, c.pc, n)
+		}
+		in := &code[c.pc]
+		ev = trace.Event{Index: c.retired, PC: c.pc, Instr: in}
+		next := c.pc + 1
+		switch in.Kind {
+		case isa.KindALU:
+			v := c.alu(in)
+			c.regs[in.Rd] = v
+			ev.WroteReg, ev.WrittenReg, ev.WrittenVal = true, in.Rd, v
+		case isa.KindLoad:
+			addr := uint64(c.regs[in.Rs1] + in.Imm)
+			v := c.mem.Load(addr)
+			c.regs[in.Rd] = v
+			ev.WroteReg, ev.WrittenReg, ev.WrittenVal = true, in.Rd, v
+			ev.MemAddr, ev.MemVal = addr, v
+		case isa.KindStore:
+			addr := uint64(c.regs[in.Rs1] + in.Imm)
+			v := c.regs[in.Rs2]
+			c.mem.Store(addr, v)
+			ev.MemAddr, ev.MemVal = addr, v
+		case isa.KindBranch:
+			if in.Cond.Holds(c.regs[in.Rs1]) {
+				ev.Taken, ev.Target = true, in.Target
+				next = in.Target
+			}
+		case isa.KindJump:
+			ev.Taken, ev.Target = true, in.Target
+			next = in.Target
+		case isa.KindCall:
+			if len(c.stack) >= MaxCallDepth {
+				return done, fmt.Errorf("%w at pc=%d", ErrCallDepth, c.pc)
+			}
+			c.stack = append(c.stack, c.pc+1)
+			ev.Taken, ev.Target = true, in.Target
+			next = in.Target
+		case isa.KindRet:
+			if len(c.stack) == 0 {
+				return done, fmt.Errorf("%w at pc=%d", ErrRetEmpty, c.pc)
+			}
+			ra := c.stack[len(c.stack)-1]
+			c.stack = c.stack[:len(c.stack)-1]
+			ev.Taken, ev.Target = true, ra
+			next = ra
+		case isa.KindSeq:
+			var v int64
+			if s, ok := c.seqs[in.Imm]; ok {
+				v = s.Next()
+			}
+			c.regs[in.Rd] = v
+			ev.WroteReg, ev.WrittenReg, ev.WrittenVal = true, in.Rd, v
+		case isa.KindHalt:
+			c.halted = true
+		case isa.KindNop:
+			// nothing
+		}
+		c.retired++
+		done++
+		c.pc = next
+		if sink != nil {
+			sink.Consume(&ev)
+		}
+	}
+	return done, nil
+}
+
+// alu evaluates a KindALU instruction against the register file.
+func (c *CPU) alu(in *isa.Instr) int64 {
+	a, b := c.regs[in.Rs1], c.regs[in.Rs2]
+	switch in.Op {
+	case isa.OpAdd:
+		return a + b
+	case isa.OpAddI:
+		return a + in.Imm
+	case isa.OpSub:
+		return a - b
+	case isa.OpMul:
+		return a * b
+	case isa.OpAnd:
+		return a & b
+	case isa.OpOr:
+		return a | b
+	case isa.OpXor:
+		return a ^ b
+	case isa.OpShl:
+		return a << (uint64(in.Imm) & 63)
+	case isa.OpShr:
+		return a >> (uint64(in.Imm) & 63)
+	case isa.OpMovI:
+		return in.Imm
+	case isa.OpMov:
+		return a
+	case isa.OpSlt:
+		if a < b {
+			return 1
+		}
+		return 0
+	case isa.OpMod:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	default:
+		return 0
+	}
+}

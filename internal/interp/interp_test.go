@@ -1,0 +1,315 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dynloop/internal/isa"
+	"dynloop/internal/program"
+	"dynloop/internal/trace"
+)
+
+func prog(code ...isa.Instr) *program.Program {
+	return &program.Program{Name: "t", Code: code}
+}
+
+// TestALUOps checks every ALU operation end to end.
+func TestALUOps(t *testing.T) {
+	cases := []struct {
+		in   isa.Instr
+		r1   int64
+		r2   int64
+		want int64
+	}{
+		{isa.ALU(isa.OpAdd, 3, 1, 2), 5, 7, 12},
+		{isa.ALU(isa.OpSub, 3, 1, 2), 5, 7, -2},
+		{isa.ALU(isa.OpMul, 3, 1, 2), 5, 7, 35},
+		{isa.ALU(isa.OpAnd, 3, 1, 2), 6, 3, 2},
+		{isa.ALU(isa.OpOr, 3, 1, 2), 6, 3, 7},
+		{isa.ALU(isa.OpXor, 3, 1, 2), 6, 3, 5},
+		{isa.ALU(isa.OpSlt, 3, 1, 2), 5, 7, 1},
+		{isa.ALU(isa.OpSlt, 3, 1, 2), 7, 5, 0},
+		{isa.ALU(isa.OpMod, 3, 1, 2), 17, 5, 2},
+		{isa.ALU(isa.OpMod, 3, 1, 2), 17, 0, 0},
+		{isa.AddI(3, 1, 10), 5, 0, 15},
+		{isa.MovI(3, -4), 0, 0, -4},
+		{isa.Mov(3, 1), 9, 0, 9},
+		{isa.Instr{Kind: isa.KindALU, Op: isa.OpShl, Rd: 3, Rs1: 1, Imm: 2}, 3, 0, 12},
+		{isa.Instr{Kind: isa.KindALU, Op: isa.OpShr, Rd: 3, Rs1: 1, Imm: 1}, 12, 0, 6},
+	}
+	for i, tc := range cases {
+		c := New(prog(tc.in, isa.Halt()))
+		c.SetReg(1, tc.r1)
+		c.SetReg(2, tc.r2)
+		if _, err := c.Run(0, nil); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got := c.Reg(3); got != tc.want {
+			t.Errorf("case %d (%s): r3 = %d, want %d", i, tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestLoadStore checks the memory path and event fields.
+func TestLoadStore(t *testing.T) {
+	p := prog(
+		isa.MovI(1, 1000),
+		isa.MovI(2, 42),
+		isa.Store(1, 8, 2),
+		isa.Load(3, 1, 8),
+		isa.Halt(),
+	)
+	c := New(p)
+	rec := &trace.Recorder{}
+	if _, err := c.Run(0, rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Reg(3); got != 42 {
+		t.Fatalf("r3 = %d, want 42", got)
+	}
+	st := rec.Events[2]
+	if st.MemAddr != 1008 || st.MemVal != 42 {
+		t.Fatalf("store event: addr=%d val=%d", st.MemAddr, st.MemVal)
+	}
+	ld := rec.Events[3]
+	if !ld.WroteReg || ld.WrittenReg != 3 || ld.WrittenVal != 42 || ld.MemAddr != 1008 {
+		t.Fatalf("load event: %+v", ld)
+	}
+}
+
+// TestBranchTaken checks both branch outcomes and the event facet.
+func TestBranchTaken(t *testing.T) {
+	p := prog(
+		isa.MovI(1, 0),
+		isa.Branch(isa.CondEQZ, 1, 4), // taken
+		isa.MovI(2, 111),              // skipped
+		isa.Nop(),
+		isa.Branch(isa.CondNEZ, 1, 0), // not taken
+		isa.Halt(),
+	)
+	c := New(p)
+	rec := &trace.Recorder{}
+	if _, err := c.Run(0, rec); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(2) != 0 {
+		t.Fatalf("taken branch executed skipped instruction")
+	}
+	if ev := rec.Events[1]; !ev.Taken || ev.Target != 4 {
+		t.Fatalf("taken branch event: %+v", ev)
+	}
+	if ev := rec.Events[3]; ev.Taken {
+		t.Fatalf("not-taken branch marked taken: %+v", ev)
+	}
+}
+
+// TestCallRet checks the call stack, including nesting.
+func TestCallRet(t *testing.T) {
+	p := prog(
+		isa.Call(3),    // 0
+		isa.MovI(1, 7), // 1: after return
+		isa.Halt(),     // 2
+		isa.Call(5),    // 3: f calls g
+		isa.Ret(),      // 4
+		isa.MovI(2, 9), // 5: g
+		isa.Ret(),      // 6
+	)
+	c := New(p)
+	if _, err := c.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(1) != 7 || c.Reg(2) != 9 {
+		t.Fatalf("r1=%d r2=%d, want 7 9", c.Reg(1), c.Reg(2))
+	}
+}
+
+// TestRetEmptyStack checks the machine error on underflow.
+func TestRetEmptyStack(t *testing.T) {
+	c := New(prog(isa.Ret()))
+	if _, err := c.Run(0, nil); !errors.Is(err, ErrRetEmpty) {
+		t.Fatalf("err = %v, want ErrRetEmpty", err)
+	}
+}
+
+// TestBudget checks that Run stops exactly at the fuel limit and can be
+// resumed.
+func TestBudget(t *testing.T) {
+	p := prog(
+		isa.MovI(1, 0),
+		isa.AddI(1, 1, 1),
+		isa.Jump(1),
+	)
+	c := New(p)
+	n, err := c.Run(100, nil)
+	if err != nil || n != 100 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if c.Retired() != 100 {
+		t.Fatalf("retired=%d", c.Retired())
+	}
+	n, err = c.Run(50, nil)
+	if err != nil || n != 50 {
+		t.Fatalf("resume: n=%d err=%v", n, err)
+	}
+}
+
+// TestSeqInstruction checks sequence binding and the unbound default.
+func TestSeqInstruction(t *testing.T) {
+	p := prog(
+		isa.Seq(1, 0),
+		isa.Seq(2, 0),
+		isa.Seq(3, 99), // unbound: reads 0
+		isa.Halt(),
+	)
+	c := New(p)
+	c.BindSeq(0, Counter(10, 5))
+	if _, err := c.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(1) != 10 || c.Reg(2) != 15 || c.Reg(3) != 0 {
+		t.Fatalf("r1=%d r2=%d r3=%d", c.Reg(1), c.Reg(2), c.Reg(3))
+	}
+}
+
+// TestDeterminism checks that two runs with identical seeds produce
+// identical traces.
+func TestDeterminism(t *testing.T) {
+	mk := func() (*CPU, *trace.Hash) {
+		p := prog(
+			isa.Seq(1, 0),
+			isa.Branch(isa.CondNEZ, 1, 0),
+			isa.Halt(),
+		)
+		c := New(p)
+		c.BindSeq(0, Uniform(0, 3, 12345))
+		return c, trace.NewHash()
+	}
+	c1, h1 := mk()
+	c2, h2 := mk()
+	if _, err := c1.Run(10000, h1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Run(10000, h2); err != nil {
+		t.Fatal(err)
+	}
+	if h1.Sum != h2.Sum {
+		t.Fatalf("hash mismatch: %x vs %x", h1.Sum, h2.Sum)
+	}
+}
+
+// TestMemorySparse checks paging behaviour across distant addresses.
+func TestMemorySparse(t *testing.T) {
+	var m Memory
+	if m.Load(1<<40) != 0 {
+		t.Fatal("unwritten memory not zero")
+	}
+	m.Store(0, 1)
+	m.Store(1<<40, 2)
+	m.Store((1<<40)+pageSize, 3)
+	if m.Load(0) != 1 || m.Load(1<<40) != 2 || m.Load((1<<40)+pageSize) != 3 {
+		t.Fatal("paged values lost")
+	}
+	if m.Footprint() != 3 {
+		t.Fatalf("footprint = %d, want 3", m.Footprint())
+	}
+}
+
+// TestMemoryQuick property: store-then-load returns the stored value for
+// arbitrary addresses.
+func TestMemoryQuick(t *testing.T) {
+	f := func(addr uint64, v int64) bool {
+		var m Memory
+		m.Store(addr, v)
+		return m.Load(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequences checks the distributional properties of each generator.
+func TestSequences(t *testing.T) {
+	t.Run("counter", func(t *testing.T) {
+		s := Counter(3, -2)
+		for i, want := range []int64{3, 1, -1, -3} {
+			if got := s.Next(); got != want {
+				t.Fatalf("draw %d = %d, want %d", i, got, want)
+			}
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		s := Cycle(4, 8)
+		for i, want := range []int64{4, 8, 4, 8, 4} {
+			if got := s.Next(); got != want {
+				t.Fatalf("draw %d = %d, want %d", i, got, want)
+			}
+		}
+	})
+	t.Run("uniform-range", func(t *testing.T) {
+		s := Uniform(5, 9, 7)
+		for i := 0; i < 1000; i++ {
+			v := s.Next()
+			if v < 5 || v > 9 {
+				t.Fatalf("uniform out of range: %d", v)
+			}
+		}
+	})
+	t.Run("geometric-mean", func(t *testing.T) {
+		s := Geometric(1, 0.8, 0, 11)
+		var sum int64
+		n := 20000
+		for i := 0; i < n; i++ {
+			sum += s.Next()
+		}
+		mean := float64(sum) / float64(n)
+		// E[v] = 1 + p/(1-p) = 5 for p=0.8.
+		if mean < 4.0 || mean > 6.0 {
+			t.Fatalf("geometric mean = %.2f, want ~5", mean)
+		}
+	})
+	t.Run("mix-weights", func(t *testing.T) {
+		s := Mix(3, []int64{1, 3}, Const(0), Const(1))
+		ones := 0
+		n := 20000
+		for i := 0; i < n; i++ {
+			if s.Next() == 1 {
+				ones++
+			}
+		}
+		frac := float64(ones) / float64(n)
+		if frac < 0.70 || frac > 0.80 {
+			t.Fatalf("mix fraction = %.3f, want ~0.75", frac)
+		}
+	})
+	t.Run("noisy-floor", func(t *testing.T) {
+		s := Noisy(Const(1), 5, 1.0, 9)
+		for i := 0; i < 1000; i++ {
+			if v := s.Next(); v < 1 {
+				t.Fatalf("noisy went below 1: %d", v)
+			}
+		}
+	})
+	t.Run("const", func(t *testing.T) {
+		s := Const(7)
+		if s.Next() != 7 || s.Next() != 7 {
+			t.Fatal("const not constant")
+		}
+	})
+}
+
+// TestPCOutOfRange checks the machine check for runaway PCs.
+func TestPCOutOfRange(t *testing.T) {
+	c := New(prog(isa.Nop())) // falls off the end
+	if _, err := c.Run(0, nil); !errors.Is(err, ErrPC) {
+		t.Fatalf("err = %v, want ErrPC", err)
+	}
+}
+
+// TestCallDepthLimit checks the recursion guard.
+func TestCallDepthLimit(t *testing.T) {
+	c := New(prog(isa.Call(0)))
+	if _, err := c.Run(0, nil); !errors.Is(err, ErrCallDepth) {
+		t.Fatalf("err = %v, want ErrCallDepth", err)
+	}
+}

@@ -1,0 +1,41 @@
+package interp
+
+// pageBits selects the page granularity of the sparse memory: 512 words.
+const pageBits = 9
+
+const pageSize = 1 << pageBits
+
+// Memory is a sparse, paged 64-bit word memory. Unwritten locations read
+// as zero. The zero value is ready to use.
+type Memory struct {
+	pages map[uint64]*[pageSize]int64
+}
+
+// Load returns the word at addr.
+func (m *Memory) Load(addr uint64) int64 {
+	p, ok := m.pages[addr>>pageBits]
+	if !ok {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// Store writes the word at addr.
+func (m *Memory) Store(addr uint64, v int64) {
+	if m.pages == nil {
+		m.pages = make(map[uint64]*[pageSize]int64)
+	}
+	key := addr >> pageBits
+	p, ok := m.pages[key]
+	if !ok {
+		p = new([pageSize]int64)
+		m.pages[key] = p
+	}
+	p[addr&(pageSize-1)] = v
+}
+
+// Reset drops all pages.
+func (m *Memory) Reset() { m.pages = nil }
+
+// Footprint returns the number of resident pages, for diagnostics.
+func (m *Memory) Footprint() int { return len(m.pages) }

@@ -1,0 +1,208 @@
+package interp
+
+// Sequence is a deterministic stream of input values. Sequences replace the
+// SPEC95 reference input data of the paper: a KindSeq instruction reads the
+// next value of a named sequence, and the workload profiles choose sequence
+// shapes (constant, strided, cyclic, geometric, uniform) that induce the
+// trip-count and live-in-value distributions the paper reports.
+type Sequence interface {
+	// Next returns the next value of the stream.
+	Next() int64
+}
+
+// rng is a xorshift64* generator: tiny, fast and deterministic across
+// platforms, which is all the substrate needs.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// intn returns a value uniform in [0, n).
+func (r *rng) intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// Const is a Sequence that always yields the same value.
+type Const int64
+
+// Next returns the constant.
+func (c Const) Next() int64 { return int64(c) }
+
+// counter yields start, start+stride, start+2*stride, ...
+type counter struct {
+	next, stride int64
+}
+
+// Counter returns an arithmetic sequence: start, start+stride, ...
+// With stride 0 it is a constant; the LET stride predictor locks onto any
+// counter after two observations.
+func Counter(start, stride int64) Sequence {
+	return &counter{next: start, stride: stride}
+}
+
+func (c *counter) Next() int64 {
+	v := c.next
+	c.next += c.stride
+	return v
+}
+
+// cycle yields the given values in rotation.
+type cycle struct {
+	vals []int64
+	i    int
+}
+
+// Cycle returns a sequence repeating vals forever. It models periodic trip
+// counts (e.g. a loop alternating between two lengths), which defeat a
+// plain stride predictor but keep a last-value predictor half right.
+func Cycle(vals ...int64) Sequence {
+	cp := make([]int64, len(vals))
+	copy(cp, vals)
+	return &cycle{vals: cp}
+}
+
+func (c *cycle) Next() int64 {
+	if len(c.vals) == 0 {
+		return 0
+	}
+	v := c.vals[c.i]
+	c.i++
+	if c.i == len(c.vals) {
+		c.i = 0
+	}
+	return v
+}
+
+// uniform yields values uniform in [lo, hi].
+type uniform struct {
+	lo, span int64
+	r        *rng
+}
+
+// Uniform returns a sequence of values uniform in [lo, hi], seeded
+// deterministically. It models data-dependent trip counts (gcc, go, perl).
+func Uniform(lo, hi int64, seed uint64) Sequence {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return &uniform{lo: lo, span: hi - lo + 1, r: newRNG(seed)}
+}
+
+func (u *uniform) Next() int64 { return u.lo + u.r.intn(u.span) }
+
+// geometric yields values with a geometric distribution: P(v=k) ∝ (1-p)^k.
+type geometric struct {
+	min   int64
+	num   uint64 // continue threshold scaled to 2^32
+	r     *rng
+	limit int64
+}
+
+// Geometric returns min + G where G is geometric with continuation
+// probability p (0 < p < 1), capped at limit (0 = min+64/(1-p) default cap).
+// It models while-loops on data such as hash-chain walks in compress or
+// list traversals in li.
+func Geometric(min int64, p float64, limit int64, seed uint64) Sequence {
+	if p <= 0 {
+		p = 0.01
+	}
+	if p >= 1 {
+		p = 0.99
+	}
+	if limit <= 0 {
+		limit = min + int64(64.0/(1.0-p))
+	}
+	return &geometric{min: min, num: uint64(p * (1 << 32)), r: newRNG(seed), limit: limit}
+}
+
+func (g *geometric) Next() int64 {
+	v := g.min
+	for v < g.limit && (g.r.next()>>32) < g.num {
+		v++
+	}
+	return v
+}
+
+// mix alternates between member sequences with given weights.
+type mix struct {
+	seqs    []Sequence
+	weights []int64
+	total   int64
+	r       *rng
+}
+
+// Mix returns a sequence that on every call picks one of seqs with
+// probability proportional to its weight. It models multi-modal trip
+// counts (a loop that is usually short but sometimes very long).
+func Mix(seed uint64, weights []int64, seqs ...Sequence) Sequence {
+	if len(weights) != len(seqs) {
+		panic("interp.Mix: weights and seqs must have equal length")
+	}
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	ws := make([]int64, len(weights))
+	copy(ws, weights)
+	return &mix{seqs: seqs, weights: ws, total: total, r: newRNG(seed)}
+}
+
+func (m *mix) Next() int64 {
+	pick := m.r.intn(m.total)
+	for i, w := range m.weights {
+		if pick < w {
+			return m.seqs[i].Next()
+		}
+		pick -= w
+	}
+	return m.seqs[len(m.seqs)-1].Next()
+}
+
+// noisy adds uniform noise in [-amp, +amp] to a base sequence on a fraction
+// of draws. It models mostly-regular trip counts with occasional jitter
+// (applu's 54% speculation hit ratio comes from this shape).
+type noisy struct {
+	base Sequence
+	amp  int64
+	pnum uint64
+	r    *rng
+}
+
+// Noisy perturbs base: with probability p the value is shifted by a uniform
+// amount in [-amp, amp].
+func Noisy(base Sequence, amp int64, p float64, seed uint64) Sequence {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return &noisy{base: base, amp: amp, pnum: uint64(p * (1 << 32)), r: newRNG(seed)}
+}
+
+func (n *noisy) Next() int64 {
+	v := n.base.Next()
+	if (n.r.next() >> 32) < n.pnum {
+		v += n.r.intn(2*n.amp+1) - n.amp
+	}
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

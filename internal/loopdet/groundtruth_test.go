@@ -1,0 +1,192 @@
+package loopdet_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynloop/internal/builder"
+	"dynloop/internal/harness"
+	"dynloop/internal/isa"
+	"dynloop/internal/loopdet"
+)
+
+// nest is a randomly generated tree of counted loops with known constant
+// trip counts, for which the detector's exact event counts can be
+// computed analytically:
+//
+//   - a loop with trip t >= 2 executed `outer` times produces `outer`
+//     detected executions of t iterations each (t-1 iteration-start
+//     events per execution, ending with reason backedge);
+//   - a loop with trip 1 produces `outer` one-shot events and never
+//     enters the CLS.
+type nest struct {
+	trip     int
+	work     int
+	children []nest
+}
+
+// mkNest derives a deterministic random tree from a seed.
+func mkNest(seed uint64, depth int) nest {
+	r := seed
+	next := func(n uint64) uint64 {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		return r % n
+	}
+	var build func(d int) nest
+	build = func(d int) nest {
+		n := nest{trip: int(1 + next(5)), work: int(1 + next(6))}
+		if d < depth {
+			for i := uint64(0); i < next(3); i++ {
+				n.children = append(n.children, build(d+1))
+			}
+		}
+		return n
+	}
+	return build(0)
+}
+
+// emit lays the nest out through the builder; loops appear in u.Loops in
+// pre-order.
+func emit(b *builder.Builder, n nest) {
+	b.CountedLoop(builder.TripImm(int64(n.trip)), builder.LoopOpt{}, func() {
+		b.Work(n.work)
+		for _, c := range n.children {
+			emit(b, c)
+		}
+	})
+}
+
+// expectation accumulates the analytical counts in pre-order.
+type expectation struct {
+	execs, iterEvents, oneShots uint64
+}
+
+func expect(n nest, outer uint64, out *[]expectation) {
+	e := expectation{}
+	if n.trip >= 2 {
+		e.execs = outer
+		e.iterEvents = outer * uint64(n.trip-1)
+	} else {
+		e.oneShots = outer
+	}
+	*out = append(*out, e)
+	for _, c := range n.children {
+		expect(c, outer*uint64(n.trip), out)
+	}
+}
+
+// perLoop tallies detector events per loop head.
+type perLoop struct {
+	loopdet.NopObserver
+	execs, iters, oneShots map[isa.Addr]uint64
+	badEnds                int
+}
+
+func newPerLoop() *perLoop {
+	return &perLoop{
+		execs:    make(map[isa.Addr]uint64),
+		iters:    make(map[isa.Addr]uint64),
+		oneShots: make(map[isa.Addr]uint64),
+	}
+}
+
+func (p *perLoop) ExecStart(x *loopdet.Exec)               { p.execs[x.T]++ }
+func (p *perLoop) IterStart(x *loopdet.Exec, index uint64) { p.iters[x.T]++ }
+func (p *perLoop) OneShot(t, b isa.Addr, index uint64)     { p.oneShots[t]++ }
+func (p *perLoop) ExecEnd(x *loopdet.Exec, r loopdet.EndReason, index uint64) {
+	// Pure counted nests must only terminate via their closing branch.
+	if r != loopdet.EndBackEdge {
+		p.badEnds++
+	}
+}
+
+// TestGroundTruthQuick: for random pure loop nests the detector's event
+// counts must match the closed-form expectation exactly, loop by loop.
+func TestGroundTruthQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := mkNest(seed|1, 3)
+		b := builder.New("gt", 1)
+		emit(b, n)
+		u, err := b.Build()
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		var want []expectation
+		expect(n, 1, &want)
+		if len(want) != len(u.Loops) {
+			t.Logf("seed %d: loop count mismatch: %d vs %d", seed, len(want), len(u.Loops))
+			return false
+		}
+		obs := newPerLoop()
+		res, err := harness.Run(u, harness.Config{}, obs)
+		if err != nil {
+			t.Logf("seed %d: run: %v", seed, err)
+			return false
+		}
+		if !res.Halted {
+			t.Logf("seed %d: did not halt", seed)
+			return false
+		}
+		if obs.badEnds != 0 {
+			t.Logf("seed %d: %d non-backedge terminations", seed, obs.badEnds)
+			return false
+		}
+		for i, w := range want {
+			head := u.Loops[i].Head
+			if obs.execs[head] != w.execs || obs.iters[head] != w.iterEvents || obs.oneShots[head] != w.oneShots {
+				t.Logf("seed %d loop %d @%d: got execs=%d iters=%d oneshots=%d, want %+v",
+					seed, i, head, obs.execs[head], obs.iters[head], obs.oneShots[head], w)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroundTruthDeepNest pins one deep deterministic case.
+func TestGroundTruthDeepNest(t *testing.T) {
+	n := nest{trip: 3, work: 2, children: []nest{
+		{trip: 1, work: 1}, // one-shot inside every outer iteration
+		{trip: 4, work: 1, children: []nest{
+			{trip: 2, work: 3},
+		}},
+	}}
+	b := builder.New("deep", 1)
+	emit(b, n)
+	u, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []expectation
+	expect(n, 1, &want)
+	obs := newPerLoop()
+	if _, err := harness.Run(u, harness.Config{}, obs); err != nil {
+		t.Fatal(err)
+	}
+	// Outer: 1 exec, 2 iteration events. One-shot child: 3 one-shots.
+	// Middle: 3 execs x 3 events. Inner: 12 execs x 1 event.
+	heads := u.Loops
+	checks := []struct {
+		idx        int
+		execs, its uint64
+		shots      uint64
+	}{
+		{0, 1, 2, 0},
+		{1, 0, 0, 3},
+		{2, 3, 9, 0},
+		{3, 12, 12, 0},
+	}
+	for _, c := range checks {
+		h := heads[c.idx].Head
+		if obs.execs[h] != c.execs || obs.iters[h] != c.its || obs.oneShots[h] != c.shots {
+			t.Fatalf("loop %d: got %d/%d/%d want %d/%d/%d",
+				c.idx, obs.execs[h], obs.iters[h], obs.oneShots[h], c.execs, c.its, c.shots)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package looptab
+
+import (
+	"dynloop/internal/isa"
+	"dynloop/internal/loopdet"
+)
+
+// Tracker wires detector events into a LET and a LIT, implementing the
+// event-to-table mapping of §2.3:
+//
+//   - entries are inserted when an execution starts (the detection point);
+//   - the LET hit test and recency update happen at execution start;
+//   - the LIT hit test and recency update happen at every detected
+//     iteration start (the first iteration of an execution is never
+//     tested);
+//   - completed-iteration and completed-execution counters advance on the
+//     corresponding end events; evictions and flushes do not count as
+//     completions.
+//
+// With NestingAware set, both tables run the §2.3.2 replacement ablation:
+// an insertion is inhibited when it would evict a loop nested inside the
+// incoming one.
+type Tracker struct {
+	loopdet.NopObserver
+	// LET and LIT are the tracked tables.
+	LET *LET
+	LIT *LIT
+	// bounds remembers the widest [T,B] seen per loop, for the
+	// nesting-aware ablation.
+	bounds map[isa.Addr]isa.Addr
+}
+
+// NewTracker returns a tracker over fresh tables of the given capacities
+// (0 = unbounded).
+func NewTracker(letCapacity, litCapacity int) *Tracker {
+	return &Tracker{LET: NewLET(letCapacity), LIT: NewLIT(litCapacity)}
+}
+
+// EnableNestingAware switches both tables to the §2.3.2 insertion-inhibit
+// replacement policy.
+func (tr *Tracker) EnableNestingAware() {
+	tr.bounds = make(map[isa.Addr]isa.Addr)
+	inhibit := func(victim, cand isa.Addr) bool {
+		vb, ok := tr.bounds[victim]
+		if !ok {
+			return false
+		}
+		cb, ok := tr.bounds[cand]
+		if !ok {
+			return false
+		}
+		// victim nested inside cand: [victim, vb] within [cand, cb].
+		return cand <= victim && vb <= cb
+	}
+	tr.LET.InhibitInsert = inhibit
+	tr.LIT.InhibitInsert = inhibit
+}
+
+// ExecStart implements loopdet.Observer.
+func (tr *Tracker) ExecStart(x *loopdet.Exec) {
+	if tr.bounds != nil {
+		if b, ok := tr.bounds[x.T]; !ok || x.B > b {
+			tr.bounds[x.T] = x.B
+		}
+	}
+	tr.LET.OnExecStart(x.T)
+	tr.LIT.OnExecStart(x.T)
+}
+
+// IterStart implements loopdet.Observer. The event for iteration k means
+// iteration k-1 just completed; completions of iteration 1 coincide with
+// insertion and are not counted (see DESIGN.md).
+func (tr *Tracker) IterStart(x *loopdet.Exec, index uint64) {
+	if x.Iters >= 3 {
+		tr.LIT.OnIterEnd(x.T)
+	}
+	tr.LIT.OnIterStart(x.T)
+}
+
+// ExecEnd implements loopdet.Observer.
+func (tr *Tracker) ExecEnd(x *loopdet.Exec, reason loopdet.EndReason, index uint64) {
+	if reason == loopdet.EndEvicted || reason == loopdet.EndFlush {
+		return
+	}
+	// The final iteration (>= 2) completes with the execution.
+	tr.LIT.OnIterEnd(x.T)
+	tr.LET.OnExecEnd(x.T, x.Iters)
+}

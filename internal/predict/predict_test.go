@@ -1,0 +1,129 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTwoBitSaturation walks the counter through its full state machine.
+func TestTwoBitSaturation(t *testing.T) {
+	var c TwoBit
+	if c.Confident() {
+		t.Fatal("zero value must not be confident")
+	}
+	c.Up()
+	if c.Confident() {
+		t.Fatal("one Up must not reach confidence")
+	}
+	c.Up()
+	if !c.Confident() {
+		t.Fatal("two Ups must reach confidence")
+	}
+	c.Up()
+	c.Up() // saturate at 3
+	if c.State() != 3 {
+		t.Fatalf("state = %d, want 3", c.State())
+	}
+	c.Down()
+	if !c.Confident() {
+		t.Fatal("one Down from saturation must stay confident")
+	}
+	c.Down()
+	c.Down()
+	c.Down()
+	c.Down() // saturate at 0
+	if c.State() != 0 || c.Confident() {
+		t.Fatalf("state = %d, want 0", c.State())
+	}
+}
+
+// TestStrideConstantSeries checks lock-on to an arithmetic series.
+func TestStrideConstantSeries(t *testing.T) {
+	var s Stride
+	if _, ok := s.Predict(); ok {
+		t.Fatal("empty predictor must not predict")
+	}
+	s.Observe(10)
+	if v, ok := s.Predict(); !ok || v != 10 {
+		t.Fatalf("after one sample: %d %v, want last value", v, ok)
+	}
+	s.Observe(13)
+	if v, ok := s.Predict(); !ok || v != 16 {
+		t.Fatalf("after two samples: %d, want 16", v)
+	}
+	if s.Reliable() {
+		t.Fatal("one stride must not be reliable yet")
+	}
+	s.Observe(16)
+	s.Observe(19)
+	if !s.Reliable() {
+		t.Fatal("repeated stride must become reliable")
+	}
+	if v, _ := s.Predict(); v != 22 {
+		t.Fatalf("prediction = %d, want 22", v)
+	}
+}
+
+// TestStrideAlternatingDefeats checks that a 2-cycle keeps confidence
+// low: the stride flips sign every observation.
+func TestStrideAlternatingDefeats(t *testing.T) {
+	var s Stride
+	vals := []int64{5, 9, 5, 9, 5, 9, 5, 9}
+	for _, v := range vals {
+		s.Observe(v)
+	}
+	if s.Reliable() {
+		t.Fatal("alternating series must not be reliable")
+	}
+}
+
+// TestStrideQuick property: for any start and stride, after three
+// observations every further value is predicted exactly.
+func TestStrideQuick(t *testing.T) {
+	f := func(start int64, stride int16) bool {
+		var s Stride
+		v := start
+		st := int64(stride)
+		for i := 0; i < 3; i++ {
+			s.Observe(v)
+			v += st
+		}
+		for i := 0; i < 5; i++ {
+			p, ok := s.Predict()
+			if !ok || p != v {
+				return false
+			}
+			s.Observe(v)
+			v += st
+		}
+		return s.Reliable()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrideAccessors covers HaveLast/HaveStride transitions.
+func TestStrideAccessors(t *testing.T) {
+	var s Stride
+	if _, ok := s.HaveLast(); ok {
+		t.Fatal("HaveLast on empty")
+	}
+	if _, ok := s.HaveStride(); ok {
+		t.Fatal("HaveStride on empty")
+	}
+	s.Observe(4)
+	if v, ok := s.HaveLast(); !ok || v != 4 {
+		t.Fatal("HaveLast after one")
+	}
+	if _, ok := s.HaveStride(); ok {
+		t.Fatal("HaveStride after one")
+	}
+	s.Observe(7)
+	if d, ok := s.HaveStride(); !ok || d != 3 {
+		t.Fatalf("stride = %d, want 3", d)
+	}
+	if s.Samples() < 2 {
+		t.Fatal("samples")
+	}
+}

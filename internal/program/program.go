@@ -1,0 +1,95 @@
+// Package program holds static programs for the trace substrate: a flat
+// instruction sequence plus an optional symbol table, with validation and
+// disassembly helpers.
+package program
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dynloop/internal/isa"
+)
+
+// Program is an immutable-by-convention instruction sequence. Instruction i
+// lives at address isa.Addr(i). Execution starts at Entry.
+type Program struct {
+	// Name identifies the program in reports.
+	Name string
+	// Code is the instruction sequence.
+	Code []isa.Instr
+	// Entry is the address execution starts at.
+	Entry isa.Addr
+	// Symbols optionally labels addresses (functions, loop heads) for
+	// disassembly and debugging.
+	Symbols map[isa.Addr]string
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Code) }
+
+// At returns the instruction at address a. It panics if a is out of range,
+// mirroring a machine check; Validate catches ill-formed programs first.
+func (p *Program) At(a isa.Addr) *isa.Instr { return &p.Code[a] }
+
+// Validate checks static well-formedness: every control-transfer target is
+// in range, the entry point is in range, and the program is non-empty.
+// Returning an error (rather than panicking later) lets generators be
+// checked in tests.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("program %q: empty", p.Name)
+	}
+	if int(p.Entry) >= len(p.Code) {
+		return fmt.Errorf("program %q: entry %d out of range (%d instructions)", p.Name, p.Entry, len(p.Code))
+	}
+	for i := range p.Code {
+		in := &p.Code[i]
+		switch in.Kind {
+		case isa.KindBranch, isa.KindJump, isa.KindCall:
+			if int(in.Target) >= len(p.Code) {
+				return fmt.Errorf("program %q: instruction %d (%s) targets %d, out of range", p.Name, i, in, in.Target)
+			}
+		}
+		if in.Kind == isa.KindALU || in.Kind == isa.KindLoad || in.Kind == isa.KindSeq {
+			if in.Rd >= isa.NumRegs {
+				return fmt.Errorf("program %q: instruction %d (%s) writes register %d >= %d", p.Name, i, in, in.Rd, isa.NumRegs)
+			}
+		}
+	}
+	return nil
+}
+
+// Symbol returns the label at address a, if any.
+func (p *Program) Symbol(a isa.Addr) (string, bool) {
+	s, ok := p.Symbols[a]
+	return s, ok
+}
+
+// Disassemble renders the whole program as readable assembly with labels.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %q, %d instructions, entry @%d\n", p.Name, len(p.Code), p.Entry)
+	for i := range p.Code {
+		a := isa.Addr(i)
+		if s, ok := p.Symbols[a]; ok {
+			fmt.Fprintf(&b, "%s:\n", s)
+		}
+		fmt.Fprintf(&b, "  %4d  %s\n", i, p.Code[i].String())
+	}
+	return b.String()
+}
+
+// SymbolList returns the symbols sorted by address, for stable output.
+func (p *Program) SymbolList() []string {
+	addrs := make([]isa.Addr, 0, len(p.Symbols))
+	for a := range p.Symbols {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	out := make([]string, len(addrs))
+	for i, a := range addrs {
+		out[i] = fmt.Sprintf("@%d %s", a, p.Symbols[a])
+	}
+	return out
+}

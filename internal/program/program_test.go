@@ -1,0 +1,69 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"dynloop/internal/isa"
+)
+
+// TestValidateCatchesBadTargets covers every validation path.
+func TestValidate(t *testing.T) {
+	ok := &Program{Name: "ok", Code: []isa.Instr{isa.Jump(1), isa.Halt()}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	cases := map[string]*Program{
+		"empty":        {Name: "e"},
+		"entry-range":  {Name: "e", Code: []isa.Instr{isa.Halt()}, Entry: 5},
+		"branch-range": {Name: "e", Code: []isa.Instr{isa.Branch(isa.CondEQZ, 0, 9)}},
+		"jump-range":   {Name: "e", Code: []isa.Instr{isa.Jump(9)}},
+		"call-range":   {Name: "e", Code: []isa.Instr{isa.Call(9)}},
+		"bad-reg":      {Name: "e", Code: []isa.Instr{isa.MovI(isa.NumRegs, 0)}},
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: invalid program accepted", name)
+		}
+	}
+}
+
+// TestAccessors covers Len/At/Symbol.
+func TestAccessors(t *testing.T) {
+	p := &Program{
+		Name:    "t",
+		Code:    []isa.Instr{isa.Nop(), isa.Halt()},
+		Symbols: map[isa.Addr]string{1: "end"},
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	if p.At(1).Kind != isa.KindHalt {
+		t.Fatal("At(1) wrong")
+	}
+	if s, ok := p.Symbol(1); !ok || s != "end" {
+		t.Fatal("symbol lookup failed")
+	}
+	if _, ok := p.Symbol(0); ok {
+		t.Fatal("phantom symbol")
+	}
+}
+
+// TestDisassembleFormat checks labels and instruction lines appear.
+func TestDisassembleFormat(t *testing.T) {
+	p := &Program{
+		Name:    "demo",
+		Code:    []isa.Instr{isa.MovI(1, 5), isa.Branch(isa.CondNEZ, 1, 0), isa.Halt()},
+		Symbols: map[isa.Addr]string{0: "loop"},
+	}
+	d := p.Disassemble()
+	for _, want := range []string{"loop:", "movi r1, 5", "br.nez r1, @0", "halt", `program "demo"`} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+	syms := p.SymbolList()
+	if len(syms) != 1 || !strings.Contains(syms[0], "loop") {
+		t.Errorf("symbol list: %v", syms)
+	}
+}

@@ -1,0 +1,158 @@
+// Package report renders experiment results as aligned ASCII tables,
+// horizontal bar charts (the "figures") and CSV, using only the standard
+// library.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with 2
+// decimals.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Render writes the formatted table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.title != "" {
+		fmt.Fprintf(w, "%s\n", t.title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			// Right-align numbers-ish columns, left-align the first.
+			if i == 0 {
+				fmt.Fprintf(w, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(w, "%*s", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// CSV renders the table as comma-separated values (quotes are not needed
+// for our numeric content).
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.headers, ","))
+	for _, r := range t.rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}
+
+// Bars renders a horizontal bar chart: one labelled bar per value, scaled
+// to width characters at max(values). Log-scale rendering is available
+// for Figure-5-style spreads via BarsLog.
+func Bars(title string, width int, labels []string, values []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	for i, v := range values {
+		n := int(v / maxV * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "  %-*s %10.2f |%s\n", maxL, labels[i], v, strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// BarsLog renders bars on a log10 scale (for spreads over orders of
+// magnitude, like the infinite-TU TPC of Figure 5).
+func BarsLog(title string, width int, labels []string, values []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (log scale)\n", title)
+	maxLog := 0.0
+	maxL := 0
+	logs := make([]float64, len(values))
+	for i, v := range values {
+		if v < 1 {
+			v = 1
+		}
+		logs[i] = log10(v)
+		if logs[i] > maxLog {
+			maxLog = logs[i]
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxLog <= 0 {
+		maxLog = 1
+	}
+	for i := range values {
+		n := int(logs[i] / maxLog * float64(width))
+		fmt.Fprintf(&b, "  %-*s %12.1f |%s\n", maxL, labels[i], values[i], strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+func log10(v float64) float64 { return math.Log10(v) }

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableAlignment checks headers, separator and column alignment.
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("title", "name", "value")
+	tb.AddRow("a", 1)
+	tb.AddRow("longer", 123.456)
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Fatalf("title line: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header line: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Fatalf("separator line: %q", lines[2])
+	}
+	if !strings.Contains(s, "123.46") {
+		t.Fatalf("float not formatted to 2 decimals:\n%s", s)
+	}
+	// All data lines must have equal rendered width per column block:
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+}
+
+// TestTableCSV checks the CSV rendering.
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x", 2)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	want := "a,b\nx,2\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+// TestBarsScaling checks bars scale to the maximum value.
+func TestBarsScaling(t *testing.T) {
+	s := Bars("chart", 10, []string{"small", "big"}, []float64{1, 2})
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if !strings.HasSuffix(lines[2], strings.Repeat("#", 10)) {
+		t.Fatalf("max bar not full width: %q", lines[2])
+	}
+	small := strings.Count(lines[1], "#")
+	if small != 5 {
+		t.Fatalf("small bar = %d hashes, want 5", small)
+	}
+}
+
+// TestBarsLogOrdering checks log bars keep order across magnitudes.
+func TestBarsLog(t *testing.T) {
+	s := BarsLog("chart", 20, []string{"ten", "thousand"}, []float64{10, 1000})
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	ten := strings.Count(lines[1], "#")
+	thousand := strings.Count(lines[2], "#")
+	if thousand != 20 || ten >= thousand || ten == 0 {
+		t.Fatalf("log bars: ten=%d thousand=%d", ten, thousand)
+	}
+	// Sub-1 values are clamped, not negative.
+	s = BarsLog("chart", 20, []string{"tiny"}, []float64{0.5})
+	if strings.Contains(s, "panic") {
+		t.Fatal("log bars broke on sub-1 values")
+	}
+}
+
+// TestBarsZero checks the degenerate all-zero case.
+func TestBarsZero(t *testing.T) {
+	s := Bars("chart", 10, []string{"z"}, []float64{0})
+	if !strings.Contains(s, "0.00") {
+		t.Fatalf("zero bar: %q", s)
+	}
+}

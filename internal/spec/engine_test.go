@@ -1,0 +1,291 @@
+package spec
+
+import (
+	"testing"
+
+	"dynloop/internal/builder"
+	"dynloop/internal/harness"
+	"dynloop/internal/isa"
+	"dynloop/internal/loopdet"
+	"dynloop/internal/trace"
+)
+
+// checker asserts the TU-conservation invariant after every observer
+// event.
+type checker struct {
+	loopdet.NopObserver
+	t *testing.T
+	e *Engine
+}
+
+func (c *checker) ExecStart(x *loopdet.Exec) { c.check() }
+func (c *checker) IterStart(x *loopdet.Exec, i uint64) {
+	c.check()
+}
+func (c *checker) ExecEnd(x *loopdet.Exec, r loopdet.EndReason, i uint64) {
+	c.check()
+}
+func (c *checker) check() {
+	c.t.Helper()
+	if err := c.e.CheckInvariant(); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+// runSpec executes the unit with an engine attached (plus the invariant
+// checker) and returns the metrics.
+func runSpec(t *testing.T, u *builder.Unit, cfg Config) Metrics {
+	t.Helper()
+	e := NewEngine(cfg)
+	chk := &checker{t: t, e: e}
+	res, err := harness.Run(u, harness.Config{}, e, chk)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Halted {
+		t.Fatalf("program did not halt")
+	}
+	m := e.Metrics()
+	if m.Anomalies != 0 {
+		t.Fatalf("engine anomalies: %d", m.Anomalies)
+	}
+	// The infinite machine represents "all future iterations" virtually,
+	// so per-thread conservation only holds for finite configurations.
+	if cfg.TUs > 0 && m.ThreadsSpawned != m.ThreadsPromoted+m.ThreadsSquashed+m.ThreadsFlushed {
+		t.Fatalf("thread conservation: spawned=%d promoted=%d squashed=%d flushed=%d",
+			m.ThreadsSpawned, m.ThreadsPromoted, m.ThreadsSquashed, m.ThreadsFlushed)
+	}
+	return m
+}
+
+// singleLoop builds one counted loop with the given trip and body size.
+func singleLoop(t *testing.T, trip int64, work int) *builder.Unit {
+	t.Helper()
+	b := builder.New("single", 7)
+	b.CountedLoop(builder.TripImm(trip), builder.LoopOpt{}, func() { b.Work(work) })
+	u, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// TestNoLoopsTPCOne: a straight-line program gets TPC exactly 1.
+func TestNoLoopsTPCOne(t *testing.T) {
+	b := builder.New("line", 1)
+	b.Work(500)
+	u, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runSpec(t, u, Config{TUs: 4, Policy: Idle()})
+	if m.Instrs != m.Cycles {
+		t.Fatalf("instrs=%d cycles=%d, want equal", m.Instrs, m.Cycles)
+	}
+	if m.SpecEvents != 0 || m.ThreadsSpawned != 0 {
+		t.Fatalf("speculation on straight-line code: %+v", m)
+	}
+}
+
+// TestSingleTU: with one TU there is never an idle unit to speculate on.
+func TestSingleTU(t *testing.T) {
+	m := runSpec(t, singleLoop(t, 100, 20), Config{TUs: 1, Policy: Idle()})
+	if m.TPC() != 1 {
+		t.Fatalf("TPC = %v, want exactly 1", m.TPC())
+	}
+	if m.ThreadsSpawned != 0 {
+		t.Fatalf("threads spawned with 1 TU: %d", m.ThreadsSpawned)
+	}
+}
+
+// TestSteadyStateIdle: a long regular loop keeps 4 TUs nearly saturated.
+func TestSteadyStateIdle(t *testing.T) {
+	m := runSpec(t, singleLoop(t, 400, 50), Config{TUs: 4, Policy: Idle()})
+	tpc := m.TPC()
+	if tpc < 3.2 || tpc > 4.001 {
+		t.Fatalf("TPC = %.3f, want ~4 (steady state)", tpc)
+	}
+}
+
+// TestTPCMonotonicInTUs: more TUs never hurt on a regular loop.
+func TestTPCMonotonicInTUs(t *testing.T) {
+	u := singleLoop(t, 600, 30)
+	prev := 0.0
+	for _, tus := range []int{1, 2, 4, 8} {
+		m := runSpec(t, u, Config{TUs: tus, Policy: Idle()})
+		tpc := m.TPC()
+		if tpc+1e-9 < prev {
+			t.Fatalf("TPC dropped when adding TUs: %v -> %v at %d TUs", prev, tpc, tus)
+		}
+		if tpc > float64(tus)+1e-9 {
+			t.Fatalf("TPC %v exceeds TU count %d", tpc, tus)
+		}
+		prev = tpc
+	}
+}
+
+// TestInfiniteMachine: with unlimited TUs a loop of N equal iterations
+// reaches TPC about N/2 (iteration 1 is undetected and iteration 2 runs
+// non-speculatively; everything later overlaps them).
+func TestInfiniteMachine(t *testing.T) {
+	m := runSpec(t, singleLoop(t, 100, 30), Config{TUs: 0})
+	tpc := m.TPC()
+	if tpc < 35 || tpc > 52 {
+		t.Fatalf("infinite TPC = %.1f, want ~50", tpc)
+	}
+	// And it must beat any finite configuration.
+	m4 := runSpec(t, singleLoop(t, 100, 30), Config{TUs: 4, Policy: Idle()})
+	if tpc <= m4.TPC() {
+		t.Fatalf("infinite TPC %.2f <= 4-TU TPC %.2f", tpc, m4.TPC())
+	}
+}
+
+// repeatedInner builds a kernel function holding one constant-trip loop,
+// called `outer` times from straight-line code. Repeated executions warm
+// the LET without an enclosing loop competing for TUs (an enclosing
+// driver loop would monopolise speculation — the starvation the paper's
+// STR(i) policy exists to fix; TestSTRiSquashesOuter covers that side).
+func repeatedInner(t *testing.T, outer int, inner int64) *builder.Unit {
+	t.Helper()
+	b := builder.New("nest", 3)
+	f := b.Func("kernel", func() {
+		b.Work(6)
+		b.CountedLoop(builder.TripImm(inner), builder.LoopOpt{}, func() { b.Work(10) })
+		b.Work(6)
+	})
+	for i := 0; i < outer; i++ {
+		b.Call(f)
+	}
+	u, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// TestSTRBeatsIdleOnHitRatio: on constant-trip inner loops, STR stops
+// speculating at the predicted boundary while IDLE runs past it and gets
+// squashed.
+func TestSTRBeatsIdleOnHitRatio(t *testing.T) {
+	u := repeatedInner(t, 40, 8)
+	idle := runSpec(t, u, Config{TUs: 4, Policy: Idle()})
+	str := runSpec(t, u, Config{TUs: 4, Policy: STR()})
+	if str.HitRatio() <= idle.HitRatio() {
+		t.Fatalf("STR hit %.1f%% <= IDLE hit %.1f%%", str.HitRatio(), idle.HitRatio())
+	}
+	if str.HitRatio() < 85 {
+		t.Fatalf("STR hit ratio %.1f%%, want > 85%% on constant trips", str.HitRatio())
+	}
+	if idle.ThreadsSquashed <= str.ThreadsSquashed {
+		t.Fatalf("squashes: idle=%d str=%d", idle.ThreadsSquashed, str.ThreadsSquashed)
+	}
+}
+
+// TestVerifDistancePositive: threads resolve after a positive number of
+// instructions.
+func TestVerifDistancePositive(t *testing.T) {
+	m := runSpec(t, singleLoop(t, 50, 20), Config{TUs: 4, Policy: Idle()})
+	if m.ResolvedThreads == 0 || m.InstrToVerif() <= 0 {
+		t.Fatalf("verif distance: %+v", m)
+	}
+	if m.ThreadsPerSpec() <= 0 {
+		t.Fatalf("threads/spec = %v", m.ThreadsPerSpec())
+	}
+}
+
+// feedEngine drives hand-written control steps through a detector with
+// the engine attached (for scenarios the builder will not emit).
+func feedEngine(t *testing.T, e *Engine, steps []struct {
+	pc, target isa.Addr
+	taken      bool
+}) {
+	t.Helper()
+	d := loopdet.New(loopdet.Config{Capacity: 16})
+	d.AddObserver(e)
+	var ev trace.Event
+	for i, s := range steps {
+		in := isa.Branch(isa.CondNEZ, 2, s.target)
+		ev = trace.Event{Index: uint64(i), PC: s.pc, Instr: &in, Taken: s.taken}
+		if s.taken {
+			ev.Target = s.target
+		}
+		d.Consume(&ev)
+		if err := e.CheckInvariant(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Flush()
+}
+
+// TestSTRiSquashesOuter: with STR(1), detecting a second non-speculated
+// loop inside a speculated outer squashes the outer's threads so inner
+// loops can use the TUs.
+func TestSTRiSquashesOuter(t *testing.T) {
+	e := NewEngine(Config{TUs: 4, Policy: STRn(1)})
+	feedEngine(t, e, []struct {
+		pc, target isa.Addr
+		taken      bool
+	}{
+		{90, 10, true}, // outer detected; spawns 3 threads (no LET info -> idle rule)
+		{80, 20, true}, // inner 1 detected: 1 non-speculated nested loop, within limit
+		{70, 30, true}, // inner 2 detected: 2 > limit -> squash outer's threads
+	})
+	m := e.Metrics()
+	if m.ThreadsSquashed != 3 {
+		t.Fatalf("squashed = %d, want 3 (outer's threads)", m.ThreadsSquashed)
+	}
+	// The freed TUs were re-used for the innermost loop and flushed at
+	// the end.
+	if m.ThreadsFlushed == 0 {
+		t.Fatalf("expected flushed inner threads, got %+v", m)
+	}
+}
+
+// TestSTRnString covers policy naming.
+func TestSTRnString(t *testing.T) {
+	cases := map[string]Policy{
+		"IDLE":   Idle(),
+		"STR":    STR(),
+		"STR(2)": STRn(2),
+	}
+	for want, p := range cases {
+		if p.String() != want {
+			t.Fatalf("String() = %q, want %q", p.String(), want)
+		}
+	}
+}
+
+// TestGuardedColdLoop: speculation across multiple executions of the same
+// loop reuses LET history (hit ratio improves after the first two
+// executions).
+func TestLETWarmup(t *testing.T) {
+	u := repeatedInner(t, 3, 12)
+	m := runSpec(t, u, Config{TUs: 8, Policy: STR()})
+	// 3 inner executions: the first two run blind (IDLE-like), the third
+	// is predicted. There must be at least one squash from the blind
+	// phase and a healthy overall hit ratio.
+	if m.ThreadsSquashed == 0 {
+		t.Fatalf("expected blind-phase squashes: %+v", m)
+	}
+	if m.HitRatio() < 50 {
+		t.Fatalf("hit ratio %.1f%% too low", m.HitRatio())
+	}
+}
+
+// TestDeterministicMetrics: identical runs give identical metrics.
+func TestDeterministicMetrics(t *testing.T) {
+	b := builder.New("rand", 99)
+	trip := b.UniformSeq(2, 20)
+	b.CountedLoop(builder.TripImm(60), builder.LoopOpt{}, func() {
+		b.CountedLoop(builder.TripSeq(trip), builder.LoopOpt{}, func() { b.Work(8) })
+	})
+	u, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := runSpec(t, u, Config{TUs: 4, Policy: STR()})
+	m2 := runSpec(t, u, Config{TUs: 4, Policy: STR()})
+	if m1 != m2 {
+		t.Fatalf("metrics diverged:\n%+v\n%+v", m1, m2)
+	}
+}

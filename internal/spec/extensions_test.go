@@ -1,0 +1,129 @@
+package spec
+
+import (
+	"testing"
+
+	"dynloop/internal/builder"
+	"dynloop/internal/harness"
+)
+
+// chaoticLoops builds a workload whose inner loop trips are uniformly
+// random — the worst case for the stride predictor, and exactly what the
+// §2.3.2 exclusion table is for.
+func chaoticLoops(t *testing.T) *builder.Unit {
+	t.Helper()
+	b := builder.New("chaos", 11)
+	bad := b.UniformSeq(1, 9)
+	good := int64(12)
+	kernel := b.Func("kernel", func() {
+		b.CountedLoop(builder.TripSeq(bad), builder.LoopOpt{}, func() { b.Work(8) })
+		b.CountedLoop(builder.TripImm(good), builder.LoopOpt{}, func() { b.Work(8) })
+	})
+	for i := 0; i < 400; i++ {
+		b.Call(kernel)
+	}
+	u, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func runEngine(t *testing.T, u *builder.Unit, cfg Config) Metrics {
+	t.Helper()
+	e := NewEngine(cfg)
+	if _, err := harness.Run(u, harness.Config{}, e); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.Anomalies != 0 {
+		t.Fatalf("anomalies: %d", m.Anomalies)
+	}
+	return m
+}
+
+// TestExclusionImprovesHitRatio: with the exclusion table on, the
+// chronically mispredicted loop stops wasting TUs and the hit ratio
+// rises.
+func TestExclusionImprovesHitRatio(t *testing.T) {
+	u := chaoticLoops(t)
+	off := runEngine(t, u, Config{TUs: 4, Policy: STR()})
+	// STR's bounded spawning keeps even a random-trip loop's PREDICTED
+	// threads near ~70-80% accuracy, so the exclusion bar sits above
+	// that (and well below the constant-trip loop's ~100%).
+	on := runEngine(t, u, Config{TUs: 4, Policy: STR(), Exclude: true, ExcludeThreshold: 0.85})
+	if on.DeniedSpawns == 0 || on.ExcludedLoops == 0 {
+		t.Fatalf("exclusion never triggered: %+v", on)
+	}
+	if on.HitRatio() <= off.HitRatio() {
+		t.Fatalf("hit ratio did not improve: on=%.1f off=%.1f", on.HitRatio(), off.HitRatio())
+	}
+	if on.ThreadsSquashed >= off.ThreadsSquashed {
+		t.Fatalf("squashes did not drop: on=%d off=%d", on.ThreadsSquashed, off.ThreadsSquashed)
+	}
+}
+
+// TestExclusionDisabledByDefault: the zero config never denies.
+func TestExclusionDisabledByDefault(t *testing.T) {
+	m := runEngine(t, chaoticLoops(t), Config{TUs: 4, Policy: STR()})
+	if m.DeniedSpawns != 0 || m.ExcludedLoops != 0 {
+		t.Fatalf("exclusion active without being enabled: %+v", m)
+	}
+}
+
+// TestOracleEliminatesSquashes: with perfect iteration counts, no thread
+// is ever squashed on a workload without STR(i) or early exits.
+func TestOracleEliminatesSquashes(t *testing.T) {
+	u := chaoticLoops(t)
+
+	// Pass 1: record the oracle.
+	rec := NewOracleRecorder()
+	if _, err := harness.Run(u, harness.Config{}, rec); err != nil {
+		t.Fatal(err)
+	}
+	counts := rec.Counts()
+	if len(counts) == 0 {
+		t.Fatal("oracle recorded nothing")
+	}
+
+	// Pass 2: speculate with the oracle.
+	blind := runEngine(t, u, Config{TUs: 4, Policy: STR()})
+	oracle := runEngine(t, u, Config{TUs: 4, Policy: STR(), OracleIters: counts})
+	if oracle.ThreadsSquashed != 0 {
+		t.Fatalf("oracle still squashed %d threads", oracle.ThreadsSquashed)
+	}
+	if oracle.HitRatio() != 100 {
+		t.Fatalf("oracle hit ratio = %.2f, want 100", oracle.HitRatio())
+	}
+	if oracle.TPC() < blind.TPC() {
+		t.Fatalf("oracle TPC %.2f below blind %.2f", oracle.TPC(), blind.TPC())
+	}
+}
+
+// TestOracleRecorderOrder: counts arrive in execution birth order.
+func TestOracleRecorderOrder(t *testing.T) {
+	b := builder.New("order", 1)
+	b.CountedLoop(builder.TripImm(3), builder.LoopOpt{}, func() {
+		b.CountedLoop(builder.TripImm(5), builder.LoopOpt{}, func() { b.Work(2) })
+	})
+	u, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewOracleRecorder()
+	if _, err := harness.Run(u, harness.Config{}, rec); err != nil {
+		t.Fatal(err)
+	}
+	// Birth order: inner (5 iters, detected first), outer (3), inner (5),
+	// inner (5).
+	want := []int{5, 3, 5, 5}
+	got := rec.Counts()
+	if len(got) != len(want) {
+		t.Fatalf("counts = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package trace defines the dynamic instruction event model that connects
+// the interpreter (the producer) to the loop detector, statistics
+// collectors and speculation engine (the consumers).
+//
+// The interpreter emits one Event per retired instruction. Events are
+// passed by pointer and reused by the producer: consumers must copy any
+// field they want to keep beyond the callback.
+package trace
+
+import "dynloop/internal/isa"
+
+// Event describes one retired dynamic instruction.
+type Event struct {
+	// Index is the 0-based dynamic instruction number.
+	Index uint64
+	// PC is the address of the instruction.
+	PC isa.Addr
+	// Instr points at the static instruction. The pointer stays valid for
+	// the lifetime of the program; only the Event struct itself is reused.
+	Instr *isa.Instr
+	// Taken reports the branch outcome; it is true for jumps, calls and
+	// returns.
+	Taken bool
+	// Target is the resolved control-transfer destination when Taken
+	// (for returns it is the popped return address). Zero otherwise.
+	Target isa.Addr
+
+	// The data facet, used by the §4 live-in statistics.
+
+	// WroteReg/WrittenReg/WrittenVal describe the register write, if any.
+	WroteReg   bool
+	WrittenReg isa.Reg
+	WrittenVal int64
+	// MemAddr is the effective address of a load or store.
+	MemAddr uint64
+	// MemVal is the value loaded or stored.
+	MemVal int64
+}
+
+// Consumer receives retired-instruction events.
+type Consumer interface {
+	// Consume processes one event. The pointee is reused by the producer
+	// after the call returns.
+	Consume(ev *Event)
+}
+
+// ConsumerFunc adapts a function to the Consumer interface.
+type ConsumerFunc func(ev *Event)
+
+// Consume calls f(ev).
+func (f ConsumerFunc) Consume(ev *Event) { f(ev) }
+
+// Tee fans one event stream out to several consumers in order.
+type Tee []Consumer
+
+// Consume forwards ev to every consumer in order.
+func (t Tee) Consume(ev *Event) {
+	for _, c := range t {
+		c.Consume(ev)
+	}
+}
+
+// Counter counts retired instructions by kind. The zero value is ready to
+// use.
+type Counter struct {
+	// Total is the number of events seen.
+	Total uint64
+	// ByKind counts events per instruction kind.
+	ByKind [16]uint64
+	// TakenBranches counts taken conditional branches.
+	TakenBranches uint64
+	// Branches counts all conditional branches.
+	Branches uint64
+}
+
+// Consume tallies the event.
+func (c *Counter) Consume(ev *Event) {
+	c.Total++
+	c.ByKind[ev.Instr.Kind]++
+	if ev.Instr.Kind == isa.KindBranch {
+		c.Branches++
+		if ev.Taken {
+			c.TakenBranches++
+		}
+	}
+}
+
+// Recorder stores copies of every event; it is a test helper.
+type Recorder struct {
+	// Events holds the copied events in order.
+	Events []Event
+}
+
+// Consume appends a copy of the event.
+func (r *Recorder) Consume(ev *Event) { r.Events = append(r.Events, *ev) }
+
+// Hash is a 64-bit FNV-1a accumulator over the control-flow facet of the
+// stream (PC, taken, target). Two runs with the same seed must produce the
+// same hash; determinism tests rely on it.
+type Hash struct {
+	// Sum is the running hash; read it after the run.
+	Sum uint64
+}
+
+// NewHash returns a Hash with the standard FNV-1a offset basis.
+func NewHash() *Hash { return &Hash{Sum: 14695981039346656037} }
+
+const fnvPrime = 1099511628211
+
+// Consume folds the event's control-flow fields into the hash.
+func (h *Hash) Consume(ev *Event) {
+	s := h.Sum
+	s = (s ^ uint64(ev.PC)) * fnvPrime
+	t := uint64(0)
+	if ev.Taken {
+		t = 1
+	}
+	s = (s ^ t) * fnvPrime
+	s = (s ^ uint64(ev.Target)) * fnvPrime
+	h.Sum = s
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"testing"
+
+	"dynloop/internal/isa"
+)
+
+func ev(pc isa.Addr, in isa.Instr, taken bool) *Event {
+	e := &Event{PC: pc, Instr: &in, Taken: taken}
+	if taken {
+		e.Target = in.Target
+	}
+	return e
+}
+
+// TestTeeOrder checks fan-out order and completeness.
+func TestTeeOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) Consumer {
+		return ConsumerFunc(func(*Event) { order = append(order, name) })
+	}
+	tee := Tee{mk("a"), mk("b"), mk("c")}
+	tee.Consume(ev(0, isa.Nop(), false))
+	if len(order) != 3 || order[0] != "a" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// TestCounter checks per-kind tallies and branch accounting.
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Consume(ev(0, isa.Nop(), false))
+	c.Consume(ev(1, isa.Branch(isa.CondEQZ, 1, 0), true))
+	c.Consume(ev(2, isa.Branch(isa.CondEQZ, 1, 0), false))
+	c.Consume(ev(3, isa.Jump(0), true))
+	if c.Total != 4 {
+		t.Fatalf("total = %d", c.Total)
+	}
+	if c.Branches != 2 || c.TakenBranches != 1 {
+		t.Fatalf("branches %d/%d", c.TakenBranches, c.Branches)
+	}
+	if c.ByKind[isa.KindJump] != 1 || c.ByKind[isa.KindNop] != 1 {
+		t.Fatalf("by kind: %v", c.ByKind)
+	}
+}
+
+// TestRecorder checks events are copied, not aliased.
+func TestRecorder(t *testing.T) {
+	var r Recorder
+	e := ev(5, isa.Jump(2), true)
+	r.Consume(e)
+	e.PC = 99 // mutate the producer's reused event
+	if r.Events[0].PC != 5 {
+		t.Fatal("recorder aliased the reused event")
+	}
+}
+
+// TestHashSensitivity: the hash must react to PC, taken and target, and
+// be reproducible.
+func TestHashSensitivity(t *testing.T) {
+	sum := func(events ...*Event) uint64 {
+		h := NewHash()
+		for _, e := range events {
+			h.Consume(e)
+		}
+		return h.Sum
+	}
+	base := sum(ev(1, isa.Jump(2), true))
+	if base != sum(ev(1, isa.Jump(2), true)) {
+		t.Fatal("hash not reproducible")
+	}
+	if base == sum(ev(2, isa.Jump(2), true)) {
+		t.Fatal("hash ignores PC")
+	}
+	if base == sum(ev(1, isa.Jump(3), true)) {
+		t.Fatal("hash ignores target")
+	}
+	if base == sum(ev(1, isa.Branch(isa.CondEQZ, 0, 2), false)) {
+		t.Fatal("hash ignores taken")
+	}
+}

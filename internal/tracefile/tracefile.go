@@ -1,0 +1,288 @@
+// Package tracefile records and replays instruction traces. It is the
+// analogue of the paper's ATOM methodology: run a program once, keep the
+// trace, and drive the loop detector and its consumers from the file as
+// many times as needed (e.g. to sweep table sizes without re-executing).
+//
+// Format (little-endian, varint-based):
+//
+//	magic "DLTRACE1\n"
+//	program: name length+bytes, entry, instruction count,
+//	         then each instruction's fields as uvarints
+//	events:  one record per retired instruction —
+//	         tag byte (bit0 taken, bit1 wroteReg, bit2 hasMem),
+//	         uvarint pc, then the optional fields
+//	trailer: tag 0xFF, uvarint event count (integrity check)
+//
+// The program is embedded so a reader can resolve trace.Event.Instr
+// pointers without the original workload generator.
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dynloop/internal/isa"
+	"dynloop/internal/program"
+	"dynloop/internal/trace"
+)
+
+const magic = "DLTRACE1\n"
+
+const (
+	tagTaken    = 1 << 0
+	tagWroteReg = 1 << 1
+	tagHasMem   = 1 << 2
+	tagTrailer  = 0xFF
+)
+
+// ErrCorrupt reports a malformed or truncated trace file.
+var ErrCorrupt = errors.New("tracefile: corrupt or truncated trace")
+
+// Writer streams events to an underlying io.Writer. It implements
+// trace.Consumer; check Err or Close for deferred I/O errors.
+type Writer struct {
+	w      *bufio.Writer
+	buf    []byte
+	events uint64
+	err    error
+}
+
+// NewWriter writes the header (including the program image) and returns
+// a Writer ready to consume events.
+func NewWriter(w io.Writer, p *program.Program) (*Writer, error) {
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := tw.w.WriteString(magic); err != nil {
+		return nil, err
+	}
+	tw.putUvarint(uint64(len(p.Name)))
+	tw.w.WriteString(p.Name)
+	tw.putUvarint(uint64(p.Entry))
+	tw.putUvarint(uint64(len(p.Code)))
+	for i := range p.Code {
+		in := &p.Code[i]
+		tw.putUvarint(uint64(in.Kind))
+		tw.putUvarint(uint64(in.Op))
+		tw.putUvarint(uint64(in.Cond))
+		tw.putUvarint(uint64(in.Rd))
+		tw.putUvarint(uint64(in.Rs1))
+		tw.putUvarint(uint64(in.Rs2))
+		tw.putVarint(in.Imm)
+		tw.putUvarint(uint64(in.Target))
+	}
+	return tw, tw.err
+}
+
+func (tw *Writer) putUvarint(v uint64) {
+	if tw.err != nil {
+		return
+	}
+	tw.buf = binary.AppendUvarint(tw.buf[:0], v)
+	_, err := tw.w.Write(tw.buf)
+	if err != nil {
+		tw.err = err
+	}
+}
+
+func (tw *Writer) putVarint(v int64) {
+	if tw.err != nil {
+		return
+	}
+	tw.buf = binary.AppendVarint(tw.buf[:0], v)
+	_, err := tw.w.Write(tw.buf)
+	if err != nil {
+		tw.err = err
+	}
+}
+
+// Consume implements trace.Consumer: append one event record.
+func (tw *Writer) Consume(ev *trace.Event) {
+	if tw.err != nil {
+		return
+	}
+	var tag byte
+	if ev.Taken {
+		tag |= tagTaken
+	}
+	if ev.WroteReg {
+		tag |= tagWroteReg
+	}
+	hasMem := ev.Instr.Kind == isa.KindLoad || ev.Instr.Kind == isa.KindStore
+	if hasMem {
+		tag |= tagHasMem
+	}
+	if err := tw.w.WriteByte(tag); err != nil {
+		tw.err = err
+		return
+	}
+	tw.putUvarint(uint64(ev.PC))
+	if ev.Taken {
+		tw.putUvarint(uint64(ev.Target))
+	}
+	if ev.WroteReg {
+		tw.putUvarint(uint64(ev.WrittenReg))
+		tw.putVarint(ev.WrittenVal)
+	}
+	if hasMem {
+		tw.putUvarint(ev.MemAddr)
+		tw.putVarint(ev.MemVal)
+	}
+	tw.events++
+}
+
+// Err returns the first I/O error encountered, if any.
+func (tw *Writer) Err() error { return tw.err }
+
+// Close writes the trailer and flushes. The Writer must not be used
+// afterwards.
+func (tw *Writer) Close() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if err := tw.w.WriteByte(tagTrailer); err != nil {
+		return err
+	}
+	tw.putUvarint(tw.events)
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// Events returns the number of events written so far.
+func (tw *Writer) Events() uint64 { return tw.events }
+
+// Reader replays a recorded trace.
+type Reader struct {
+	r    *bufio.Reader
+	prog *program.Program
+}
+
+// NewReader parses the header and embedded program.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil || string(head) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: name", ErrCorrupt)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: name bytes", ErrCorrupt)
+	}
+	entry, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: entry", ErrCorrupt)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: instruction count", ErrCorrupt)
+	}
+	const maxInstrs = 64 << 20
+	if count > maxInstrs {
+		return nil, fmt.Errorf("%w: program too large (%d instructions)", ErrCorrupt, count)
+	}
+	code := make([]isa.Instr, count)
+	for i := range code {
+		in := &code[i]
+		u := func() uint64 {
+			v, e := binary.ReadUvarint(br)
+			if e != nil && err == nil {
+				err = e
+			}
+			return v
+		}
+		v := func() int64 {
+			v, e := binary.ReadVarint(br)
+			if e != nil && err == nil {
+				err = e
+			}
+			return v
+		}
+		in.Kind = isa.Kind(u())
+		in.Op = isa.ALUOp(u())
+		in.Cond = isa.Cond(u())
+		in.Rd = isa.Reg(u())
+		in.Rs1 = isa.Reg(u())
+		in.Rs2 = isa.Reg(u())
+		in.Imm = v()
+		in.Target = isa.Addr(u())
+		if err != nil {
+			return nil, fmt.Errorf("%w: instruction %d", ErrCorrupt, i)
+		}
+	}
+	p := &program.Program{Name: string(name), Code: code, Entry: isa.Addr(entry)}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: embedded program: %v", ErrCorrupt, err)
+	}
+	return &Reader{r: br, prog: p}, nil
+}
+
+// Program returns the embedded program image.
+func (r *Reader) Program() *program.Program { return r.prog }
+
+// Replay streams every recorded event to sink and returns the event
+// count. The trailer count is verified.
+func (r *Reader) Replay(sink trace.Consumer) (uint64, error) {
+	var ev trace.Event
+	var n uint64
+	for {
+		tag, err := r.r.ReadByte()
+		if err != nil {
+			return n, fmt.Errorf("%w: missing trailer", ErrCorrupt)
+		}
+		if tag == tagTrailer {
+			want, err := binary.ReadUvarint(r.r)
+			if err != nil || want != n {
+				return n, fmt.Errorf("%w: trailer count %d != %d", ErrCorrupt, want, n)
+			}
+			return n, nil
+		}
+		pc, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return n, fmt.Errorf("%w: pc", ErrCorrupt)
+		}
+		if pc >= uint64(len(r.prog.Code)) {
+			return n, fmt.Errorf("%w: pc %d out of range", ErrCorrupt, pc)
+		}
+		ev = trace.Event{Index: n, PC: isa.Addr(pc), Instr: &r.prog.Code[pc]}
+		if tag&tagTaken != 0 {
+			t, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return n, fmt.Errorf("%w: target", ErrCorrupt)
+			}
+			ev.Taken, ev.Target = true, isa.Addr(t)
+		}
+		if tag&tagWroteReg != 0 {
+			reg, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return n, fmt.Errorf("%w: reg", ErrCorrupt)
+			}
+			val, err := binary.ReadVarint(r.r)
+			if err != nil {
+				return n, fmt.Errorf("%w: reg value", ErrCorrupt)
+			}
+			ev.WroteReg, ev.WrittenReg, ev.WrittenVal = true, isa.Reg(reg), val
+		}
+		if tag&tagHasMem != 0 {
+			addr, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return n, fmt.Errorf("%w: mem addr", ErrCorrupt)
+			}
+			val, err := binary.ReadVarint(r.r)
+			if err != nil {
+				return n, fmt.Errorf("%w: mem value", ErrCorrupt)
+			}
+			ev.MemAddr, ev.MemVal = addr, val
+		}
+		if sink != nil {
+			sink.Consume(&ev)
+		}
+		n++
+	}
+}

@@ -1,0 +1,69 @@
+package workload
+
+import "dynloop/internal/builder"
+
+// applu — 110.applu: parabolic/elliptic PDE solver (SSOR on 5x5 blocks).
+// Paper profile: 189 static loops, only 3.50 iter/exec, 261.1 instr/iter,
+// nesting 5.16 avg / 7 max; Table 2: TPC 2.21 with the suite's WORST hit
+// ratio, 54.51%. The structure behind that: deep nests whose trips are
+// small AND wobble between executions (block sizes, wavefront lengths),
+// so the stride predictor is wrong about half the time and speculative
+// threads are squashed constantly.
+func init() {
+	register(Benchmark{
+		Name:        "applu",
+		Suite:       "fp",
+		Description: "deep SSOR nests with small jittery trips (worst-case STR)",
+		Paper:       PaperRow{189, 3.50, 261.08, 5.16, 7, 2.21, 54.51},
+		Build:       buildApplu,
+	})
+}
+
+func buildApplu(seed uint64) (*builder.Unit, error) {
+	b := builder.New("applu", seed)
+	setupBases(b)
+
+	loopFarm(b, 110,
+		func(i int) builder.Trip { return builder.TripImm(int64(2 + i%5)) },
+		func(i int) int { return 12 + i%10 })
+
+	// Wavefront trips wobble in 2..6: small, irregular, hostile to the
+	// stride predictor.
+	w1 := b.UniformSeq(2, 6)
+	w2 := b.UniformSeq(2, 6)
+	w3 := b.UniformSeq(2, 5)
+	w4 := b.UniformSeq(2, 5)
+
+	// The lower/upper triangular sweeps: 5-deep nests of jittery small
+	// trips with dense 5x5 block arithmetic at the leaves.
+	sweep := func(name string, a, bq int64) builder.FuncRef {
+		return b.Func(name, func() {
+			b.CountedLoop(builder.TripSeq(w1), builder.LoopOpt{}, func() {
+				b.Work(24)
+				b.CountedLoop(builder.TripSeq(w2), builder.LoopOpt{}, func() {
+					b.Work(20)
+					b.CountedLoop(builder.TripSeq(w3), builder.LoopOpt{}, func() {
+						b.CountedLoop(builder.TripSeq(w4), builder.LoopOpt{}, func() {
+							b.CountedLoop(builder.TripImm(a), builder.LoopOpt{}, func() {
+								b.Work(int(bq)) // block solve
+							})
+						})
+					})
+				})
+			})
+		})
+	}
+	blts := sweep("blts", 3, 240)
+	buts := sweep("buts", 3, 250)
+	rhs := b.Func("rhs", func() {
+		stencil(b, builder.TripImm(4), builder.TripImm(24), 230, 24, 16)
+	})
+
+	b.CountedLoop(builder.TripImm(driverTrip), builder.LoopOpt{}, func() {
+		b.Work(60)
+		b.Call(rhs)
+		b.Call(blts)
+		b.Call(buts)
+	})
+	return b.Build()
+}

@@ -1,0 +1,53 @@
+package workload
+
+import "dynloop/internal/builder"
+
+// compress — 129.compress: LZW compression. Paper profile: 45 static
+// loops (fewest in the suite), 6.27 iter/exec, 84.7 instr/iter, nesting
+// 2.52/4; Table 2: TPC 3.23 and a 100.00% hit ratio. The 100% comes from
+// where the speculation lives: the byte-consuming main loop never
+// terminates inside the measurement window, so its speculative threads
+// are only ever confirmed (never squashed), and the short data-dependent
+// hash-probe loops never get a TU because the main loop's threads hold
+// them all.
+func init() {
+	register(Benchmark{
+		Name:        "compress",
+		Suite:       "int",
+		Description: "LZW: one endless byte loop + short hash probes",
+		Paper:       PaperRow{45, 6.27, 84.65, 2.52, 4, 3.23, 100.00},
+		Build:       buildCompress,
+	})
+}
+
+func buildCompress(seed uint64) (*builder.Unit, error) {
+	b := builder.New("compress", seed)
+	setupBases(b)
+
+	loopFarm(b, 30,
+		func(i int) builder.Trip { return builder.TripImm(int64(3 + i%7)) },
+		func(i int) int { return 10 + i%8 })
+
+	// Hash-chain probe: geometric length (collision chains).
+	probe := b.GeometricSeq(2, 0.62, 24)
+	input := b.UniformSeq(0, 255)
+	emit := b.BernoulliSeq(0.35)
+
+	// The main loop: one iteration per input byte; never ends within the
+	// budget.
+	b.CountedLoop(builder.TripImm(driverTrip), builder.LoopOpt{}, func() {
+		b.SetSeq(12, input) // next byte
+		b.Work(68)          // hash, compare, table update
+		b.CountedLoop(builder.TripSeq(probe), builder.LoopOpt{Guarded: true}, func() {
+			b.Work(38) // walk the collision chain
+		})
+		b.Work(40)
+		// Emit a code every few bytes: constant-trip bit loop.
+		b.IfSeq(emit, func() {
+			b.CountedLoop(builder.TripImm(8), builder.LoopOpt{}, func() {
+				b.Work(22)
+			})
+		}, nil)
+	})
+	return b.Build()
+}

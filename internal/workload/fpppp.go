@@ -1,0 +1,67 @@
+package workload
+
+import "dynloop/internal/builder"
+
+// fpppp — 145.fpppp: Gaussian quantum chemistry, two-electron integral
+// derivatives. Paper profile: 83 static loops, 3.05 iter/exec, a huge
+// 3217.8 instr/iter, nesting 6.66 avg / 9 max; Table 2: TPC 2.71 from
+// only 3417 speculation events with 191727 instructions to verification.
+// fpppp is famous for enormous straight-line basic blocks; loops are few,
+// short-tripped and deeply nested through call chains, and each
+// speculative thread is gigantic.
+func init() {
+	register(Benchmark{
+		Name:        "fpppp",
+		Suite:       "fp",
+		Description: "quantum chemistry: giant straight-line bodies, rare deep loops",
+		Paper:       PaperRow{83, 3.05, 3217.80, 6.66, 9, 2.71, 86.92},
+		Build:       buildFpppp,
+	})
+}
+
+func buildFpppp(seed uint64) (*builder.Unit, error) {
+	b := builder.New("fpppp", seed)
+	setupBases(b)
+
+	loopFarm(b, 40,
+		func(i int) builder.Trip { return builder.TripImm(int64(10 + i%8)) },
+		func(i int) int { return 20 + i%15 })
+
+	// The integral kernel: a gigantic straight-line block (the famous
+	// fpppp basic blocks run to thousands of instructions).
+	twoel := b.Func("twoel", func() {
+		b.Work(3000)
+		b.WorkMem(200, 24, 64)
+	})
+	// Shell-quartet drivers: deep nests of tiny trips, each leaf calling
+	// the giant kernel.
+	quartet := b.Func("quartet", func() {
+		b.CountedLoop(builder.TripImm(4), builder.LoopOpt{}, func() {
+			b.Work(40)
+			b.CountedLoop(builder.TripImm(3), builder.LoopOpt{}, func() {
+				b.Work(40)
+				b.CountedLoop(builder.TripImm(2), builder.LoopOpt{}, func() {
+					b.CountedLoop(builder.TripImm(2), builder.LoopOpt{}, func() {
+						b.CountedLoop(builder.TripImm(2), builder.LoopOpt{}, func() {
+							b.CountedLoop(builder.TripImm(2), builder.LoopOpt{}, func() {
+								b.Call(twoel)
+							})
+						})
+					})
+				})
+			})
+		})
+	})
+	// SCF iteration body with its own medium straight-line block.
+	scf := b.Func("scf", func() {
+		b.Work(1800)
+		vecLoop(b, builder.TripImm(12), 600, 25, 8)
+	})
+
+	b.CountedLoop(builder.TripImm(driverTrip), builder.LoopOpt{}, func() {
+		b.Work(200)
+		b.Call(quartet)
+		b.Call(scf)
+	})
+	return b.Build()
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"dynloop/internal/builder"
+	"dynloop/internal/interp"
+	"dynloop/internal/isa"
+)
+
+// gobench — 099.go: the Go-playing program (named gobench internally to
+// avoid clashing with the language). Paper profile: 709 static loops,
+// 3.76 iter/exec, 156.6 instr/iter, nesting 4.86 avg / 11 max (the
+// deepest); Table 2: the second-worst TPC (1.06) with a 71.17% hit ratio
+// and an enormous 69749-instruction verification distance. Game-tree
+// search: move loops inside a recursive searcher are cut short by
+// alpha-beta-style early returns, speculated move iterations carry whole
+// subtrees (hence the huge verification distance) and usually die.
+func init() {
+	register(Benchmark{
+		Name:        "go",
+		Suite:       "int",
+		Description: "game-tree search: recursive move loops with cutoffs",
+		Paper:       PaperRow{709, 3.76, 156.60, 4.86, 11, 1.06, 71.17},
+		Build:       buildGo,
+	})
+}
+
+func buildGo(seed uint64) (*builder.Unit, error) {
+	b := builder.New("go", seed)
+	setupBases(b)
+
+	// Board-evaluation helpers: lots of distinct static loops across many
+	// pattern matchers (this is where go's 709 statics come from).
+	loopFarm(b, 360,
+		func(i int) builder.Trip { return builder.TripImm(int64(2 + i%7)) },
+		func(i int) int { return 8 + i%14 })
+
+	rowScan := b.NoisySeq(func() interp.Sequence { return interp.Const(6) }, 3, 0.6)
+	group := b.GeometricSeq(1, 0.6, 12)
+	evalBoard := b.Func("eval_board", func() {
+		// Nested scans: row x chain x liberty walks (the depth that gives
+		// go the deepest nesting in the suite).
+		b.CountedLoop(builder.TripSeq(rowScan), builder.LoopOpt{}, func() {
+			b.Work(72)
+			b.CountedLoop(builder.TripSeq(group), builder.LoopOpt{}, func() {
+				b.Work(62)
+				b.CountedLoop(builder.TripImm(2), builder.LoopOpt{}, func() {
+					b.Work(20)
+				})
+			})
+		})
+	})
+
+	// The searcher: a move loop inside a recursive function with
+	// frequent cutoffs (early returns).
+	moves := b.BernoulliSeq(0.70)  // continue trying moves (mean ~3.3)
+	recurse := b.BernoulliSeq(0.5) // expand this move
+	cutoff := b.BernoulliSeq(0.24) // alpha-beta cutoff: return mid-loop
+	search := b.Declare("search")
+	b.Define(search, func() {
+		b.WhileSeq(moves, func() {
+			b.Work(108) // generate + rank one move
+			b.Call(evalBoard)
+			b.IfSeq(recurse, func() {
+				b.IfReg(isa.CondGTZ, 15, func() { // depth guard in r15
+					b.Advance(15, -1)
+					b.Call(search)
+					b.Advance(15, 1)
+				}, nil)
+			}, nil)
+			b.IfSeq(cutoff, func() { b.Return() }, nil)
+		})
+	})
+
+	// Loop-free driver: one game is a tree of move decisions, not a loop
+	// (see callTree) — the game loop in real go is far too coarse to
+	// iterate inside the measurement window.
+	callTree(b, 8, 8, func() {
+		b.Work(80)
+		b.MovI(15, 10)
+		b.Call(search)
+	})
+	return b.Build()
+}

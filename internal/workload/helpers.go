@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"dynloop/internal/builder"
+	"dynloop/internal/isa"
+)
+
+// Shared generator building blocks. Register conventions follow package
+// builder: r12–r15 benchmark data, r16–r23 straight-line work scratch,
+// r24–r27 memory bases.
+
+// driverTrip is the trip count of top-level time-step / transaction
+// loops: effectively infinite, the instruction budget cuts the run.
+const driverTrip = int64(1) << 40
+
+// vecLoop emits a single counted loop (a vector kernel): `work` ALU
+// instructions plus a strided memory touch per iteration. The base
+// register advances by `stride` per iteration, making the touched
+// addresses and values affine (stride-predictable live-ins).
+func vecLoop(b *builder.Builder, trip builder.Trip, work int, base isa.Reg, stride int64) {
+	b.CountedLoop(trip, builder.LoopOpt{}, func() {
+		b.LoadAt(20, base, 0)
+		b.Work(work)
+		b.StoreAt(base, 0, 16)
+		if stride != 0 {
+			b.Advance(base, stride)
+		}
+	})
+}
+
+// stencil emits a rows×cols rectangular nest: the outer loop walks rows
+// (advancing the base by rowStride), the inner loop does `work`
+// instructions and a memory touch per point.
+func stencil(b *builder.Builder, rows, cols builder.Trip, work int, base isa.Reg, rowStride int64) {
+	b.CountedLoop(rows, builder.LoopOpt{}, func() {
+		b.CountedLoop(cols, builder.LoopOpt{}, func() {
+			b.LoadAt(20, base, 1)
+			b.Work(work)
+			b.StoreAt(base, 2, 16)
+		})
+		if rowStride != 0 {
+			b.Advance(base, rowStride)
+		}
+	})
+}
+
+// loopFarm emits n sibling loops; trip and work are chosen per index so
+// the farm contributes n distinct static loops with varied behaviour.
+func loopFarm(b *builder.Builder, n int, trip func(i int) builder.Trip, work func(i int) int) {
+	for i := 0; i < n; i++ {
+		b.CountedLoop(trip(i), builder.LoopOpt{}, func() {
+			b.Work(work(i))
+		})
+	}
+}
+
+// interpOpts parametrise interpCore.
+type interpOpts struct {
+	// contProb is the per-iteration probability that the dispatch loop
+	// continues; execution lengths are geometric with mean 1/(1-p).
+	contProb float64
+	// recurseProb is the per-iteration probability of a recursive
+	// self-call (re-entering the dispatch loop one level deeper).
+	recurseProb float64
+	// returnProb is the per-iteration probability of an early return
+	// from INSIDE the dispatch-loop body — the event that kills the
+	// merged CLS entry (the paper's §2.2 recursion discussion) and
+	// squashes any speculation on it.
+	returnProb float64
+	// maxDepth bounds the recursion (kept in r15).
+	maxDepth int64
+	// dispatchWork is the straight-line cost of one dispatch.
+	dispatchWork int
+	// helpers, when non-nil, is invoked inside the body to emit
+	// benchmark-specific inner loops (argument scans, list walks).
+	helpers func()
+	// chaosSeq, when nonzero, injects a random draw per dispatch so
+	// live-in values are unpredictable.
+	chaos bool
+}
+
+// interpCore emits the recursive-interpreter skeleton shared by li, perl
+// and go: a dispatch loop inside a recursive function. Because the
+// recursive activation re-enters the same static loop, the CLS merges the
+// instantiations, and the early returns terminate the merged execution —
+// reproducing the short-lived, constantly-killed executions (low
+// iter/exec, low TPC, mediocre hit ratio) the paper reports for these
+// programs.
+func interpCore(b *builder.Builder, o interpOpts) builder.FuncRef {
+	cont := b.BernoulliSeq(o.contProb)
+	rec := b.BernoulliSeq(o.recurseProb)
+	ret := b.BernoulliSeq(o.returnProb)
+	var chaos int64
+	if o.chaos {
+		chaos = b.UniformSeq(0, 1<<30)
+	}
+	f := b.Declare("eval")
+	b.Define(f, func() {
+		b.WhileSeq(cont, func() {
+			b.Work(o.dispatchWork)
+			if o.chaos {
+				b.Chaos(chaos)
+			}
+			if o.helpers != nil {
+				o.helpers()
+			}
+			b.IfSeq(rec, func() {
+				// Depth-guarded recursion: r15 counts remaining depth.
+				b.IfReg(isa.CondGTZ, 15, func() {
+					b.Advance(15, -1)
+					b.Call(f)
+					b.Advance(15, 1)
+				}, nil)
+			}, nil)
+			b.IfSeq(ret, func() { b.Return() }, nil)
+		})
+	})
+	return f
+}
+
+// setupBases initialises the memory base registers r24..r27 to disjoint
+// heap regions.
+func setupBases(b *builder.Builder) {
+	for i := 0; i < 4; i++ {
+		b.MovI(isa.Reg(24+i), builder.HeapBase+int64(i)<<20)
+	}
+}
+
+// callTree emits a LOOP-FREE driver: depth tiers of functions, each
+// making branch inline calls into the tier below, with payload at the
+// leaves (branch^depth activations — far beyond any instruction budget).
+// The interpreters (li, perl, go) use it because their real top-level
+// control is a call tree, not a loop: with no driver loop on the CLS,
+// their nesting stays flat and nothing pipelines the whole program —
+// which is precisely why the paper measures them at TPC ~1-1.8.
+func callTree(b *builder.Builder, branch, depth int, payload func()) {
+	prev := b.Func("tier0", payload)
+	for k := 1; k <= depth; k++ {
+		callee := prev // capture this tier's target, not the loop variable
+		prev = b.Func("tier", func() {
+			for i := 0; i < branch; i++ {
+				b.Call(callee)
+			}
+		})
+	}
+	b.Call(prev)
+}

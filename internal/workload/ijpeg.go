@@ -1,0 +1,75 @@
+package workload
+
+import "dynloop/internal/builder"
+
+// ijpeg — 132.ijpeg: JPEG compression/decompression. Paper profile: 198
+// static loops, 20.75 iter/exec, 336.3 instr/iter, nesting 6.37 avg / 9
+// max (among the deepest); Table 2: TPC 2.36, 96.54% hit. Everything is
+// constant-trip (rows x cols x components x 8x8 blocks), so prediction
+// is easy; the deep nesting means speculation keeps shifting between
+// levels, which (with STR(3) squashing outer threads to feed inner
+// loops) caps the achieved TPC.
+func init() {
+	register(Benchmark{
+		Name:        "ijpeg",
+		Suite:       "int",
+		Description: "JPEG: deep constant-trip block nests (rows/cols/8x8)",
+		Paper:       PaperRow{198, 20.75, 336.26, 6.37, 9, 2.36, 96.54},
+		Build:       buildIjpeg,
+	})
+}
+
+func buildIjpeg(seed uint64) (*builder.Unit, error) {
+	b := builder.New("ijpeg", seed)
+	setupBases(b)
+
+	loopFarm(b, 115,
+		func(i int) builder.Trip { return builder.TripImm(int64(4 + i%13)) },
+		func(i int) int { return 10 + i%10 })
+
+	// Row pass over one component strip: real ijpeg fully unrolls the
+	// 8-point DCT, so the loops that remain are width-walks with fat
+	// (unrolled) bodies — that is where the paper's 336 instr/iter comes
+	// from.
+	rowPass := b.Func("row_pass", func() {
+		b.CountedLoop(builder.TripImm(24), builder.LoopOpt{}, func() {
+			b.Work(330) // one unrolled 8x8 block: DCT + quantise
+		})
+	})
+	// Entropy coding: a long bit-packing walk, with an occasional 8x8
+	// refinement nest (progressive mode).
+	refine := b.BernoulliSeq(0.25)
+	encode := b.Func("encode", func() {
+		b.CountedLoop(builder.TripImm(48), builder.LoopOpt{}, func() {
+			b.Work(130)
+		})
+		b.IfSeq(refine, func() {
+			b.CountedLoop(builder.TripImm(8), builder.LoopOpt{}, func() {
+				b.CountedLoop(builder.TripImm(8), builder.LoopOpt{}, func() {
+					b.Work(30)
+				})
+			})
+		}, nil)
+	})
+	// Process one MCU row: components x row passes (depth from driver:
+	// rows, components, row pass — with the encode nest reaching 6).
+	mcuRow := b.Func("mcu_row", func() {
+		b.CountedLoop(builder.TripImm(3), builder.LoopOpt{}, func() { // components
+			b.Call(rowPass)
+		})
+		b.Call(encode)
+	})
+	// Downsampling pass: regular 2-level averaging.
+	sample := b.Func("downsample", func() {
+		stencil(b, builder.TripImm(4), builder.TripImm(40), 90, 24, 16)
+	})
+
+	b.CountedLoop(builder.TripImm(driverTrip), builder.LoopOpt{}, func() { // images
+		b.Work(80)
+		b.CountedLoop(builder.TripImm(12), builder.LoopOpt{}, func() { // MCU rows
+			b.Call(mcuRow)
+		})
+		b.Call(sample)
+	})
+	return b.Build()
+}

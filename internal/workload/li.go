@@ -1,0 +1,77 @@
+package workload
+
+import "dynloop/internal/builder"
+
+// li — 130.li: XLISP interpreter. Paper profile: 94 static loops, 3.48
+// iter/exec, 107.8 instr/iter, nesting 5.15 avg / 10 max; Table 2: TPC
+// 1.75, 69.16% hit. The eval loop lives inside a deeply recursive
+// function: recursive re-entry merges into the same CLS entry (§2.2) and
+// early returns kill the merged execution, so executions are short and
+// speculation is squashed constantly. Depth comes from distinct
+// mutually-recursive walkers (eval, evlist, gc, property scans) stacking
+// their loops.
+func init() {
+	register(Benchmark{
+		Name:        "li",
+		Suite:       "int",
+		Description: "lisp interpreter: recursive eval loop, short merged executions",
+		Paper:       PaperRow{94, 3.48, 107.80, 5.15, 10, 1.75, 69.16},
+		Build:       buildLi,
+	})
+}
+
+func buildLi(seed uint64) (*builder.Unit, error) {
+	b := builder.New("li", seed)
+	setupBases(b)
+
+	loopFarm(b, 50,
+		func(i int) builder.Trip { return builder.TripImm(int64(2 + i%5)) },
+		func(i int) int { return 8 + i%10 })
+
+	// Helper walkers with their own small loops: these stack on the CLS
+	// under the eval loop, giving the deep average nesting.
+	args := b.GeometricSeq(2, 0.6, 10)
+	props := b.GeometricSeq(1, 0.5, 6)
+	gcMark := b.GeometricSeq(2, 0.7, 20)
+	gcTrig := b.BernoulliSeq(0.03)
+	walkProps := b.Func("getprop", func() {
+		b.CountedLoop(builder.TripSeq(props), builder.LoopOpt{}, func() {
+			b.Work(44)
+			b.CountedLoop(builder.TripImm(3), builder.LoopOpt{}, func() { b.Work(22) })
+		})
+	})
+	gc := b.Func("gc", func() {
+		b.CountedLoop(builder.TripSeq(gcMark), builder.LoopOpt{}, func() {
+			b.Work(70)
+			b.CountedLoop(builder.TripImm(4), builder.LoopOpt{}, func() {
+				b.Work(30)
+				b.CountedLoop(builder.TripImm(3), builder.LoopOpt{}, func() { b.Work(18) })
+			})
+		})
+	})
+
+	eval := interpCore(b, interpOpts{
+		contProb:     0.78, // mean execution ~3.5 iterations net of returns
+		recurseProb:  0.30,
+		returnProb:   0.20,
+		maxDepth:     9,
+		dispatchWork: 88,
+		chaos:        true,
+		helpers: func() {
+			b.CountedLoop(builder.TripSeq(args), builder.LoopOpt{}, func() {
+				b.Work(52) // evlist: walk the argument list
+			})
+			b.Call(walkProps)
+			b.IfSeq(gcTrig, func() { b.Call(gc) }, nil)
+		},
+	})
+
+	// Loop-free driver: the interpreter evaluates one program as a call
+	// tree (see callTree). Recursion depth resets per form.
+	callTree(b, 8, 8, func() {
+		b.Work(50) // reader
+		b.MovI(15, 9)
+		b.Call(eval)
+	})
+	return b.Build()
+}

@@ -1,0 +1,58 @@
+package workload
+
+import "dynloop/internal/builder"
+
+// m88ksim — 124.m88ksim: Motorola 88100 processor simulator. Paper
+// profile: 127 static loops, 9.38 iter/exec, a tiny 39.8 instr/iter,
+// nesting 1.98/5 (the flattest in the suite after perl); Table 2: TPC
+// 2.78, 97.32% hit. One endless instruction-dispatch loop with a small
+// body, plus constant-trip hardware-structure scans.
+func init() {
+	register(Benchmark{
+		Name:        "m88ksim",
+		Suite:       "int",
+		Description: "CPU simulator: endless dispatch loop, tiny body, flat nesting",
+		Paper:       PaperRow{127, 9.38, 39.82, 1.98, 5, 2.78, 97.32},
+		Build:       buildM88ksim,
+	})
+}
+
+func buildM88ksim(seed uint64) (*builder.Unit, error) {
+	b := builder.New("m88ksim", seed)
+	setupBases(b)
+
+	loopFarm(b, 80,
+		func(i int) builder.Trip { return builder.TripImm(int64(4 + i%11)) },
+		func(i int) int { return 8 + i%8 })
+
+	opcode := b.UniformSeq(0, 15)
+	rare := b.BernoulliSeq(0.06)
+	memop := b.BernoulliSeq(0.3)
+
+	// Hardware-structure scans with constant trips.
+	scoreboard := b.Func("scoreboard", func() {
+		b.CountedLoop(builder.TripImm(8), builder.LoopOpt{}, func() { b.Work(26) })
+	})
+	tlb := b.Func("tlb", func() {
+		b.CountedLoop(builder.TripImm(16), builder.LoopOpt{}, func() { b.Work(24) })
+	})
+
+	// The simulate-one-instruction loop: ~35 instructions per dispatch.
+	b.CountedLoop(builder.TripImm(driverTrip), builder.LoopOpt{}, func() {
+		b.SetSeq(12, opcode)
+		b.Work(54) // fetch, decode, execute dispatch
+		b.Call(scoreboard)
+		b.IfSeq(memop, func() { b.Call(tlb) }, func() { b.Work(10) })
+		// Rare exception path: a deeper save/restore nest (max nl 5).
+		b.IfSeq(rare, func() {
+			b.CountedLoop(builder.TripImm(4), builder.LoopOpt{}, func() {
+				b.CountedLoop(builder.TripImm(8), builder.LoopOpt{}, func() {
+					b.CountedLoop(builder.TripImm(4), builder.LoopOpt{}, func() {
+						b.Work(8)
+					})
+				})
+			})
+		}, nil)
+	})
+	return b.Build()
+}

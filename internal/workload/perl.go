@@ -1,0 +1,68 @@
+package workload
+
+import "dynloop/internal/builder"
+
+// perl — 134.perl: the Perl interpreter. Paper profile: 147 static
+// loops, the suite's LOWEST iter/exec (3.11), smallest iterations (47.0
+// instr/iter) and flattest nesting (1.35 avg / 5 max); Table 2: the
+// worst TPC (1.17) with a 60.34% hit ratio and a 35-instruction
+// verification distance. The opcode-dispatch loop sits inside the
+// recursive runops/entersub machinery: executions die within ~3
+// iterations (returns from inside the merged loop body), so speculative
+// threads are tiny, frequent, and usually squashed.
+func init() {
+	register(Benchmark{
+		Name:        "perl",
+		Suite:       "int",
+		Description: "perl interpreter: dispatch loop killed every few iterations",
+		Paper:       PaperRow{147, 3.11, 47.02, 1.35, 5, 1.17, 60.34},
+		Build:       buildPerl,
+	})
+}
+
+func buildPerl(seed uint64) (*builder.Unit, error) {
+	b := builder.New("perl", seed)
+	setupBases(b)
+
+	loopFarm(b, 95,
+		func(i int) builder.Trip { return builder.TripImm(int64(1 + i%5)) },
+		func(i int) int { return 6 + i%8 })
+
+	// Tiny string/stack helper loops (1-3 iterations, data dependent).
+	short1 := b.ConstSeq(2)
+	short2 := b.ConstSeq(2)
+	strHelp := b.Func("svgrow", func() {
+		b.CountedLoop(builder.TripSeq(short1), builder.LoopOpt{}, func() {
+			b.Work(14)
+		})
+	})
+
+	runops := interpCore(b, interpOpts{
+		contProb:     0.75, // mean execution ~3 iterations net of returns
+		recurseProb:  0.15, // entersub
+		returnProb:   0.18, // leave/return ops kill the merged loop
+		maxDepth:     4,
+		dispatchWork: 34,
+		chaos:        true,
+		helpers: func() {
+			b.IfSeq(b.BernoulliSeq(0.4), func() {
+				b.CountedLoop(builder.TripSeq(short2), builder.LoopOpt{}, func() {
+					b.Work(10)
+				})
+			}, func() {
+				b.Call(strHelp)
+			})
+		},
+	})
+
+	// Loop-free driver: the interpreter's top level is a call tree (one
+	// program evaluated once), so no outer loop ever reaches the CLS —
+	// this is what keeps perl's average nesting at ~1.3 and its TPC at
+	// the bottom of the suite.
+	callTree(b, 8, 8, func() {
+		b.Work(30)
+		b.MovI(15, 4)
+		b.Call(runops)
+	})
+	return b.Build()
+}

@@ -1,0 +1,61 @@
+package workload
+
+import "dynloop/internal/builder"
+
+// su2cor — 103.su2cor: quantum-chromodynamics Monte Carlo. Paper profile:
+// 213 static loops, 51.2 iter/exec, 257.2 instr/iter, nesting 3.50/5;
+// Table 2: TPC 1.94 with a 99.92% hit ratio and a verification distance
+// of only 45 instructions. The shape behind those numbers: speculation
+// lives almost entirely in tiny vector loops over gauge-link elements
+// (long trips, very short bodies), while a large share of the run is
+// straight-line matrix glue inside deep occasional nests — perfectly
+// predicted but cheap threads, lots of unspeculated connective tissue.
+func init() {
+	register(Benchmark{
+		Name:        "su2cor",
+		Suite:       "fp",
+		Description: "QCD: tiny long vector loops plus heavy straight-line glue",
+		Paper:       PaperRow{213, 51.23, 257.17, 3.50, 5, 1.94, 99.92},
+		Build:       buildSu2cor,
+	})
+}
+
+func buildSu2cor(seed uint64) (*builder.Unit, error) {
+	b := builder.New("su2cor", seed)
+	setupBases(b)
+
+	loopFarm(b, 130,
+		func(i int) builder.Trip { return builder.TripImm(int64(6 + i%15)) },
+		func(i int) int { return 8 + i%10 })
+
+	// Gauge-link update: a deep nest (lattice dims) whose innermost loops
+	// are tiny-bodied long vectors; between them, big straight-line
+	// SU(2) matrix arithmetic.
+	gauge := b.Func("gauge", func() {
+		b.CountedLoop(builder.TripImm(3), builder.LoopOpt{}, func() {
+			b.Work(220) // matrix block
+			b.CountedLoop(builder.TripImm(2), builder.LoopOpt{}, func() {
+				b.CountedLoop(builder.TripImm(4), builder.LoopOpt{}, func() {
+					b.Work(180)
+					vecLoop(b, builder.TripImm(50), 30, 24, 4)
+					vecLoop(b, builder.TripImm(54), 26, 25, 4)
+				})
+			})
+		})
+	})
+	// Correlation measurement: long tiny loops plus one big-bodied loop
+	// (keeps the instr/iter average up around the paper's 257).
+	corr := b.Func("corr", func() {
+		vecLoop(b, builder.TripImm(48), 34, 26, 4)
+		b.CountedLoop(builder.TripImm(8), builder.LoopOpt{}, func() {
+			b.Work(520)
+		})
+	})
+
+	b.CountedLoop(builder.TripImm(driverTrip), builder.LoopOpt{}, func() {
+		b.Work(400) // Monte Carlo bookkeeping between sweeps
+		b.Call(gauge)
+		b.Call(corr)
+	})
+	return b.Build()
+}

@@ -1,0 +1,64 @@
+package workload
+
+import "dynloop/internal/builder"
+
+// swim — 102.swim: shallow-water finite differences on a rectangular
+// grid. The paper's profile (Table 1): 79 static loops, 188.5
+// iterations/execution, 278.9 instructions/iteration, nesting 2.99 avg /
+// 3 max; Table 2: TPC 3.48, 99.91% hit at 4 TUs. The defining features
+// are a tiny number of big, perfectly regular 2-level stencils with
+// constant trip counts inside a time-step driver, so the STR predictor is
+// essentially never wrong.
+func init() {
+	register(Benchmark{
+		Name:        "swim",
+		Suite:       "fp",
+		Description: "shallow-water stencils: few loops, huge constant trips, depth 3",
+		Paper:       PaperRow{79, 188.54, 278.89, 2.99, 3, 3.48, 99.91},
+		Build:       buildSwim,
+	})
+}
+
+func buildSwim(seed uint64) (*builder.Unit, error) {
+	b := builder.New("swim", seed)
+	setupBases(b)
+
+	// One-time initialisation: many small setup loops (zeroing arrays,
+	// reading initial conditions). They contribute static-loop identities
+	// but almost no dynamic weight.
+	loopFarm(b, 55,
+		func(i int) builder.Trip { return builder.TripImm(int64(12 + i%9)) },
+		func(i int) int { return 14 + i%12 })
+
+	// The three shallow-water kernels (calc1/calc2/calc3): a two-pass
+	// rows×cols stencil each. The long outer (rows) dimension is what the
+	// speculation rides — with 4 TUs and a 40-trip row loop the steady
+	// state is one serial row per three skipped ones, giving the paper's
+	// ~3.5 TPC.
+	kernel := func(name string, rows, cols int64, work int) builder.FuncRef {
+		return b.Func(name, func() {
+			stencil(b, builder.TripImm(rows), builder.TripImm(cols), work, 24, 64)
+		})
+	}
+	calc1 := kernel("calc1", 44, 160, 36)
+	calc3 := kernel("calc3", 44, 156, 34)
+	// calc2 carries the depth-3 slice loop of the paper's profile.
+	calc2 := b.Func("calc2", func() {
+		b.CountedLoop(builder.TripImm(2), builder.LoopOpt{}, func() { // z slices
+			stencil(b, builder.TripImm(20), builder.TripImm(160), 42, 25, 64)
+		})
+	})
+
+	// Time stepping: at the paper's 10^9-instruction scale a time step is
+	// ~30% of the whole window, so the time-step loop is essentially
+	// invisible to the CLS. The scale-faithful substitute is a loop-free
+	// call tree (see callTree).
+	callTree(b, 6, 8, func() {
+		b.Work(30)
+		b.Call(calc1)
+		b.Call(calc2)
+		b.Call(calc3)
+		vecLoop(b, builder.TripImm(184), 60, 26, 8)
+	})
+	return b.Build()
+}

@@ -1,0 +1,71 @@
+package workload
+
+import "dynloop/internal/builder"
+
+// turb3d — 125.turb3d: homogeneous-turbulence simulation built on 3-D
+// FFTs. Paper profile: 152 static loops, 4.11 iter/exec, 239.4
+// instr/iter, nesting 3.97/6; Table 2: TPC 3.84 at a 99.18% hit ratio —
+// the interesting datapoint that SHORT loops can still speculate almost
+// perfectly when their trip counts are compile-time constants (FFT
+// radix butterflies of trip 4).
+func init() {
+	register(Benchmark{
+		Name:        "turb3d",
+		Suite:       "fp",
+		Description: "FFT butterflies: constant tiny trips, deep regular nests",
+		Paper:       PaperRow{152, 4.11, 239.44, 3.97, 6, 3.84, 99.18},
+		Build:       buildTurb3d,
+	})
+}
+
+func buildTurb3d(seed uint64) (*builder.Unit, error) {
+	b := builder.New("turb3d", seed)
+	setupBases(b)
+
+	loopFarm(b, 85,
+		func(i int) builder.Trip { return builder.TripImm(int64(2 + i%6)) },
+		func(i int) int { return 12 + i%10 })
+
+	// An FFT pass: stages x butterfly-groups x radix-4 inner, all
+	// constant trips. The butterfly-group loop (trip 24: planes of the
+	// 3-D grid) is where speculation lives once the stage loop's few
+	// iterations are covered.
+	fft := func(name string) builder.FuncRef {
+		return b.Func(name, func() {
+			b.CountedLoop(builder.TripImm(2), builder.LoopOpt{}, func() {
+				b.Work(30)
+				b.CountedLoop(builder.TripImm(32), builder.LoopOpt{}, func() {
+					b.CountedLoop(builder.TripImm(4), builder.LoopOpt{}, func() {
+						b.Work(230) // butterfly
+					})
+				})
+			})
+		})
+	}
+	fx := fft("fft_x")
+	fy := fft("fft_y")
+	fz := fft("fft_z")
+	// Nonlinear term in physical space: a deeper nest (to the paper's
+	// max 6) with constant small trips.
+	nonlin := b.Func("nonlinear", func() {
+		b.CountedLoop(builder.TripImm(2), builder.LoopOpt{}, func() {
+			b.CountedLoop(builder.TripImm(2), builder.LoopOpt{}, func() {
+				b.CountedLoop(builder.TripImm(2), builder.LoopOpt{}, func() {
+					b.CountedLoop(builder.TripImm(24), builder.LoopOpt{}, func() {
+						b.Work(120)
+					})
+				})
+			})
+		})
+	})
+
+	// Time stepping as a call tree (scale-faithful: see swim).
+	callTree(b, 6, 8, func() {
+		b.Work(40)
+		b.Call(fx)
+		b.Call(fy)
+		b.Call(fz)
+		b.Call(nonlin)
+	})
+	return b.Build()
+}

@@ -1,0 +1,68 @@
+package workload
+
+import "dynloop/internal/builder"
+
+// vortex — 147.vortex: object-oriented in-memory database. Paper profile:
+// 220 static loops, 12.08 iter/exec, 215.6 instr/iter, nesting 3.06/6;
+// Table 2: TPC 3.03, 90.25% hit. Transaction processing: an endless
+// transaction loop whose bodies walk object sets with mostly-stable but
+// occasionally-changing sizes, through moderately deep call chains.
+func init() {
+	register(Benchmark{
+		Name:        "vortex",
+		Suite:       "int",
+		Description: "OO database: transaction loop over object-set walks",
+		Paper:       PaperRow{220, 12.08, 215.56, 3.06, 6, 3.03, 90.25},
+		Build:       buildVortex,
+	})
+}
+
+func buildVortex(seed uint64) (*builder.Unit, error) {
+	b := builder.New("vortex", seed)
+	setupBases(b)
+
+	loopFarm(b, 130,
+		func(i int) builder.Trip { return builder.TripImm(int64(4 + i%13)) },
+		func(i int) int { return 10 + i%10 })
+
+	// Object-set sizes: stable with occasional growth (mostly
+	// predictable, ~12% surprises — the paper's 90% hit).
+	part := b.CycleSeq(12, 12, 12, 14, 12, 12, 13, 12)
+	chain := b.GeometricSeq(2, 0.55, 16)
+	kind := b.UniformSeq(0, 3)
+	doValidate := b.BernoulliSeq(0.2)
+
+	lookup := b.Func("lookup", func() {
+		b.CountedLoop(builder.TripImm(3), builder.LoopOpt{}, func() { // index segments
+			b.CountedLoop(builder.TripSeq(part), builder.LoopOpt{}, func() {
+				b.Work(200) // compare keys, follow object references
+			})
+		})
+		b.CountedLoop(builder.TripSeq(chain), builder.LoopOpt{Guarded: true}, func() {
+			b.Work(60) // overflow chain
+		})
+	})
+	insert := b.Func("insert", func() {
+		b.CountedLoop(builder.TripSeq(part), builder.LoopOpt{}, func() {
+			b.Work(200)
+		})
+		b.WorkMem(80, 25, 64)
+	})
+	validate := b.Func("validate", func() {
+		b.CountedLoop(builder.TripImm(10), builder.LoopOpt{}, func() {
+			b.CountedLoop(builder.TripImm(12), builder.LoopOpt{}, func() {
+				b.Work(180)
+			})
+		})
+	})
+
+	// Transaction loop.
+	b.CountedLoop(builder.TripImm(driverTrip), builder.LoopOpt{}, func() {
+		b.SetSeq(12, kind)
+		b.Work(90)
+		b.Call(lookup)
+		b.Call(insert)
+		b.IfSeq(doValidate, func() { b.Call(validate) }, nil)
+	})
+	return b.Build()
+}

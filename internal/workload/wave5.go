@@ -1,0 +1,60 @@
+package workload
+
+import "dynloop/internal/builder"
+
+// wave5 — 146.wave5: plasma particle-in-cell simulation. Paper profile:
+// 195 static loops, 56.2 iter/exec, 164.3 instr/iter, nesting 3.12/5;
+// Table 2: TPC 3.75, 99.95% hit. Many medium-size particle/field loops
+// with constant trips; nearly ideal speculation.
+func init() {
+	register(Benchmark{
+		Name:        "wave5",
+		Suite:       "fp",
+		Description: "particle-in-cell sweeps: many regular loops, trips ~56",
+		Paper:       PaperRow{195, 56.15, 164.25, 3.12, 5, 3.75, 99.95},
+		Build:       buildWave5,
+	})
+}
+
+func buildWave5(seed uint64) (*builder.Unit, error) {
+	b := builder.New("wave5", seed)
+	setupBases(b)
+
+	loopFarm(b, 120,
+		func(i int) builder.Trip { return builder.TripImm(int64(8 + i%17)) },
+		func(i int) int { return 10 + i%14 })
+
+	// Field solves: 2-level constant-trip sweeps.
+	field := b.Func("field", func() {
+		stencil(b, builder.TripImm(2), builder.TripImm(58), 150, 24, 16)
+		stencil(b, builder.TripImm(2), builder.TripImm(54), 158, 25, 16)
+	})
+	// Particle pushes: long 1-level loops over particle chunks, with one
+	// deeper charge-deposition nest (max nesting 5).
+	push := b.Func("push", func() {
+		vecLoop(b, builder.TripImm(56), 152, 26, 8)
+		vecLoop(b, builder.TripImm(60), 148, 26, 8)
+		b.CountedLoop(builder.TripImm(2), builder.LoopOpt{}, func() {
+			b.CountedLoop(builder.TripImm(52), builder.LoopOpt{}, func() {
+				b.Work(140)
+			})
+		})
+	})
+	// Fourier filter pass.
+	filter := b.Func("filter", func() {
+		vecLoop(b, builder.TripImm(48), 160, 27, 8)
+	})
+
+	// Time stepping as a call tree (scale-faithful: see swim).
+	callTree(b, 6, 8, func() {
+		b.Work(36)
+		b.CountedLoop(builder.TripImm(2), builder.LoopOpt{}, func() { // field/particle halves
+			b.CountedLoop(builder.TripImm(2), builder.LoopOpt{}, func() { // species
+				b.Call(field)
+				b.Call(push)
+			})
+			b.Call(filter)
+		})
+	})
+	return b.Build()
+}
