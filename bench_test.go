@@ -7,6 +7,8 @@ package dynloop_test
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"testing"
 
 	"dynloop"
@@ -16,6 +18,7 @@ import (
 	"dynloop/internal/isa"
 	"dynloop/internal/loopdet"
 	"dynloop/internal/looptab"
+	"dynloop/internal/runner"
 	"dynloop/internal/spec"
 	"dynloop/internal/trace"
 )
@@ -30,7 +33,7 @@ func benchCfg() expt.Config { return expt.Config{Budget: benchBudget} }
 // 18 workloads) per iteration.
 func BenchmarkTable1LoopStats(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := expt.Table1(benchCfg())
+		rows, err := expt.Table1(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -48,7 +51,7 @@ func BenchmarkTable1LoopStats(b *testing.B) {
 // table size) per iteration.
 func BenchmarkFig4HitRatios(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := expt.Fig4(benchCfg())
+		pts, err := expt.Fig4(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,7 +70,7 @@ func BenchmarkFig4HitRatios(b *testing.B) {
 // TUs) per iteration.
 func BenchmarkFig5InfiniteTPC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := expt.Fig5(benchCfg())
+		rows, err := expt.Fig5(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +90,7 @@ func BenchmarkFig5InfiniteTPC(b *testing.B) {
 // for 2..16 TUs) per iteration.
 func BenchmarkFig6TPCSTR(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := expt.Fig6(benchCfg())
+		rows, err := expt.Fig6(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +108,7 @@ func BenchmarkFig6TPCSTR(b *testing.B) {
 // STR(1..3)) per iteration.
 func BenchmarkFig7Policies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cells, err := expt.Fig7(benchCfg())
+		cells, err := expt.Fig7(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +126,7 @@ func BenchmarkFig7Policies(b *testing.B) {
 // STR(3), 4 TUs) per iteration.
 func BenchmarkTable2STR3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := expt.Table2(benchCfg())
+		rows, err := expt.Table2(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,7 +144,7 @@ func BenchmarkTable2STR3(b *testing.B) {
 // per iteration.
 func BenchmarkFig8DataSpec(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, avg, err := expt.Fig8(benchCfg())
+		_, avg, err := expt.Fig8(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +159,7 @@ func BenchmarkFig8DataSpec(b *testing.B) {
 func BenchmarkAblationReplacement(b *testing.B) {
 	cfg := expt.Config{Budget: benchBudget, Benchmarks: []string{"gcc", "swim"}}
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.AblationReplacement(cfg, []int{4}); err != nil {
+		if _, err := expt.AblationReplacement(context.Background(), cfg, []int{4}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -166,7 +169,7 @@ func BenchmarkAblationReplacement(b *testing.B) {
 func BenchmarkAblationNestRule(b *testing.B) {
 	cfg := expt.Config{Budget: benchBudget, Benchmarks: []string{"fpppp", "tomcatv"}}
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.AblationNestRule(cfg, []int{4}); err != nil {
+		if _, err := expt.AblationNestRule(context.Background(), cfg, []int{4}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -310,7 +313,7 @@ func BenchmarkHarnessEndToEnd(b *testing.B) {
 // baseline (BTFN / bimodal / gshare) over the suite.
 func BenchmarkBaselineBranchPred(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := expt.BaselineBranchPred(benchCfg())
+		rows, err := expt.BaselineBranchPred(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -355,6 +358,46 @@ func BenchmarkTraceFile(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := r.Replay(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallelism measures the orchestrator's wall-clock
+// speedup on the full 18-benchmark × 5-policy × 4-size grid (360 cells).
+// Compare the parallel=1 and parallel=8 time/op: the acceptance target
+// is ≥2× at 8 workers on a multi-core host. A fresh runner per iteration
+// keeps the cache from short-circuiting the measurement.
+func BenchmarkSweepParallelism(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := expt.Config{Budget: benchBudget, Parallel: workers}
+				rows, err := expt.Sweep(context.Background(), cfg, expt.SweepSpec{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(len(rows)), "cells")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunnerOverhead measures the orchestrator's per-job cost with
+// trivial jobs: the scheduling, caching and progress plumbing alone.
+func BenchmarkRunnerOverhead(b *testing.B) {
+	jobs := make([]runner.Job[int], 256)
+	for i := range jobs {
+		i := i
+		jobs[i] = runner.Job[int]{Run: func(ctx context.Context) (int, error) { return i, nil }}
+	}
+	r := runner.New(runner.Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Map(context.Background(), r, jobs); err != nil {
 			b.Fatal(err)
 		}
 	}

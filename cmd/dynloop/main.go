@@ -10,18 +10,24 @@
 //	dynloop data   -bench li [-n 4000000]
 //	dynloop disasm -bench perl [-max 80]
 //	dynloop experiment table1|table2|fig4|fig5|fig6|fig7|fig8|ablations|all
-//	                   [-n 4000000] [-bench a,b,c] [-seed 1]
+//	                   [-n 4000000] [-bench a,b,c] [-seed 1] [-parallel N] [-progress]
+//	dynloop sweep      [-bench a,b] [-policy str,str3] [-tus 2,4,8] [-parallel N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"time"
 
 	"dynloop"
 	"dynloop/internal/expt"
 	"dynloop/internal/report"
+	"dynloop/internal/runner"
 	"dynloop/internal/tracefile"
 )
 
@@ -30,6 +36,10 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C cancels in-flight experiment grids instead of killing the
+	// process mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "list":
@@ -43,7 +53,9 @@ func main() {
 	case "disasm":
 		err = cmdDisasm(os.Args[2:])
 	case "experiment":
-		err = cmdExperiment(os.Args[2:])
+		err = cmdExperiment(ctx, os.Args[2:])
+	case "sweep":
+		err = cmdSweep(ctx, os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
 	case "replay":
@@ -71,10 +83,14 @@ commands:
                                      run the speculation model, print metrics
   data   -bench NAME [-n N]          run the Figure-8 data-speculation stats
   disasm -bench NAME [-max LINES]    disassemble the generated program
-  experiment WHAT [-n N] [-bench a,b,...]
+  experiment WHAT [-n N] [-bench a,b,...] [-parallel N] [-progress]
                                      regenerate paper tables/figures:
                                      table1 table2 fig4 fig5 fig6 fig7 fig8
                                      baseline ablations all
+  sweep  [-bench a,b,...] [-policy p1,p2,...] [-tus 2,4,...]
+         [-n N] [-parallel N] [-progress]
+                                     run an arbitrary benchmark × policy × TUs
+                                     grid through the parallel orchestrator
   trace  -bench NAME -o FILE [-n N]  record an instruction trace to a file
   replay -i FILE [-tus K] [-policy P]
                                      drive the detector + engine from a trace
@@ -251,7 +267,42 @@ func cmdDisasm(args []string) error {
 	return nil
 }
 
-func cmdExperiment(args []string) error {
+// parallelFlags adds the orchestrator flags shared by experiment and
+// sweep, returning the parsed progress flag and a resolver that builds
+// the shared Runner (with the progress stream attached when requested).
+func parallelFlags(fs *flag.FlagSet) (*bool, func() *runner.Runner) {
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	progress := fs.Bool("progress", false, "stream per-job progress to stderr")
+	return progress, func() *runner.Runner {
+		rc := runner.Config{Workers: *parallel}
+		if *progress {
+			rc.OnEvent = func(ev runner.Event) {
+				switch ev.Kind {
+				case runner.JobDone:
+					fmt.Fprintf(os.Stderr, "[%4d done] %s (%s)\n", ev.Completed, ev.Label, ev.Elapsed.Round(time.Millisecond))
+				case runner.JobCached:
+					fmt.Fprintf(os.Stderr, "[%4d done] %s (cached)\n", ev.Completed, ev.Label)
+				case runner.JobFailed:
+					fmt.Fprintf(os.Stderr, "[   failed] %s: %v\n", ev.Label, ev.Err)
+				}
+			}
+		}
+		return runner.New(rc)
+	}
+}
+
+// printRunnerStats reports what the orchestrator did, when -progress is
+// on.
+func printRunnerStats(r *runner.Runner, progress bool) {
+	if !progress {
+		return
+	}
+	s := r.Stats()
+	fmt.Fprintf(os.Stderr, "runner: %d jobs, %d executed on %d workers, %d cache hits, %d coalesced\n",
+		s.Submitted, s.Executed, r.Workers(), s.CacheHits, s.Coalesced)
+}
+
+func cmdExperiment(ctx context.Context, args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("missing experiment name (table1|table2|fig4|fig5|fig6|fig7|fig8|ablations|all)")
 	}
@@ -260,101 +311,103 @@ func cmdExperiment(args []string) error {
 	n := fs.Uint64("n", expt.DefaultBudget, "per-benchmark instruction budget")
 	seed := fs.Uint64("seed", 1, "workload input seed")
 	benches := fs.String("bench", "", "comma-separated benchmark subset")
+	progress, mkRunner := parallelFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	cfg := expt.Config{Budget: *n, Seed: *seed}
+	cfg := expt.Config{Budget: *n, Seed: *seed, Runner: mkRunner()}
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")
 	}
+	defer func() { printRunnerStats(cfg.Runner, *progress) }()
 	run := func(name string) error {
 		switch name {
 		case "table1":
-			rows, err := expt.Table1(cfg)
+			rows, err := expt.Table1(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			fmt.Print(expt.RenderTable1(rows))
 		case "table2":
-			rows, err := expt.Table2(cfg)
+			rows, err := expt.Table2(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			fmt.Print(expt.RenderTable2(rows))
 		case "fig4":
-			pts, err := expt.Fig4(cfg)
+			pts, err := expt.Fig4(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			fmt.Print(expt.RenderFig4(pts))
 		case "fig5":
-			rows, err := expt.Fig5(cfg)
+			rows, err := expt.Fig5(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			fmt.Print(expt.RenderFig5(rows))
 		case "fig6":
-			rows, err := expt.Fig6(cfg)
+			rows, err := expt.Fig6(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			fmt.Print(expt.RenderFig6(rows))
 		case "fig7":
-			cells, err := expt.Fig7(cfg)
+			cells, err := expt.Fig7(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			fmt.Print(expt.RenderFig7(cells))
 		case "baseline":
-			rows, err := expt.BaselineBranchPred(cfg)
+			rows, err := expt.BaselineBranchPred(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			fmt.Print(expt.RenderBaseline(rows))
 			fmt.Println()
-			trows, err := expt.BaselineTaskPred(cfg)
+			trows, err := expt.BaselineTaskPred(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			fmt.Print(expt.RenderTaskPred(trows))
 		case "fig8":
-			rows, avg, err := expt.Fig8(cfg)
+			rows, avg, err := expt.Fig8(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			fmt.Print(expt.RenderFig8(rows, avg))
 		case "ablations":
-			cls, err := expt.AblationCLSSize(cfg, nil)
+			cls, err := expt.AblationCLSSize(ctx, cfg, nil)
 			if err != nil {
 				return err
 			}
 			fmt.Print(expt.RenderCLSSize(cls))
-			let, err := expt.AblationLETCapacity(cfg, nil)
+			let, err := expt.AblationLETCapacity(ctx, cfg, nil)
 			if err != nil {
 				return err
 			}
 			fmt.Print(expt.RenderLETCapacity(let))
-			rep, err := expt.AblationReplacement(cfg, nil)
+			rep, err := expt.AblationReplacement(ctx, cfg, nil)
 			if err != nil {
 				return err
 			}
 			fmt.Print(expt.RenderReplacement(rep))
-			os, err := expt.AblationOneShots(cfg)
+			os, err := expt.AblationOneShots(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			fmt.Print(expt.RenderOneShots(os))
-			nr, err := expt.AblationNestRule(cfg, nil)
+			nr, err := expt.AblationNestRule(ctx, cfg, nil)
 			if err != nil {
 				return err
 			}
 			fmt.Print(expt.RenderNestRule(nr))
-			ex, err := expt.AblationExclusion(cfg, 0)
+			ex, err := expt.AblationExclusion(ctx, cfg, 0)
 			if err != nil {
 				return err
 			}
 			fmt.Print(expt.RenderExclusion(ex))
-			or, err := expt.AblationOracle(cfg)
+			or, err := expt.AblationOracle(ctx, cfg)
 			if err != nil {
 				return err
 			}
@@ -366,6 +419,9 @@ func cmdExperiment(args []string) error {
 		return nil
 	}
 	if what == "all" {
+		// One shared runner (cfg.Runner) deduplicates the overlapping
+		// cells across sections — Figure 7's STR column is Figure 6, its
+		// STR(3)/4TU cells are Table 2's.
 		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "table2", "fig8", "baseline", "ablations"} {
 			if err := run(name); err != nil {
 				return err
@@ -374,6 +430,47 @@ func cmdExperiment(args []string) error {
 		return nil
 	}
 	return run(what)
+}
+
+func cmdSweep(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	n := fs.Uint64("n", expt.DefaultBudget, "per-benchmark instruction budget")
+	seed := fs.Uint64("seed", 1, "workload input seed")
+	benches := fs.String("bench", "", "comma-separated benchmark subset (default: all 18)")
+	policies := fs.String("policy", "", "comma-separated policies (default: idle,str,str1,str2,str3)")
+	tus := fs.String("tus", "", "comma-separated machine sizes (default: 2,4,8,16)")
+	progress, mkRunner := parallelFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := expt.Config{Budget: *n, Seed: *seed, Runner: mkRunner()}
+	if *benches != "" {
+		cfg.Benchmarks = strings.Split(*benches, ",")
+	}
+	defer func() { printRunnerStats(cfg.Runner, *progress) }()
+	var sw expt.SweepSpec
+	if *policies != "" {
+		pols, err := expt.ParsePolicies(strings.Split(*policies, ","))
+		if err != nil {
+			return err
+		}
+		sw.Policies = pols
+	}
+	if *tus != "" {
+		for _, s := range strings.Split(*tus, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || k < 0 {
+				return fmt.Errorf("bad -tus entry %q", s)
+			}
+			sw.TUs = append(sw.TUs, k)
+		}
+	}
+	rows, err := expt.Sweep(ctx, cfg, sw)
+	if err != nil {
+		return err
+	}
+	fmt.Print(expt.RenderSweep(rows))
+	return nil
 }
 
 func cmdTrace(args []string) error {

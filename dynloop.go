@@ -15,9 +15,12 @@
 //   - the §4 data-speculation statistics (path regularity, live-in
 //     stride predictability);
 //   - an execution substrate (mini-ISA, structured program builder,
-//     interpreter) and 18 synthetic SPEC95-calibrated workloads; and
+//     interpreter) and 18 synthetic SPEC95-calibrated workloads;
 //   - experiment drivers regenerating every table and figure of the
-//     paper's evaluation.
+//     paper's evaluation; and
+//   - a parallel experiment orchestrator (bounded worker pool, keyed
+//     result cache, per-job progress) that fans the experiment cells
+//     across GOMAXPROCS — see RunAll, RunSweep and RunnerConfig.
 //
 // Quick start:
 //
@@ -33,6 +36,7 @@
 package dynloop
 
 import (
+	"context"
 	"io"
 
 	"dynloop/internal/branchpred"
@@ -44,6 +48,7 @@ import (
 	"dynloop/internal/loopstats"
 	"dynloop/internal/looptab"
 	"dynloop/internal/program"
+	"dynloop/internal/runner"
 	"dynloop/internal/spec"
 	"dynloop/internal/tracefile"
 	"dynloop/internal/workload"
@@ -103,11 +108,49 @@ type (
 	DataStatsSummary = datapred.Summary
 )
 
-// Experiments.
+// Experiments and the parallel orchestrator.
 type (
-	// ExperimentConfig parametrises the table/figure drivers.
+	// ExperimentConfig parametrises the table/figure drivers, including
+	// the worker bound (Parallel) and an optional shared Runner.
 	ExperimentConfig = expt.Config
+	// Runner is the parallel experiment orchestrator: a bounded worker
+	// pool with a keyed result cache and per-job progress events.
+	Runner = runner.Runner
+	// RunnerConfig parametrises a Runner.
+	RunnerConfig = runner.Config
+	// RunnerEvent is one per-job progress notification.
+	RunnerEvent = runner.Event
+	// RunnerStats are the runner-lifetime counters (jobs executed,
+	// cache hits, coalesced waits, failures).
+	RunnerStats = runner.Stats
+	// SweepSpec selects the policy × machine-size grid RunSweep expands.
+	SweepSpec = expt.SweepSpec
+	// SweepRow is one cell of a RunSweep grid.
+	SweepRow = expt.SweepRow
 )
+
+// NewRunner returns a parallel experiment orchestrator to share across
+// experiment drivers: the worker bound pools and identical cells are
+// computed once. Set it as ExperimentConfig.Runner.
+func NewRunner(cfg RunnerConfig) *Runner { return runner.New(cfg) }
+
+// RunAll regenerates every table, figure, baseline and ablation of the
+// paper's evaluation through one shared orchestrator and returns the
+// rendered report. Cells are fanned across ExperimentConfig.Parallel
+// workers (0 = GOMAXPROCS); the output is byte-identical at any worker
+// count.
+func RunAll(ctx context.Context, cfg ExperimentConfig) (string, error) {
+	return expt.All(ctx, cfg)
+}
+
+// RunSweep runs an arbitrary benchmark × policy × machine-size grid
+// through the orchestrator and returns one row per cell.
+func RunSweep(ctx context.Context, cfg ExperimentConfig, sw SweepSpec) ([]SweepRow, error) {
+	return expt.Sweep(ctx, cfg, sw)
+}
+
+// RenderSweep formats a RunSweep grid as a table.
+func RenderSweep(rows []SweepRow) string { return expt.RenderSweep(rows) }
 
 // Benchmarks returns the 18 synthetic SPEC95 workloads, sorted by name.
 func Benchmarks() []Benchmark { return workload.All() }

@@ -1,0 +1,3 @@
+module dynloop
+
+go 1.22

@@ -1,6 +1,7 @@
 package dynloop_test
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -142,25 +143,26 @@ func (h *headCollector) ExecStart(x *loopdet.Exec) { h.seen[uint32(x.T)] = true 
 // TestExperimentSubset exercises each experiment driver end to end on a
 // small subset so the table/figure plumbing is covered by `go test`.
 func TestExperimentSubset(t *testing.T) {
+	ctx := context.Background()
 	cfg := expt.Config{Budget: 120_000, Benchmarks: []string{"compress", "perl"}}
-	t1, err := expt.Table1(cfg)
+	t1, err := expt.Table1(ctx, cfg)
 	if err != nil || len(t1) != 2 {
 		t.Fatalf("table1: %v (%d rows)", err, len(t1))
 	}
 	if s := expt.RenderTable1(t1); len(s) == 0 {
 		t.Fatal("empty table1 render")
 	}
-	t2, err := expt.Table2(cfg)
+	t2, err := expt.Table2(ctx, cfg)
 	if err != nil || len(t2) != 2 {
 		t.Fatalf("table2: %v", err)
 	}
 	_ = expt.RenderTable2(t2)
-	f4, err := expt.Fig4(cfg)
+	f4, err := expt.Fig4(ctx, cfg)
 	if err != nil || len(f4) != len(expt.Fig4Sizes) {
 		t.Fatalf("fig4: %v", err)
 	}
 	_ = expt.RenderFig4(f4)
-	f5, err := expt.Fig5(cfg)
+	f5, err := expt.Fig5(ctx, cfg)
 	if err != nil {
 		t.Fatalf("fig5: %v", err)
 	}
@@ -170,17 +172,17 @@ func TestExperimentSubset(t *testing.T) {
 		}
 	}
 	_ = expt.RenderFig5(f5)
-	f6, err := expt.Fig6(cfg)
+	f6, err := expt.Fig6(ctx, cfg)
 	if err != nil {
 		t.Fatalf("fig6: %v", err)
 	}
 	_ = expt.RenderFig6(f6)
-	f7, err := expt.Fig7(cfg)
+	f7, err := expt.Fig7(ctx, cfg)
 	if err != nil || len(f7) != 20 {
 		t.Fatalf("fig7: %v (%d cells)", err, len(f7))
 	}
 	_ = expt.RenderFig7(f7)
-	f8, avg, err := expt.Fig8(cfg)
+	f8, avg, err := expt.Fig8(ctx, cfg)
 	if err != nil || len(f8) != 2 {
 		t.Fatalf("fig8: %v", err)
 	}
@@ -189,20 +191,21 @@ func TestExperimentSubset(t *testing.T) {
 
 // TestAblationSubset exercises the ablation drivers.
 func TestAblationSubset(t *testing.T) {
+	ctx := context.Background()
 	cfg := expt.Config{Budget: 100_000, Benchmarks: []string{"m88ksim"}}
-	if rows, err := expt.AblationCLSSize(cfg, []int{2, 16}); err != nil || len(rows) != 2 {
+	if rows, err := expt.AblationCLSSize(ctx, cfg, []int{2, 16}); err != nil || len(rows) != 2 {
 		t.Fatalf("cls size: %v", err)
 	}
-	if rows, err := expt.AblationLETCapacity(cfg, []int{2, 0}); err != nil || len(rows) != 2 {
+	if rows, err := expt.AblationLETCapacity(ctx, cfg, []int{2, 0}); err != nil || len(rows) != 2 {
 		t.Fatalf("let capacity: %v", err)
 	}
-	if rows, err := expt.AblationReplacement(cfg, []int{2}); err != nil || len(rows) != 1 {
+	if rows, err := expt.AblationReplacement(ctx, cfg, []int{2}); err != nil || len(rows) != 1 {
 		t.Fatalf("replacement: %v", err)
 	}
-	if rows, err := expt.AblationOneShots(cfg); err != nil || len(rows) != 1 {
+	if rows, err := expt.AblationOneShots(ctx, cfg); err != nil || len(rows) != 1 {
 		t.Fatalf("one shots: %v", err)
 	}
-	if rows, err := expt.AblationNestRule(cfg, []int{4}); err != nil || len(rows) != 2 {
+	if rows, err := expt.AblationNestRule(ctx, cfg, []int{4}); err != nil || len(rows) != 2 {
 		t.Fatalf("nest rule: %v", err)
 	}
 }

@@ -1,10 +1,15 @@
 package expt
 
 import (
+	"context"
+	"fmt"
+
 	"dynloop/internal/loopstats"
 	"dynloop/internal/looptab"
 	"dynloop/internal/report"
+	"dynloop/internal/runner"
 	"dynloop/internal/spec"
+	"dynloop/internal/workload"
 )
 
 // CLSSizeRow is one CLS-capacity point of the AblationCLSSize sweep.
@@ -18,10 +23,18 @@ type CLSSizeRow struct {
 	AvgTPC float64
 }
 
+// clsCell is one benchmark's result at one CLS capacity.
+type clsCell struct {
+	Evictions uint64
+	AtCap     bool
+	TPC       float64
+}
+
 // AblationCLSSize sweeps the CLS capacity (the paper fixes 16 and argues
 // it never overflows on SPEC95: "the maximum nesting level is lower than
-// 16"). The sweep shows where detection starts degrading.
-func AblationCLSSize(cfg Config, capacities []int) ([]CLSSizeRow, error) {
+// 16"). The sweep shows where detection starts degrading. The grid is
+// one capacity × benchmark job per cell.
+func AblationCLSSize(ctx context.Context, cfg Config, capacities []int) ([]CLSSizeRow, error) {
 	if len(capacities) == 0 {
 		capacities = []int{2, 4, 8, 16}
 	}
@@ -29,28 +42,51 @@ func AblationCLSSize(cfg Config, capacities []int) ([]CLSSizeRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]CLSSizeRow, 0, len(capacities))
+	var jobs []runner.Job[clsCell]
 	for _, capEntries := range capacities {
-		row := CLSSizeRow{Capacity: capEntries}
 		runCfg := cfg
 		runCfg.CLSCapacity = capEntries
-		var tpcSum float64
 		for _, bm := range bms {
-			ls := loopstats.NewCollector()
-			e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)})
-			u, err := bm.Build(runCfg.seed())
-			if err != nil {
-				return nil, err
-			}
-			res, err := runWithResult(runCfg, u, ls, e)
-			if err != nil {
-				return nil, err
-			}
-			row.Evictions += res.Detector.Stats().Evictions
-			if res.Detector.Stats().MaxDepth >= capEntries {
+			capEntries, bm, runCfg := capEntries, bm, runCfg
+			jobs = append(jobs, runner.Job[clsCell]{
+				Key:   runCfg.cellKey("clssize", bm.Name),
+				Label: fmt.Sprintf("cls %s/%d entries", bm.Name, capEntries),
+				Run: func(ctx context.Context) (clsCell, error) {
+					ls := loopstats.NewCollector()
+					e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)})
+					u, err := bm.Build(runCfg.seed())
+					if err != nil {
+						return clsCell{}, err
+					}
+					res, err := runWithResult(runCfg, u, ls, e)
+					if err != nil {
+						return clsCell{}, err
+					}
+					ds := res.Detector.Stats()
+					return clsCell{
+						Evictions: ds.Evictions,
+						AtCap:     ds.MaxDepth >= capEntries,
+						TPC:       e.Metrics().TPC(),
+					}, nil
+				},
+			})
+		}
+	}
+	cells, err := runner.Map(ctx, cfg.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]CLSSizeRow, 0, len(capacities))
+	for ci, capEntries := range capacities {
+		row := CLSSizeRow{Capacity: capEntries}
+		var tpcSum float64
+		for bi := range bms {
+			c := cells[ci*len(bms)+bi]
+			row.Evictions += c.Evictions
+			if c.AtCap {
 				row.MaxDepthHits++
 			}
-			tpcSum += e.Metrics().TPC()
+			tpcSum += c.TPC
 		}
 		row.AvgTPC = tpcSum / float64(len(bms))
 		rows = append(rows, row)
@@ -77,8 +113,9 @@ type LETCapacityRow struct {
 
 // AblationLETCapacity sweeps the speculation engine's iteration-count
 // LET size (the paper leaves it open; the Figure 4 experiment suggests
-// 16 entries suffice for history hits).
-func AblationLETCapacity(cfg Config, capacities []int) ([]LETCapacityRow, error) {
+// 16 entries suffice for history hits) — capacity × benchmark spec
+// cells.
+func AblationLETCapacity(ctx context.Context, cfg Config, capacities []int) ([]LETCapacityRow, error) {
 	if len(capacities) == 0 {
 		capacities = []int{2, 4, 8, 16, 0}
 	}
@@ -86,16 +123,23 @@ func AblationLETCapacity(cfg Config, capacities []int) ([]LETCapacityRow, error)
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]LETCapacityRow, 0, len(capacities))
+	var jobs []runner.Job[spec.Metrics]
 	for _, capEntries := range capacities {
-		var tpcSum, hitSum float64
 		for _, bm := range bms {
-			e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3), LETCapacity: capEntries})
-			if err := cfg.run(bm, e); err != nil {
-				return nil, err
-			}
-			tpcSum += e.Metrics().TPC()
-			hitSum += e.Metrics().HitRatio()
+			jobs = append(jobs, specJob(cfg, bm, spec.Config{TUs: 4, Policy: spec.STRn(3), LETCapacity: capEntries}))
+		}
+	}
+	ms, err := runner.Map(ctx, cfg.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]LETCapacityRow, 0, len(capacities))
+	for ci, capEntries := range capacities {
+		var tpcSum, hitSum float64
+		for bi := range bms {
+			m := ms[ci*len(bms)+bi]
+			tpcSum += m.TPC()
+			hitSum += m.HitRatio()
 		}
 		rows = append(rows, LETCapacityRow{
 			Capacity: capEntries,
@@ -126,10 +170,41 @@ type ReplacementRow struct {
 	Inhibited uint64
 }
 
+// replCell is one benchmark's tracker result under one replacement
+// policy at one size.
+type replCell struct {
+	LET, LIT  float64
+	Inhibited uint64
+}
+
+// replJob runs one LET/LIT tracker cell.
+func replJob(cfg Config, bm workload.Benchmark, size int, nestingAware bool) runner.Job[replCell] {
+	mode := "lru"
+	if nestingAware {
+		mode = "nest"
+	}
+	return runner.Job[replCell]{
+		Key:   cfg.cellKey("replacement", bm.Name, size, mode),
+		Label: fmt.Sprintf("replacement %s/%d/%s", bm.Name, size, mode),
+		Run: func(ctx context.Context) (replCell, error) {
+			tr := looptab.NewTracker(size, size)
+			if nestingAware {
+				tr.EnableNestingAware()
+			}
+			if err := cfg.run(bm, tr); err != nil {
+				return replCell{}, err
+			}
+			let, _ := tr.LET.HitRatio()
+			lit, _ := tr.LIT.HitRatio()
+			return replCell{LET: let, LIT: lit, Inhibited: tr.LET.Inhibited() + tr.LIT.Inhibited()}, nil
+		},
+	}
+}
+
 // AblationReplacement reproduces the paper's §2.3.2 finding: the
 // nesting-aware insertion-inhibit policy improves on LRU only
-// negligibly.
-func AblationReplacement(cfg Config, sizes []int) ([]ReplacementRow, error) {
+// negligibly. The grid is size × benchmark × {LRU, nesting-aware}.
+func AblationReplacement(ctx context.Context, cfg Config, sizes []int) ([]ReplacementRow, error) {
 	if len(sizes) == 0 {
 		sizes = []int{2, 4, 8}
 	}
@@ -137,28 +212,27 @@ func AblationReplacement(cfg Config, sizes []int) ([]ReplacementRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]ReplacementRow, 0, len(sizes))
+	var jobs []runner.Job[replCell]
 	for _, size := range sizes {
-		row := ReplacementRow{Entries: size}
 		for _, bm := range bms {
-			lru := looptab.NewTracker(size, size)
-			if err := cfg.run(bm, lru); err != nil {
-				return nil, err
-			}
-			nest := looptab.NewTracker(size, size)
-			nest.EnableNestingAware()
-			if err := cfg.run(bm, nest); err != nil {
-				return nil, err
-			}
-			let, _ := lru.LET.HitRatio()
-			lit, _ := lru.LIT.HitRatio()
-			nlet, _ := nest.LET.HitRatio()
-			nlit, _ := nest.LIT.HitRatio()
-			row.LRULet += let
-			row.LRULit += lit
-			row.NestLet += nlet
-			row.NestLit += nlit
-			row.Inhibited += nest.LET.Inhibited() + nest.LIT.Inhibited()
+			jobs = append(jobs, replJob(cfg, bm, size, false), replJob(cfg, bm, size, true))
+		}
+	}
+	cells, err := runner.Map(ctx, cfg.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ReplacementRow, 0, len(sizes))
+	for si, size := range sizes {
+		row := ReplacementRow{Entries: size}
+		for bi := range bms {
+			lru := cells[(si*len(bms)+bi)*2]
+			nest := cells[(si*len(bms)+bi)*2+1]
+			row.LRULet += lru.LET
+			row.LRULit += lru.LIT
+			row.NestLet += nest.LET
+			row.NestLit += nest.LIT
+			row.Inhibited += nest.Inhibited
 		}
 		n := float64(len(bms))
 		row.LRULet = 100 * row.LRULet / n
@@ -191,27 +265,35 @@ type OneShotRow struct {
 // AblationOneShots quantifies the effect of counting one-iteration
 // executions in the Table 1 statistics (the paper's definition detects
 // them but does not say whether they are included; we default to
-// counting them).
-func AblationOneShots(cfg Config) ([]OneShotRow, error) {
+// counting them). One job per benchmark; both collectors share a single
+// pass.
+func AblationOneShots(ctx context.Context, cfg Config) ([]OneShotRow, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]OneShotRow, 0, len(bms))
-	for _, bm := range bms {
-		with := loopstats.NewCollector()
-		without := loopstats.NewCollector()
-		without.CountOneShots = false
-		if err := cfg.run(bm, with, without); err != nil {
-			return nil, err
+	jobs := make([]runner.Job[OneShotRow], len(bms))
+	for i, bm := range bms {
+		bm := bm
+		jobs[i] = runner.Job[OneShotRow]{
+			Key:   cfg.cellKey("oneshots", bm.Name),
+			Label: "oneshots " + bm.Name,
+			Run: func(ctx context.Context) (OneShotRow, error) {
+				with := loopstats.NewCollector()
+				without := loopstats.NewCollector()
+				without.CountOneShots = false
+				if err := cfg.run(bm, with, without); err != nil {
+					return OneShotRow{}, err
+				}
+				w, wo := with.Summary(), without.Summary()
+				return OneShotRow{
+					Bench: bm.Name, WithIPE: w.ItersPerExec, WithoutIPE: wo.ItersPerExec,
+					WithExecs: w.Execs, WithoutExec: wo.Execs,
+				}, nil
+			},
 		}
-		w, wo := with.Summary(), without.Summary()
-		rows = append(rows, OneShotRow{
-			Bench: bm.Name, WithIPE: w.ItersPerExec, WithoutIPE: wo.ItersPerExec,
-			WithExecs: w.Execs, WithoutExec: wo.Execs,
-		})
 	}
-	return rows, nil
+	return runner.Map(ctx, cfg.pool(), jobs)
 }
 
 // RenderOneShots formats the one-shot ablation.
@@ -235,8 +317,9 @@ type NestRuleRow struct {
 
 // AblationNestRule compares the starvation-based STR(i) reading (our
 // default; consistent with the paper's Table 2) against the literal
-// structural reading (see spec.NestRule and DESIGN.md).
-func AblationNestRule(cfg Config, tus []int) ([]NestRuleRow, error) {
+// structural reading (see spec.NestRule and DESIGN.md). The grid is
+// policy × machine size × benchmark × rule, in spec cells.
+func AblationNestRule(ctx context.Context, cfg Config, tus []int) ([]NestRuleRow, error) {
 	if len(tus) == 0 {
 		tus = []int{4, 8}
 	}
@@ -244,21 +327,30 @@ func AblationNestRule(cfg Config, tus []int) ([]NestRuleRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	nests := []int{1, 3}
+	var jobs []runner.Job[spec.Metrics]
+	for _, i := range nests {
+		for _, k := range tus {
+			for _, bm := range bms {
+				jobs = append(jobs,
+					specJob(cfg, bm, spec.Config{TUs: k, Policy: spec.STRn(i)}),
+					specJob(cfg, bm, spec.Config{TUs: k, Policy: spec.STRn(i), NestRule: spec.NestRuleStatic}))
+			}
+		}
+	}
+	ms, err := runner.Map(ctx, cfg.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []NestRuleRow
-	for _, i := range []int{1, 3} {
+	idx := 0
+	for _, i := range nests {
 		for _, k := range tus {
 			row := NestRuleRow{Policy: spec.STRn(i).String(), TUs: k}
-			for _, bm := range bms {
-				starve := spec.NewEngine(spec.Config{TUs: k, Policy: spec.STRn(i)})
-				if err := cfg.run(bm, starve); err != nil {
-					return nil, err
-				}
-				static := spec.NewEngine(spec.Config{TUs: k, Policy: spec.STRn(i), NestRule: spec.NestRuleStatic})
-				if err := cfg.run(bm, static); err != nil {
-					return nil, err
-				}
-				row.StarvationTPC += starve.Metrics().TPC()
-				row.StaticTPC += static.Metrics().TPC()
+			for range bms {
+				row.StarvationTPC += ms[idx].TPC()
+				row.StaticTPC += ms[idx+1].TPC()
+				idx += 2
 			}
 			n := float64(len(bms))
 			row.StarvationTPC /= n
@@ -292,8 +384,10 @@ type ExclusionRow struct {
 // AblationExclusion measures the §2.3.2 exclusion table ("those loops
 // with a poor prediction rate may be good candidates to store in this
 // table"): loops whose predicted threads resolve below the threshold are
-// denied further speculation.
-func AblationExclusion(cfg Config, threshold float64) ([]ExclusionRow, error) {
+// denied further speculation. Two spec cells per benchmark; the
+// exclusion-off cell is Table 2's and deduplicates against it on a
+// shared Runner.
+func AblationExclusion(ctx context.Context, cfg Config, threshold float64) ([]ExclusionRow, error) {
 	if threshold == 0 {
 		threshold = 0.85
 	}
@@ -301,20 +395,22 @@ func AblationExclusion(cfg Config, threshold float64) ([]ExclusionRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]ExclusionRow, 0, len(bms))
+	jobs := make([]runner.Job[spec.Metrics], 0, 2*len(bms))
 	for _, bm := range bms {
-		off := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)})
-		if err := cfg.run(bm, off); err != nil {
-			return nil, err
-		}
-		on := spec.NewEngine(spec.Config{
-			TUs: 4, Policy: spec.STRn(3),
-			Exclude: true, ExcludeThreshold: threshold,
-		})
-		if err := cfg.run(bm, on); err != nil {
-			return nil, err
-		}
-		mOff, mOn := off.Metrics(), on.Metrics()
+		jobs = append(jobs,
+			specJob(cfg, bm, spec.Config{TUs: 4, Policy: spec.STRn(3)}),
+			specJob(cfg, bm, spec.Config{
+				TUs: 4, Policy: spec.STRn(3),
+				Exclude: true, ExcludeThreshold: threshold,
+			}))
+	}
+	ms, err := runner.Map(ctx, cfg.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ExclusionRow, 0, len(bms))
+	for i, bm := range bms {
+		mOff, mOn := ms[2*i], ms[2*i+1]
 		rows = append(rows, ExclusionRow{
 			Bench:  bm.Name,
 			OffHit: mOff.HitRatio(), OnHit: mOn.HitRatio(),
@@ -347,33 +443,42 @@ type OracleRow struct {
 // first run records every execution's true count, a second run
 // speculates with it. The gap between the STR and oracle columns is all
 // the TPC that better iteration-count prediction could ever recover.
-func AblationOracle(cfg Config) ([]OracleRow, error) {
+// Each benchmark is one composite job (the oracle run depends on the
+// recorder pass, so the three runs stay together).
+func AblationOracle(ctx context.Context, cfg Config) ([]OracleRow, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]OracleRow, 0, len(bms))
-	for _, bm := range bms {
-		rec := spec.NewOracleRecorder()
-		if err := cfg.run(bm, rec); err != nil {
-			return nil, err
+	jobs := make([]runner.Job[OracleRow], len(bms))
+	for i, bm := range bms {
+		bm := bm
+		jobs[i] = runner.Job[OracleRow]{
+			Key:   cfg.cellKey("oracle", bm.Name),
+			Label: "oracle " + bm.Name,
+			Run: func(ctx context.Context) (OracleRow, error) {
+				rec := spec.NewOracleRecorder()
+				if err := cfg.run(bm, rec); err != nil {
+					return OracleRow{}, err
+				}
+				str := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STR()})
+				if err := cfg.run(bm, str); err != nil {
+					return OracleRow{}, err
+				}
+				oracle := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STR(), OracleIters: rec.Counts()})
+				if err := cfg.run(bm, oracle); err != nil {
+					return OracleRow{}, err
+				}
+				mS, mO := str.Metrics(), oracle.Metrics()
+				return OracleRow{
+					Bench:  bm.Name,
+					STRTPC: mS.TPC(), OracleTPC: mO.TPC(),
+					STRHit: mS.HitRatio(), OracleHit: mO.HitRatio(),
+				}, nil
+			},
 		}
-		str := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STR()})
-		if err := cfg.run(bm, str); err != nil {
-			return nil, err
-		}
-		oracle := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STR(), OracleIters: rec.Counts()})
-		if err := cfg.run(bm, oracle); err != nil {
-			return nil, err
-		}
-		mS, mO := str.Metrics(), oracle.Metrics()
-		rows = append(rows, OracleRow{
-			Bench:  bm.Name,
-			STRTPC: mS.TPC(), OracleTPC: mO.TPC(),
-			STRHit: mS.HitRatio(), OracleHit: mO.HitRatio(),
-		})
 	}
-	return rows, nil
+	return runner.Map(ctx, cfg.pool(), jobs)
 }
 
 // RenderOracle formats the oracle ablation.

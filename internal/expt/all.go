@@ -1,0 +1,251 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"dynloop/internal/report"
+	"dynloop/internal/runner"
+	"dynloop/internal/spec"
+)
+
+// All regenerates every table, figure, baseline and ablation of the
+// evaluation through one shared runner — so overlapping cells across
+// drivers are computed once — and returns the rendered report in the
+// paper's order. The sections match `dynloop experiment all`.
+func All(ctx context.Context, cfg Config) (string, error) {
+	if cfg.Runner == nil {
+		cfg.Runner = runner.New(runner.Config{Workers: cfg.Parallel, OnEvent: cfg.OnEvent})
+	}
+	var b strings.Builder
+	sections := []struct {
+		name string
+		run  func() (string, error)
+	}{
+		{"table1", func() (string, error) {
+			rows, err := Table1(ctx, cfg)
+			if err != nil {
+				return "", err
+			}
+			return RenderTable1(rows), nil
+		}},
+		{"fig4", func() (string, error) {
+			pts, err := Fig4(ctx, cfg)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig4(pts), nil
+		}},
+		{"fig5", func() (string, error) {
+			rows, err := Fig5(ctx, cfg)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig5(rows), nil
+		}},
+		{"fig6", func() (string, error) {
+			rows, err := Fig6(ctx, cfg)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig6(rows), nil
+		}},
+		{"fig7", func() (string, error) {
+			cells, err := Fig7(ctx, cfg)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig7(cells), nil
+		}},
+		{"table2", func() (string, error) {
+			rows, err := Table2(ctx, cfg)
+			if err != nil {
+				return "", err
+			}
+			return RenderTable2(rows), nil
+		}},
+		{"fig8", func() (string, error) {
+			rows, avg, err := Fig8(ctx, cfg)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig8(rows, avg), nil
+		}},
+		{"baseline", func() (string, error) {
+			rows, err := BaselineBranchPred(ctx, cfg)
+			if err != nil {
+				return "", err
+			}
+			trows, err := BaselineTaskPred(ctx, cfg)
+			if err != nil {
+				return "", err
+			}
+			return RenderBaseline(rows) + "\n" + RenderTaskPred(trows), nil
+		}},
+		{"ablations", func() (string, error) {
+			var s strings.Builder
+			cls, err := AblationCLSSize(ctx, cfg, nil)
+			if err != nil {
+				return "", err
+			}
+			s.WriteString(RenderCLSSize(cls))
+			let, err := AblationLETCapacity(ctx, cfg, nil)
+			if err != nil {
+				return "", err
+			}
+			s.WriteString(RenderLETCapacity(let))
+			rep, err := AblationReplacement(ctx, cfg, nil)
+			if err != nil {
+				return "", err
+			}
+			s.WriteString(RenderReplacement(rep))
+			ones, err := AblationOneShots(ctx, cfg)
+			if err != nil {
+				return "", err
+			}
+			s.WriteString(RenderOneShots(ones))
+			nr, err := AblationNestRule(ctx, cfg, nil)
+			if err != nil {
+				return "", err
+			}
+			s.WriteString(RenderNestRule(nr))
+			ex, err := AblationExclusion(ctx, cfg, 0)
+			if err != nil {
+				return "", err
+			}
+			s.WriteString(RenderExclusion(ex))
+			or, err := AblationOracle(ctx, cfg)
+			if err != nil {
+				return "", err
+			}
+			s.WriteString(RenderOracle(or))
+			return s.String(), nil
+		}},
+	}
+	for _, sec := range sections {
+		out, err := sec.run()
+		if err != nil {
+			return "", fmt.Errorf("expt: %s: %w", sec.name, err)
+		}
+		b.WriteString(out)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// SweepSpec selects the grid a Sweep runs: every configured benchmark ×
+// policy × machine size.
+type SweepSpec struct {
+	// Policies to grid over; nil selects the paper's five (IDLE, STR,
+	// STR(1..3)).
+	Policies []spec.Policy
+	// TUs are the machine sizes; nil selects the paper's 2–16.
+	TUs []int
+}
+
+func (s SweepSpec) policies() []spec.Policy {
+	if len(s.Policies) == 0 {
+		return Fig7Policies()
+	}
+	return s.Policies
+}
+
+func (s SweepSpec) tus() []int {
+	if len(s.TUs) == 0 {
+		return Fig6TUs
+	}
+	return s.TUs
+}
+
+// SweepRow is one cell of a Sweep grid.
+type SweepRow struct {
+	Bench  string
+	Policy string
+	TUs    int
+	M      spec.Metrics
+}
+
+// Sweep runs an arbitrary benchmark × policy × TUs grid through the
+// runner and returns one row per cell, in benchmark-major order. It is
+// the workhorse behind `dynloop sweep` and the scale-out benchmark.
+func Sweep(ctx context.Context, cfg Config, sw SweepSpec) ([]SweepRow, error) {
+	bms, err := cfg.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	pols, tus := sw.policies(), sw.tus()
+	jobs := make([]runner.Job[spec.Metrics], 0, len(bms)*len(pols)*len(tus))
+	for _, bm := range bms {
+		for _, pol := range pols {
+			for _, k := range tus {
+				jobs = append(jobs, specJob(cfg, bm, spec.Config{TUs: k, Policy: pol}))
+			}
+		}
+	}
+	ms, err := runner.Map(ctx, cfg.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SweepRow, len(ms))
+	i := 0
+	for _, bm := range bms {
+		for _, pol := range pols {
+			for _, k := range tus {
+				rows[i] = SweepRow{Bench: bm.Name, Policy: pol.String(), TUs: k, M: ms[i]}
+				i++
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderSweep formats a sweep grid.
+func RenderSweep(rows []SweepRow) string {
+	t := report.NewTable("Sweep: benchmark × policy × TUs",
+		"bench", "policy", "TUs", "TPC", "hit %", "#spec.", "threads/spec")
+	for _, r := range rows {
+		t.AddRow(r.Bench, r.Policy, r.TUs, r.M.TPC(), r.M.HitRatio(), r.M.SpecEvents, r.M.ThreadsPerSpec())
+	}
+	return t.String()
+}
+
+// SweepGridSize reports how many cells a spec expands to under cfg, for
+// progress displays.
+func SweepGridSize(cfg Config, sw SweepSpec) (int, error) {
+	bms, err := cfg.benchmarks()
+	if err != nil {
+		return 0, err
+	}
+	return len(bms) * len(sw.policies()) * len(sw.tus()), nil
+}
+
+// ParsePolicies turns CLI policy names (idle, str, strN) into policies.
+func ParsePolicies(names []string) ([]spec.Policy, error) {
+	out := make([]spec.Policy, 0, len(names))
+	for _, name := range names {
+		pol, err := workloadPolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pol)
+	}
+	return out, nil
+}
+
+func workloadPolicy(name string) (spec.Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "idle":
+		return spec.Idle(), nil
+	case "str":
+		return spec.STR(), nil
+	case "str1":
+		return spec.STRn(1), nil
+	case "str2":
+		return spec.STRn(2), nil
+	case "str3":
+		return spec.STRn(3), nil
+	default:
+		return spec.Policy{}, fmt.Errorf("unknown policy %q (idle|str|str1|str2|str3)", name)
+	}
+}

@@ -1,13 +1,15 @@
 package expt
 
 import (
+	"context"
+
 	"dynloop/internal/branchpred"
 	"dynloop/internal/harness"
 	"dynloop/internal/report"
+	"dynloop/internal/runner"
 	"dynloop/internal/spec"
 	"dynloop/internal/taskpred"
 	"dynloop/internal/trace"
-	"dynloop/internal/workload"
 )
 
 // BaselineRow is one benchmark's conventional branch-prediction
@@ -19,31 +21,41 @@ type BaselineRow struct {
 	Results []branchpred.Result
 }
 
-// BaselineBranchPred measures the classic predictors on every workload.
-// The column to look at is the backward-branch accuracy: the paper's
-// premise is that loop closing branches are highly predictable, which is
-// exactly what the whole-iteration speculation exploits.
-func BaselineBranchPred(cfg Config) ([]BaselineRow, error) {
+// BaselineBranchPred measures the classic predictors on every workload,
+// one job per benchmark. The column to look at is the backward-branch
+// accuracy: the paper's premise is that loop closing branches are highly
+// predictable, which is exactly what the whole-iteration speculation
+// exploits.
+func BaselineBranchPred(ctx context.Context, cfg Config) ([]BaselineRow, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	return parMap(bms, func(bm workload.Benchmark) (BaselineRow, error) {
-		u, err := bm.Build(cfg.seed())
-		if err != nil {
-			return BaselineRow{}, err
+	jobs := make([]runner.Job[BaselineRow], len(bms))
+	for i, bm := range bms {
+		bm := bm
+		jobs[i] = runner.Job[BaselineRow]{
+			Key:   cfg.cellKey("branchpred", bm.Name),
+			Label: "branchpred " + bm.Name,
+			Run: func(ctx context.Context) (BaselineRow, error) {
+				u, err := bm.Build(cfg.seed())
+				if err != nil {
+					return BaselineRow{}, err
+				}
+				suite := branchpred.DefaultSuite()
+				hc := harness.Config{
+					Budget:      cfg.budget(),
+					CLSCapacity: cfg.CLSCapacity,
+					PreDetector: []trace.Consumer{suite},
+				}
+				if _, err := harness.Run(u, hc); err != nil {
+					return BaselineRow{}, err
+				}
+				return BaselineRow{Bench: bm.Name, Results: suite.Results()}, nil
+			},
 		}
-		suite := branchpred.DefaultSuite()
-		hc := harness.Config{
-			Budget:      cfg.budget(),
-			CLSCapacity: cfg.CLSCapacity,
-			PreDetector: []trace.Consumer{suite},
-		}
-		if _, err := harness.Run(u, hc); err != nil {
-			return BaselineRow{}, err
-		}
-		return BaselineRow{Bench: bm.Name, Results: suite.Results()}, nil
-	})
+	}
+	return runner.Map(ctx, cfg.pool(), jobs)
 }
 
 // RenderBaseline formats the branch-prediction baseline.
@@ -85,26 +97,36 @@ type TaskPredRow struct {
 }
 
 // BaselineTaskPred measures the multiscalar-style next-task predictor
-// against the paper's iteration-count speculation on every workload.
-func BaselineTaskPred(cfg Config) ([]TaskPredRow, error) {
+// against the paper's iteration-count speculation on every workload. One
+// composite job per benchmark: both observers share a single pass.
+func BaselineTaskPred(ctx context.Context, cfg Config) ([]TaskPredRow, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	return parMap(bms, func(bm workload.Benchmark) (TaskPredRow, error) {
-		tp := taskpred.New(taskpred.Config{})
-		e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)})
-		if err := cfg.run(bm, tp, e); err != nil {
-			return TaskPredRow{}, err
+	jobs := make([]runner.Job[TaskPredRow], len(bms))
+	for i, bm := range bms {
+		bm := bm
+		jobs[i] = runner.Job[TaskPredRow]{
+			Key:   cfg.cellKey("taskpred", bm.Name),
+			Label: "taskpred " + bm.Name,
+			Run: func(ctx context.Context) (TaskPredRow, error) {
+				tp := taskpred.New(taskpred.Config{})
+				e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)})
+				if err := cfg.run(bm, tp, e); err != nil {
+					return TaskPredRow{}, err
+				}
+				acc, n := tp.Accuracy()
+				return TaskPredRow{
+					Bench:       bm.Name,
+					NextTaskPct: acc,
+					Scored:      n,
+					IterHitPct:  e.Metrics().HitRatio(),
+				}, nil
+			},
 		}
-		acc, n := tp.Accuracy()
-		return TaskPredRow{
-			Bench:       bm.Name,
-			NextTaskPct: acc,
-			Scored:      n,
-			IterHitPct:  e.Metrics().HitRatio(),
-		}, nil
-	})
+	}
+	return runner.Map(ctx, cfg.pool(), jobs)
 }
 
 // RenderTaskPred formats the next-task baseline.

@@ -2,16 +2,25 @@
 // figure of the paper's evaluation, plus the ablations called out in
 // DESIGN.md. The CLI (cmd/dynloop), the examples and the root benchmark
 // harness all run experiments through this package.
+//
+// Every driver decomposes its table or figure into independent cells
+// (benchmark × policy × table-capacity × ablation) and submits them as a
+// job list to an internal/runner pool, so experiments parallelise across
+// GOMAXPROCS while producing byte-identical output at any worker count.
+// Share one Runner across drivers (as All and the CLI do) and
+// overlapping cells — Figure 7's STR column is Figure 6, its STR(3)/4TU
+// cells are Table 2's — are computed once.
 package expt
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"dynloop/internal/builder"
 	"dynloop/internal/harness"
 	"dynloop/internal/loopdet"
+	"dynloop/internal/runner"
+	"dynloop/internal/spec"
 	"dynloop/internal/workload"
 )
 
@@ -28,6 +37,17 @@ type Config struct {
 	Benchmarks []string
 	// CLSCapacity overrides the CLS size (0 = the paper's 16).
 	CLSCapacity int
+	// Parallel bounds the worker goroutines when the driver builds its
+	// own runner (0 = GOMAXPROCS); 1 reproduces the sequential schedule.
+	// Ignored when Runner is set.
+	Parallel int
+	// Runner, when non-nil, executes the driver's jobs. Share one across
+	// drivers to deduplicate repeated cells and pool the worker bound;
+	// leave nil and each driver call runs on a private runner.
+	Runner *runner.Runner
+	// OnEvent streams per-job progress when the driver builds its own
+	// runner. Ignored when Runner is set (configure it there instead).
+	OnEvent func(runner.Event)
 }
 
 // DefaultBudget is the per-benchmark instruction budget experiments use
@@ -48,6 +68,14 @@ func (c Config) seed() uint64 {
 	return c.Seed
 }
 
+// pool resolves the runner the driver submits its jobs to.
+func (c Config) pool() *runner.Runner {
+	if c.Runner != nil {
+		return c.Runner
+	}
+	return runner.New(runner.Config{Workers: c.Parallel, OnEvent: c.OnEvent})
+}
+
 // benchmarks resolves the configured subset.
 func (c Config) benchmarks() ([]workload.Benchmark, error) {
 	if len(c.Benchmarks) == 0 {
@@ -62,6 +90,17 @@ func (c Config) benchmarks() ([]workload.Benchmark, error) {
 		out = append(out, bm)
 	}
 	return out, nil
+}
+
+// cellKey builds a runner cache key: the Config fields every run depends
+// on, then the cell's own coordinates. Keys must determine the result
+// (and its Go type) completely — see runner.Job.
+func (c Config) cellKey(parts ...any) string {
+	key := fmt.Sprintf("b%d|s%d|cls%d", c.budget(), c.seed(), c.CLSCapacity)
+	for _, p := range parts {
+		key += fmt.Sprintf("|%v", p)
+	}
+	return key
 }
 
 // run builds one benchmark and executes it under the configured budget
@@ -86,29 +125,27 @@ func runWithResult(cfg Config, u *builder.Unit, observers ...loopdet.Observer) (
 	return harness.Run(u, hc, observers...)
 }
 
-// parMap runs fn once per benchmark, concurrently (bounded by
-// runtime.GOMAXPROCS), and returns the results in benchmark order.
-// Every run builds its own unit and observers, so runs are independent;
-// determinism is preserved because results are slotted by index.
-func parMap[T any](bms []workload.Benchmark, fn func(bm workload.Benchmark) (T, error)) ([]T, error) {
-	out := make([]T, len(bms))
-	errs := make([]error, len(bms))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, bm := range bms {
-		wg.Add(1)
-		go func(i int, bm workload.Benchmark) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = fn(bm)
-		}(i, bm)
+// specJob is the shared benchmark × engine-configuration cell that
+// Table 2, Figures 5–7, the sweep command and several ablations are all
+// built from; the cache key covers every spec.Config field so distinct
+// configurations never collide, while identical cells submitted by
+// different drivers on a shared Runner are computed once. ec.OracleIters
+// must be nil (a slice cannot be keyed); oracle runs use dedicated
+// composite jobs instead.
+func specJob(cfg Config, bm workload.Benchmark, ec spec.Config) runner.Job[spec.Metrics] {
+	if ec.OracleIters != nil {
+		panic("expt: specJob cannot key an oracle run")
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	return runner.Job[spec.Metrics]{
+		Key: cfg.cellKey("spec", bm.Name, ec.TUs, ec.Policy, ec.LETCapacity, ec.NestRule,
+			ec.Exclude, ec.ExcludeThreshold, ec.ExcludeMinResolved, ec.ExcludeCapacity),
+		Label: fmt.Sprintf("%s %s/%d TUs", bm.Name, ec.Policy, ec.TUs),
+		Run: func(ctx context.Context) (spec.Metrics, error) {
+			e := spec.NewEngine(ec)
+			if err := cfg.run(bm, e); err != nil {
+				return spec.Metrics{}, err
+			}
+			return e.Metrics(), nil
+		},
 	}
-	return out, nil
 }

@@ -1,10 +1,12 @@
 package expt
 
 import (
-	"errors"
+	"context"
+	"strings"
 	"testing"
 
-	"dynloop/internal/workload"
+	"dynloop/internal/runner"
+	"dynloop/internal/spec"
 )
 
 // TestConfigDefaults covers budget/seed defaulting and subset
@@ -31,45 +33,38 @@ func TestConfigDefaults(t *testing.T) {
 	}
 }
 
-// TestParMapOrderAndErrors: results keep benchmark order; any error
-// surfaces.
-func TestParMapOrderAndErrors(t *testing.T) {
-	bms, err := Config{}.benchmarks()
-	if err != nil {
-		t.Fatal(err)
+// TestCellKeyCoversConfig: cells that must not collide don't.
+func TestCellKeyCoversConfig(t *testing.T) {
+	a := Config{Budget: 100}.cellKey("spec", "swim", 4)
+	variants := []string{
+		Config{Budget: 200}.cellKey("spec", "swim", 4),
+		Config{Budget: 100, Seed: 2}.cellKey("spec", "swim", 4),
+		Config{Budget: 100, CLSCapacity: 8}.cellKey("spec", "swim", 4),
+		Config{Budget: 100}.cellKey("spec", "swim", 8),
+		Config{Budget: 100}.cellKey("spec", "gcc", 4),
+		Config{Budget: 100}.cellKey("table1", "swim", 4),
 	}
-	names, err := parMap(bms, func(bm workload.Benchmark) (string, error) {
-		return bm.Name, nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range bms {
-		if names[i] != bms[i].Name {
-			t.Fatalf("order broken at %d: %s vs %s", i, names[i], bms[i].Name)
+	for i, v := range variants {
+		if v == a {
+			t.Fatalf("variant %d collides with base key %q", i, a)
 		}
 	}
-	boom := errors.New("boom")
-	_, err = parMap(bms, func(bm workload.Benchmark) (string, error) {
-		if bm.Name == "li" {
-			return "", boom
-		}
-		return bm.Name, nil
-	})
-	if !errors.Is(err, boom) {
-		t.Fatalf("err = %v, want boom", err)
+	// Parallelism must NOT change the key: the result is the same cell.
+	if b := (Config{Budget: 100, Parallel: 8}).cellKey("spec", "swim", 4); b != a {
+		t.Fatalf("worker count leaked into the cell key: %q vs %q", b, a)
 	}
 }
 
 // TestParallelEqualsSerial: a parallel Table1 run must equal a repeat of
-// itself (each goroutine owns its unit, so parallelism cannot leak).
+// itself (each job owns its unit, so parallelism cannot leak).
 func TestParallelEqualsSerial(t *testing.T) {
+	ctx := context.Background()
 	cfg := Config{Budget: 60_000}
-	a, err := Table1(cfg)
+	a, err := Table1(ctx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Table1(cfg)
+	b, err := Table1(ctx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,68 +75,182 @@ func TestParallelEqualsSerial(t *testing.T) {
 	}
 }
 
+// TestAllDriversParallelDeterminism is the acceptance property of the
+// orchestrator: the full rendered report — every table, figure, baseline
+// and ablation — is byte-identical at 1 worker and at 8.
+func TestAllDriversParallelDeterminism(t *testing.T) {
+	base := Config{Budget: 50_000, Benchmarks: []string{"m88ksim", "perl"}}
+	render := func(parallel int) string {
+		cfg := base
+		cfg.Parallel = parallel
+		out, err := All(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return out
+	}
+	seq, par := render(1), render(8)
+	if seq != par {
+		t.Fatalf("report diverges between -parallel 1 and -parallel 8:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "Table 1") || !strings.Contains(seq, "Figure 7") || !strings.Contains(seq, "oracle") {
+		t.Fatalf("report is missing sections:\n%s", seq)
+	}
+}
+
+// TestSharedRunnerDeduplicates: run Fig6 then Fig7 on one Runner — the
+// STR column of Figure 7 is exactly Figure 6, so every one of those
+// cells must come from the cache, and both figures must agree.
+func TestSharedRunnerDeduplicates(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{Budget: 50_000, Benchmarks: []string{"swim", "compress"}, Runner: runner.New(runner.Config{Workers: 4})}
+	f6, err := Fig6(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after6 := cfg.Runner.Stats()
+	f7, err := Fig7(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after7 := cfg.Runner.Stats()
+	// Fig7 grid: 2 benches × 5 policies × 4 TUs = 40 cells, of which the
+	// 8 STR cells already ran in Fig6.
+	executedByFig7 := after7.Executed - after6.Executed
+	if executedByFig7 != 32 {
+		t.Fatalf("Fig7 executed %d cells, want 32 (8 STR cells cached)", executedByFig7)
+	}
+	hits := after7.CacheHits + after7.Coalesced - after6.CacheHits - after6.Coalesced
+	if hits != 8 {
+		t.Fatalf("Fig7 hit the cache %d times, want 8", hits)
+	}
+	// And the deduplicated numbers agree across the two figures.
+	strAvg := map[int]float64{}
+	for _, r := range f6 {
+		for tus, tpc := range r.TPC {
+			strAvg[tus] += tpc / float64(len(f6))
+		}
+	}
+	for _, c := range f7 {
+		if c.Policy != "STR" {
+			continue
+		}
+		if got := strAvg[c.TUs]; got != c.AvgTPC {
+			t.Fatalf("STR@%dTU: fig6 avg %v != fig7 avg %v", c.TUs, got, c.AvgTPC)
+		}
+	}
+}
+
+// TestDriverCancellation: a cancelled context aborts a driver with the
+// context error.
+func TestDriverCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Table1(ctx, Config{Budget: 50_000}); err == nil {
+		t.Fatal("cancelled Table1 returned no error")
+	}
+	if _, err := All(ctx, Config{Budget: 50_000, Benchmarks: []string{"swim"}}); err == nil {
+		t.Fatal("cancelled All returned no error")
+	}
+}
+
+// TestSweepGrid covers the sweep driver: grid shape, defaults, render.
+func TestSweepGrid(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{Budget: 50_000, Benchmarks: []string{"swim", "li"}}
+	rows, err := Sweep(ctx, cfg, SweepSpec{Policies: []spec.Policy{spec.STR(), spec.Idle()}, TUs: []int{2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*2*2 {
+		t.Fatalf("grid size %d, want 8", len(rows))
+	}
+	if rows[0].Bench != "swim" || rows[0].Policy != "STR" || rows[0].TUs != 2 {
+		t.Fatalf("unexpected first cell: %+v", rows[0])
+	}
+	for _, r := range rows {
+		if r.M.TPC() < 1.0-1e-9 {
+			t.Fatalf("cell %s/%s/%d has TPC %v < 1", r.Bench, r.Policy, r.TUs, r.M.TPC())
+		}
+	}
+	if RenderSweep(rows) == "" {
+		t.Fatal("empty sweep render")
+	}
+	n, err := SweepGridSize(cfg, SweepSpec{})
+	if err != nil || n != 2*5*4 {
+		t.Fatalf("default grid size = %d (%v), want 40", n, err)
+	}
+	if _, err := ParsePolicies([]string{"idle", "str3"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParsePolicies([]string{"bogus"}); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
 // TestDriversSmoke exercises every table/figure/ablation driver on a
 // small subset so the drivers themselves are covered in-package (the
 // root integration tests exercise them through the facade).
 func TestDriversSmoke(t *testing.T) {
+	ctx := context.Background()
 	cfg := Config{Budget: 80_000, Benchmarks: []string{"m88ksim", "perl"}}
-	if rows, err := Table1(cfg); err != nil || len(rows) != 2 {
+	if rows, err := Table1(ctx, cfg); err != nil || len(rows) != 2 {
 		t.Fatalf("table1: %v", err)
 	} else if RenderTable1(rows) == "" {
 		t.Fatal("empty render")
 	}
-	if rows, err := Table2(cfg); err != nil || len(rows) != 2 {
+	if rows, err := Table2(ctx, cfg); err != nil || len(rows) != 2 {
 		t.Fatalf("table2: %v", err)
 	} else if RenderTable2(rows) == "" {
 		t.Fatal("empty render")
 	}
-	if pts, err := Fig4(cfg); err != nil || RenderFig4(pts) == "" {
+	if pts, err := Fig4(ctx, cfg); err != nil || RenderFig4(pts) == "" {
 		t.Fatalf("fig4: %v", err)
 	}
-	if rows, err := Fig5(cfg); err != nil || RenderFig5(rows) == "" {
+	if rows, err := Fig5(ctx, cfg); err != nil || RenderFig5(rows) == "" {
 		t.Fatalf("fig5: %v", err)
 	}
-	if rows, err := Fig6(cfg); err != nil || RenderFig6(rows) == "" {
+	if rows, err := Fig6(ctx, cfg); err != nil || RenderFig6(rows) == "" {
 		t.Fatalf("fig6: %v", err)
 	}
-	if cells, err := Fig7(cfg); err != nil || RenderFig7(cells) == "" {
+	if cells, err := Fig7(ctx, cfg); err != nil || RenderFig7(cells) == "" {
 		t.Fatalf("fig7: %v", err)
 	}
-	if rows, avg, err := Fig8(cfg); err != nil || RenderFig8(rows, avg) == "" {
+	if rows, avg, err := Fig8(ctx, cfg); err != nil || RenderFig8(rows, avg) == "" {
 		t.Fatalf("fig8: %v", err)
 	}
-	if rows, err := BaselineBranchPred(cfg); err != nil || RenderBaseline(rows) == "" {
+	if rows, err := BaselineBranchPred(ctx, cfg); err != nil || RenderBaseline(rows) == "" {
 		t.Fatalf("baseline: %v", err)
 	}
-	if rows, err := BaselineTaskPred(cfg); err != nil || RenderTaskPred(rows) == "" {
+	if rows, err := BaselineTaskPred(ctx, cfg); err != nil || RenderTaskPred(rows) == "" {
 		t.Fatalf("taskpred: %v", err)
 	}
-	if rows, err := AblationCLSSize(cfg, []int{4}); err != nil || RenderCLSSize(rows) == "" {
+	if rows, err := AblationCLSSize(ctx, cfg, []int{4}); err != nil || RenderCLSSize(rows) == "" {
 		t.Fatalf("cls: %v", err)
 	}
-	if rows, err := AblationLETCapacity(cfg, []int{4}); err != nil || RenderLETCapacity(rows) == "" {
+	if rows, err := AblationLETCapacity(ctx, cfg, []int{4}); err != nil || RenderLETCapacity(rows) == "" {
 		t.Fatalf("let: %v", err)
 	}
-	if rows, err := AblationReplacement(cfg, []int{4}); err != nil || RenderReplacement(rows) == "" {
+	if rows, err := AblationReplacement(ctx, cfg, []int{4}); err != nil || RenderReplacement(rows) == "" {
 		t.Fatalf("replacement: %v", err)
 	}
-	if rows, err := AblationOneShots(cfg); err != nil || RenderOneShots(rows) == "" {
+	if rows, err := AblationOneShots(ctx, cfg); err != nil || RenderOneShots(rows) == "" {
 		t.Fatalf("oneshots: %v", err)
 	}
-	if rows, err := AblationNestRule(cfg, []int{4}); err != nil || RenderNestRule(rows) == "" {
+	if rows, err := AblationNestRule(ctx, cfg, []int{4}); err != nil || RenderNestRule(rows) == "" {
 		t.Fatalf("nestrule: %v", err)
 	}
-	if rows, err := AblationExclusion(cfg, 0.85); err != nil || RenderExclusion(rows) == "" {
+	if rows, err := AblationExclusion(ctx, cfg, 0.85); err != nil || RenderExclusion(rows) == "" {
 		t.Fatalf("exclusion: %v", err)
 	}
-	if rows, err := AblationOracle(cfg); err != nil || RenderOracle(rows) == "" {
+	if rows, err := AblationOracle(ctx, cfg); err != nil || RenderOracle(rows) == "" {
 		t.Fatalf("oracle: %v", err)
 	}
 }
 
 // TestOracleBeatsBlindSTR: the oracle ablation's defining property.
 func TestOracleBeatsBlindSTR(t *testing.T) {
-	rows, err := AblationOracle(Config{Budget: 150_000, Benchmarks: []string{"applu"}})
+	rows, err := AblationOracle(context.Background(), Config{Budget: 150_000, Benchmarks: []string{"applu"}})
 	if err != nil {
 		t.Fatal(err)
 	}

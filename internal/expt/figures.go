@@ -1,13 +1,15 @@
 package expt
 
 import (
+	"context"
+	"fmt"
 	"strings"
 
 	"dynloop/internal/datapred"
 	"dynloop/internal/looptab"
 	"dynloop/internal/report"
+	"dynloop/internal/runner"
 	"dynloop/internal/spec"
-	"dynloop/internal/workload"
 )
 
 // Fig4Point is the average LET/LIT hit ratio at one table size.
@@ -21,27 +23,51 @@ type Fig4Point struct {
 // Fig4Sizes are the table sizes the paper sweeps.
 var Fig4Sizes = []int{2, 4, 8, 16}
 
+// fig4Cell is one benchmark's hit ratios at one table size.
+type fig4Cell struct {
+	LET, LIT float64
+}
+
 // Fig4 reproduces Figure 4: LET and LIT hit ratios for 2–16 entries,
-// averaged over the suite (CLS fixed at 16 entries as in §2.3.1).
-func Fig4(cfg Config) ([]Fig4Point, error) {
+// averaged over the suite (CLS fixed at 16 entries as in §2.3.1). The
+// grid is one size × benchmark job per cell.
+func Fig4(ctx context.Context, cfg Config) ([]Fig4Point, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	points := make([]Fig4Point, 0, len(Fig4Sizes))
+	jobs := make([]runner.Job[fig4Cell], 0, len(Fig4Sizes)*len(bms))
 	for _, size := range Fig4Sizes {
-		var letSum, litSum float64
 		for _, bm := range bms {
-			tr := looptab.NewTracker(size, size)
-			if err := cfg.run(bm, tr); err != nil {
-				return nil, err
-			}
-			let, _ := tr.LET.HitRatio()
-			lit, _ := tr.LIT.HitRatio()
-			letSum += let
-			litSum += lit
+			size, bm := size, bm
+			jobs = append(jobs, runner.Job[fig4Cell]{
+				Key:   cfg.cellKey("fig4", size, bm.Name),
+				Label: fmt.Sprintf("fig4 %s/%d entries", bm.Name, size),
+				Run: func(ctx context.Context) (fig4Cell, error) {
+					tr := looptab.NewTracker(size, size)
+					if err := cfg.run(bm, tr); err != nil {
+						return fig4Cell{}, err
+					}
+					let, _ := tr.LET.HitRatio()
+					lit, _ := tr.LIT.HitRatio()
+					return fig4Cell{LET: let, LIT: lit}, nil
+				},
+			})
 		}
-		n := float64(len(bms))
+	}
+	cells, err := runner.Map(ctx, cfg.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(len(bms))
+	points := make([]Fig4Point, 0, len(Fig4Sizes))
+	for si, size := range Fig4Sizes {
+		var letSum, litSum float64
+		for bi := range bms {
+			c := cells[si*len(bms)+bi]
+			letSum += c.LET
+			litSum += c.LIT
+		}
 		points = append(points, Fig4Point{
 			Entries: size,
 			LETPct:  100 * letSum / n,
@@ -74,29 +100,34 @@ type Fig5Row struct {
 }
 
 // Fig5 reproduces Figure 5: TPC for a machine with unlimited thread
-// units, full vs reduced instruction window.
-func Fig5(cfg Config) ([]Fig5Row, error) {
+// units, full vs reduced instruction window — two spec cells per
+// benchmark (the budget is part of the cell key).
+func Fig5(ctx context.Context, cfg Config) ([]Fig5Row, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	return parMap(bms, func(bm workload.Benchmark) (Fig5Row, error) {
-		full := spec.NewEngine(spec.Config{TUs: 0})
-		if err := cfg.run(bm, full); err != nil {
-			return Fig5Row{}, err
-		}
-		reducedCfg := cfg
-		reducedCfg.Budget = cfg.budget() / 4
-		reduced := spec.NewEngine(spec.Config{TUs: 0})
-		if err := reducedCfg.run(bm, reduced); err != nil {
-			return Fig5Row{}, err
-		}
-		return Fig5Row{
+	reducedCfg := cfg
+	reducedCfg.Budget = cfg.budget() / 4
+	jobs := make([]runner.Job[spec.Metrics], 0, 2*len(bms))
+	for _, bm := range bms {
+		jobs = append(jobs,
+			specJob(cfg, bm, spec.Config{TUs: 0}),
+			specJob(reducedCfg, bm, spec.Config{TUs: 0}))
+	}
+	ms, err := runner.Map(ctx, cfg.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig5Row, len(bms))
+	for i, bm := range bms {
+		rows[i] = Fig5Row{
 			Bench:      bm.Name,
-			TPCFull:    full.Metrics().TPC(),
-			TPCReduced: reduced.Metrics().TPC(),
-		}, nil
-	})
+			TPCFull:    ms[2*i].TPC(),
+			TPCReduced: ms[2*i+1].TPC(),
+		}
+	}
+	return rows, nil
 }
 
 // RenderFig5 formats Figure 5 as log-scale bars.
@@ -127,23 +158,31 @@ type Fig6Row struct {
 }
 
 // Fig6 reproduces Figure 6: per-program TPC under the STR policy for
-// 2–16 TUs.
-func Fig6(cfg Config) ([]Fig6Row, error) {
+// 2–16 TUs — a benchmark × machine-size cell grid.
+func Fig6(ctx context.Context, cfg Config) ([]Fig6Row, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	return parMap(bms, func(bm workload.Benchmark) (Fig6Row, error) {
-		row := Fig6Row{Bench: bm.Name, TPC: make(map[int]float64, len(Fig6TUs))}
+	jobs := make([]runner.Job[spec.Metrics], 0, len(bms)*len(Fig6TUs))
+	for _, bm := range bms {
 		for _, tus := range Fig6TUs {
-			e := spec.NewEngine(spec.Config{TUs: tus, Policy: spec.STR()})
-			if err := cfg.run(bm, e); err != nil {
-				return Fig6Row{}, err
-			}
-			row.TPC[tus] = e.Metrics().TPC()
+			jobs = append(jobs, specJob(cfg, bm, spec.Config{TUs: tus, Policy: spec.STR()}))
 		}
-		return row, nil
-	})
+	}
+	ms, err := runner.Map(ctx, cfg.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig6Row, len(bms))
+	for i, bm := range bms {
+		row := Fig6Row{Bench: bm.Name, TPC: make(map[int]float64, len(Fig6TUs))}
+		for j, tus := range Fig6TUs {
+			row.TPC[tus] = ms[i*len(Fig6TUs)+j].TPC()
+		}
+		rows[i] = row
+	}
+	return rows, nil
 }
 
 // RenderFig6 formats Figure 6, including the per-size suite average (the
@@ -180,36 +219,33 @@ type Fig7Cell struct {
 }
 
 // Fig7 reproduces Figure 7: average TPC for IDLE, STR and STR(1..3)
-// across 2–16 TUs.
-func Fig7(cfg Config) ([]Fig7Cell, error) {
+// across 2–16 TUs. The benchmark × policy × TUs grid is one flat job
+// list; on a shared Runner its STR column deduplicates against Figure 6
+// and its STR(3)/4TU cells against Table 2.
+func Fig7(ctx context.Context, cfg Config) ([]Fig7Cell, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	type benchCells struct{ tpc map[string]map[int]float64 }
-	per, err := parMap(bms, func(bm workload.Benchmark) (benchCells, error) {
-		bc := benchCells{tpc: map[string]map[int]float64{}}
-		for _, pol := range Fig7Policies() {
-			bc.tpc[pol.String()] = map[int]float64{}
+	pols := Fig7Policies()
+	jobs := make([]runner.Job[spec.Metrics], 0, len(bms)*len(pols)*len(Fig6TUs))
+	for _, bm := range bms {
+		for _, pol := range pols {
 			for _, tus := range Fig6TUs {
-				e := spec.NewEngine(spec.Config{TUs: tus, Policy: pol})
-				if err := cfg.run(bm, e); err != nil {
-					return benchCells{}, err
-				}
-				bc.tpc[pol.String()][tus] = e.Metrics().TPC()
+				jobs = append(jobs, specJob(cfg, bm, spec.Config{TUs: tus, Policy: pol}))
 			}
 		}
-		return bc, nil
-	})
+	}
+	ms, err := runner.Map(ctx, cfg.pool(), jobs)
 	if err != nil {
 		return nil, err
 	}
-	var cells []Fig7Cell
-	for _, pol := range Fig7Policies() {
-		for _, tus := range Fig6TUs {
+	cells := make([]Fig7Cell, 0, len(pols)*len(Fig6TUs))
+	for pi, pol := range pols {
+		for ti, tus := range Fig6TUs {
 			var sum float64
-			for _, bc := range per {
-				sum += bc.tpc[pol.String()][tus]
+			for bi := range bms {
+				sum += ms[(bi*len(pols)+pi)*len(Fig6TUs)+ti].TPC()
 			}
 			cells = append(cells, Fig7Cell{Policy: pol.String(), TUs: tus, AvgTPC: sum / float64(len(bms))})
 		}
@@ -246,19 +282,28 @@ type Fig8Row struct {
 }
 
 // Fig8 reproduces Figure 8: path regularity and live-in predictability
-// (LIT/LET unbounded, as the paper assumes).
-func Fig8(cfg Config) ([]Fig8Row, Fig8Row, error) {
+// (LIT/LET unbounded, as the paper assumes) — one job per benchmark.
+func Fig8(ctx context.Context, cfg Config) ([]Fig8Row, Fig8Row, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, Fig8Row{}, err
 	}
-	rows, err := parMap(bms, func(bm workload.Benchmark) (Fig8Row, error) {
-		c := datapred.NewCollector(datapred.Config{})
-		if err := cfg.run(bm, c); err != nil {
-			return Fig8Row{}, err
+	jobs := make([]runner.Job[Fig8Row], len(bms))
+	for i, bm := range bms {
+		bm := bm
+		jobs[i] = runner.Job[Fig8Row]{
+			Key:   cfg.cellKey("fig8", bm.Name),
+			Label: "fig8 " + bm.Name,
+			Run: func(ctx context.Context) (Fig8Row, error) {
+				c := datapred.NewCollector(datapred.Config{})
+				if err := cfg.run(bm, c); err != nil {
+					return Fig8Row{}, err
+				}
+				return Fig8Row{Bench: bm.Name, S: c.Summary()}, nil
+			},
 		}
-		return Fig8Row{Bench: bm.Name, S: c.Summary()}, nil
-	})
+	}
+	rows, err := runner.Map(ctx, cfg.pool(), jobs)
 	if err != nil {
 		return nil, Fig8Row{}, err
 	}

@@ -1,10 +1,12 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"dynloop/internal/loopstats"
 	"dynloop/internal/report"
+	"dynloop/internal/runner"
 	"dynloop/internal/spec"
 	"dynloop/internal/workload"
 )
@@ -16,19 +18,29 @@ type Table1Row struct {
 	Paper workload.PaperRow
 }
 
-// Table1 reproduces the paper's Table 1 (loop statistics per program).
-func Table1(cfg Config) ([]Table1Row, error) {
+// Table1 reproduces the paper's Table 1 (loop statistics per program),
+// one job per benchmark.
+func Table1(ctx context.Context, cfg Config) ([]Table1Row, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	return parMap(bms, func(bm workload.Benchmark) (Table1Row, error) {
-		c := loopstats.NewCollector()
-		if err := cfg.run(bm, c); err != nil {
-			return Table1Row{}, err
+	jobs := make([]runner.Job[Table1Row], len(bms))
+	for i, bm := range bms {
+		bm := bm
+		jobs[i] = runner.Job[Table1Row]{
+			Key:   cfg.cellKey("table1", bm.Name),
+			Label: "table1 " + bm.Name,
+			Run: func(ctx context.Context) (Table1Row, error) {
+				c := loopstats.NewCollector()
+				if err := cfg.run(bm, c); err != nil {
+					return Table1Row{}, err
+				}
+				return Table1Row{Bench: bm.Name, S: c.Summary(), Paper: bm.Paper}, nil
+			},
 		}
-		return Table1Row{Bench: bm.Name, S: c.Summary(), Paper: bm.Paper}, nil
-	})
+	}
+	return runner.Map(ctx, cfg.pool(), jobs)
 }
 
 // RenderTable1 formats Table 1 with the paper's values alongside.
@@ -55,19 +67,26 @@ type Table2Row struct {
 }
 
 // Table2 reproduces the paper's Table 2: control speculation statistics
-// under STR(3) with 4 TUs.
-func Table2(cfg Config) ([]Table2Row, error) {
+// under STR(3) with 4 TUs — one spec cell per benchmark, shared with
+// Figure 7's STR(3) column when the Runner is.
+func Table2(ctx context.Context, cfg Config) ([]Table2Row, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	return parMap(bms, func(bm workload.Benchmark) (Table2Row, error) {
-		e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)})
-		if err := cfg.run(bm, e); err != nil {
-			return Table2Row{}, err
-		}
-		return Table2Row{Bench: bm.Name, M: e.Metrics(), Paper: bm.Paper}, nil
-	})
+	jobs := make([]runner.Job[spec.Metrics], len(bms))
+	for i, bm := range bms {
+		jobs[i] = specJob(cfg, bm, spec.Config{TUs: 4, Policy: spec.STRn(3)})
+	}
+	ms, err := runner.Map(ctx, cfg.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, len(bms))
+	for i, bm := range bms {
+		rows[i] = Table2Row{Bench: bm.Name, M: ms[i], Paper: bm.Paper}
+	}
+	return rows, nil
 }
 
 // RenderTable2 formats Table 2 with the paper's TPC and hit ratio

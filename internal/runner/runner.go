@@ -1,0 +1,321 @@
+// Package runner is the parallel experiment orchestrator: it fans
+// independent experiment cells (benchmark × policy × table-capacity ×
+// ablation jobs) across a bounded pool of goroutines, deduplicates
+// repeated cells through a keyed result cache, and streams per-job
+// progress events to the caller.
+//
+// The contract that makes parallel experiment output byte-identical to
+// the sequential run is simple: jobs are pure functions of their inputs,
+// and Map slots every result by its job index. Concurrency changes only
+// the wall-clock schedule, never the results or their order. A single
+// Runner may be shared by many drivers (and many concurrent Map calls);
+// the worker bound and the cache are runner-wide, so overlapping cells —
+// Figure 7's STR column is Figure 6, its STR(3)/4TU cell is Table 2 —
+// are computed once per Runner.
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parametrises a Runner.
+type Config struct {
+	// Workers bounds the number of concurrently executing jobs across
+	// every Map call sharing this Runner; 0 selects GOMAXPROCS.
+	Workers int
+	// OnEvent, when non-nil, receives one event per job transition
+	// (start, done, cache hit, failure). It is called from worker
+	// goroutines and must be safe for concurrent use.
+	OnEvent func(Event)
+}
+
+// EventKind says what a progress Event reports.
+type EventKind uint8
+
+const (
+	// JobStarted fires when a job begins executing on a worker.
+	JobStarted EventKind = iota
+	// JobDone fires when a job finishes successfully.
+	JobDone
+	// JobCached fires when a job is satisfied from the result cache
+	// (including coalescing onto an identical in-flight job).
+	JobCached
+	// JobFailed fires when a job returns an error.
+	JobFailed
+)
+
+// String names the event kind for progress displays.
+func (k EventKind) String() string {
+	switch k {
+	case JobStarted:
+		return "start"
+	case JobDone:
+		return "done"
+	case JobCached:
+		return "cached"
+	case JobFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one per-job progress notification.
+type Event struct {
+	// Kind is the transition being reported.
+	Kind EventKind
+	// Key is the job's cache key ("" for uncacheable jobs).
+	Key string
+	// Label is the job's display label (the Key when unset).
+	Label string
+	// Err is the job's error for JobFailed events.
+	Err error
+	// Elapsed is the job's execution time (JobDone and JobFailed).
+	Elapsed time.Duration
+	// Completed is the runner-lifetime count of successfully finished
+	// jobs, including cache hits, at the time of the event.
+	Completed uint64
+}
+
+// Stats are runner-lifetime counters.
+type Stats struct {
+	// Submitted counts jobs handed to Map.
+	Submitted uint64
+	// Executed counts jobs that actually ran (cache misses).
+	Executed uint64
+	// CacheHits counts jobs satisfied by an already-completed cell.
+	CacheHits uint64
+	// Coalesced counts jobs that waited on an identical in-flight cell
+	// instead of running it again.
+	Coalesced uint64
+	// Failures counts failed executions; cache-served replays of a
+	// failed cell count as CacheHits, not new Failures.
+	Failures uint64
+}
+
+// Job is one independent experiment cell producing a T.
+type Job[T any] struct {
+	// Key identifies the cell for deduplication: two jobs with the same
+	// key on the same Runner compute their result once. The key must
+	// capture every input the result depends on (and, because the cache
+	// stores untyped results, determine T). Empty keys are never cached.
+	Key string
+	// Label is what progress events report; the Key is used when empty.
+	Label string
+	// Run computes the cell. It must be a pure function of the job's
+	// inputs and must not submit further jobs to the same Runner (the
+	// worker slot it holds could starve its own children).
+	Run func(ctx context.Context) (T, error)
+}
+
+func (j Job[T]) label() string {
+	if j.Label != "" {
+		return j.Label
+	}
+	return j.Key
+}
+
+// Runner executes jobs with bounded concurrency and a keyed result
+// cache. Create one with New; the zero value is not usable.
+type Runner struct {
+	onEvent func(Event)
+	sem     chan struct{}
+
+	mu    sync.Mutex
+	cache map[string]*entry
+
+	submitted atomic.Uint64
+	executed  atomic.Uint64
+	cacheHits atomic.Uint64
+	coalesced atomic.Uint64
+	failures  atomic.Uint64
+	completed atomic.Uint64
+}
+
+// entry is one cache cell; done is closed once val/err are final.
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New returns a Runner with cfg's worker bound and an empty cache.
+func New(cfg Config) *Runner {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		onEvent: cfg.OnEvent,
+		sem:     make(chan struct{}, w),
+		cache:   make(map[string]*entry),
+	}
+}
+
+// Workers returns the concurrency bound.
+func (r *Runner) Workers() int { return cap(r.sem) }
+
+// Stats returns a snapshot of the runner-lifetime counters.
+func (r *Runner) Stats() Stats {
+	return Stats{
+		Submitted: r.submitted.Load(),
+		Executed:  r.executed.Load(),
+		CacheHits: r.cacheHits.Load(),
+		Coalesced: r.coalesced.Load(),
+		Failures:  r.failures.Load(),
+	}
+}
+
+func (r *Runner) emit(ev Event) {
+	if r.onEvent != nil {
+		r.onEvent(ev)
+	}
+}
+
+// Map runs every job under r's concurrency bound and returns the results
+// in job order, so output built from them is identical at any worker
+// count. The first failure cancels the jobs still waiting for a worker
+// (in-flight jobs run to completion) and is returned; cancelling ctx
+// does the same with ctx's error.
+func Map[T any](ctx context.Context, r *Runner, jobs []Job[T]) ([]T, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			job := jobs[i]
+			v, err := r.do(ctx, job.Key, job.label(), func(ctx context.Context) (any, error) {
+				return job.Run(ctx)
+			})
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			out[i] = v.(T)
+		}(i)
+	}
+	wg.Wait()
+	// Report the job that actually failed, not the cancellation fallout
+	// of its siblings; fall back to the first error (caller-cancelled
+	// runs have nothing but context errors).
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	return out, nil
+}
+
+// do resolves one job through the cache: the first submission of a key
+// executes it, identical concurrent submissions wait for that execution,
+// and later submissions hit the stored result.
+func (r *Runner) do(ctx context.Context, key, label string, fn func(context.Context) (any, error)) (any, error) {
+	r.submitted.Add(1)
+	if key == "" {
+		return r.execute(ctx, key, label, fn)
+	}
+	for {
+		r.mu.Lock()
+		e, ok := r.cache[key]
+		if !ok {
+			e = &entry{done: make(chan struct{})}
+			r.cache[key] = e
+			r.mu.Unlock()
+			e.val, e.err = r.execute(ctx, key, label, fn)
+			if e.err != nil && isContextErr(e.err) {
+				// A cancelled execution is not a result: drop the entry
+				// so a later submission (from an uncancelled Map) can
+				// compute the cell for real.
+				r.mu.Lock()
+				delete(r.cache, key)
+				r.mu.Unlock()
+			}
+			close(e.done)
+			return e.val, e.err
+		}
+		r.mu.Unlock()
+		resolvedAlready := false
+		select {
+		case <-e.done:
+			resolvedAlready = true
+		default:
+		}
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.err != nil && isContextErr(e.err) {
+			// The executor we waited on was cancelled; retry unless we
+			// are cancelled too. Nothing is counted for this round: the
+			// submission lands in exactly one stats bucket once it
+			// resolves for real.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if resolvedAlready {
+			r.cacheHits.Add(1)
+		} else {
+			r.coalesced.Add(1)
+		}
+		if e.err != nil {
+			// A cached failure still surfaces in the progress stream;
+			// Failures counts failed executions, not their replays.
+			r.emit(Event{Kind: JobFailed, Key: key, Label: label, Err: e.err, Completed: r.completed.Load()})
+			return nil, e.err
+		}
+		r.emit(Event{Kind: JobCached, Key: key, Label: label, Completed: r.completed.Add(1)})
+		return e.val, nil
+	}
+}
+
+// execute runs fn on a worker slot.
+func (r *Runner) execute(ctx context.Context, key, label string, fn func(context.Context) (any, error)) (any, error) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-r.sem }()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r.emit(Event{Kind: JobStarted, Key: key, Label: label, Completed: r.completed.Load()})
+	start := time.Now()
+	v, err := fn(ctx)
+	elapsed := time.Since(start)
+	r.executed.Add(1)
+	if err != nil {
+		r.failures.Add(1)
+		r.emit(Event{Kind: JobFailed, Key: key, Label: label, Err: err, Elapsed: elapsed, Completed: r.completed.Load()})
+		return nil, err
+	}
+	r.emit(Event{Kind: JobDone, Key: key, Label: label, Elapsed: elapsed, Completed: r.completed.Add(1)})
+	return v, nil
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,356 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// job builds a trivial cell computing i*i with an optional key.
+func job(i int, key string) Job[int] {
+	return Job[int]{Key: key, Run: func(ctx context.Context) (int, error) { return i * i, nil }}
+}
+
+// TestMapOrderAndDeterminism: results are slotted by job index at any
+// worker count, so parallel and sequential runs are identical.
+func TestMapOrderAndDeterminism(t *testing.T) {
+	const n = 64
+	run := func(workers int) []int {
+		r := New(Config{Workers: workers})
+		jobs := make([]Job[int], n)
+		for i := range jobs {
+			jobs[i] = job(i, "")
+		}
+		out, err := Map(context.Background(), r, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq, par := run(1), run(8)
+	for i := range seq {
+		if seq[i] != i*i || par[i] != i*i {
+			t.Fatalf("slot %d: seq=%d par=%d want %d", i, seq[i], par[i], i*i)
+		}
+	}
+}
+
+// TestCacheHitAccounting: repeated keys execute once; the rest are
+// accounted as cache hits (or coalesced waits when still in flight).
+func TestCacheHitAccounting(t *testing.T) {
+	r := New(Config{Workers: 4})
+	var executions atomic.Uint64
+	mk := func(key string) Job[int] {
+		return Job[int]{Key: key, Run: func(ctx context.Context) (int, error) {
+			executions.Add(1)
+			return len(key), nil
+		}}
+	}
+	// First Map: 6 jobs over 2 distinct keys.
+	jobs := []Job[int]{mk("a"), mk("bb"), mk("a"), mk("bb"), mk("a"), mk("bb")}
+	out, err := Map(context.Background(), r, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 1, 2, 1, 2}
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+	if got := executions.Load(); got != 2 {
+		t.Fatalf("executed %d times, want 2", got)
+	}
+	// Second Map over the same keys: pure cache hits.
+	if _, err := Map(context.Background(), r, []Job[int]{mk("a"), mk("bb")}); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.Submitted != 8 || s.Executed != 2 {
+		t.Fatalf("stats = %+v, want Submitted=8 Executed=2", s)
+	}
+	if s.CacheHits+s.Coalesced != 6 {
+		t.Fatalf("stats = %+v, want CacheHits+Coalesced=6", s)
+	}
+	if s.CacheHits < 2 {
+		t.Fatalf("stats = %+v, want at least the 2 second-Map hits settled", s)
+	}
+}
+
+// TestEmptyKeyNeverCached: uncacheable jobs run every time.
+func TestEmptyKeyNeverCached(t *testing.T) {
+	r := New(Config{Workers: 2})
+	var executions atomic.Uint64
+	j := Job[int]{Run: func(ctx context.Context) (int, error) {
+		executions.Add(1)
+		return 7, nil
+	}}
+	for i := 0; i < 3; i++ {
+		if _, err := Map(context.Background(), r, []Job[int]{j}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := executions.Load(); got != 3 {
+		t.Fatalf("executed %d times, want 3", got)
+	}
+	if s := r.Stats(); s.CacheHits != 0 || s.Coalesced != 0 {
+		t.Fatalf("keyless jobs hit the cache: %+v", s)
+	}
+}
+
+// TestCoalescing: an identical in-flight cell is awaited, not re-run.
+func TestCoalescing(t *testing.T) {
+	r := New(Config{Workers: 4})
+	gate := make(chan struct{})
+	var executions atomic.Uint64
+	jobs := make([]Job[int], 4)
+	for i := range jobs {
+		jobs[i] = Job[int]{Key: "cell", Run: func(ctx context.Context) (int, error) {
+			executions.Add(1)
+			<-gate
+			return 42, nil
+		}}
+	}
+	done := make(chan struct{})
+	var out []int
+	var mapErr error
+	go func() {
+		defer close(done)
+		out, mapErr = Map(context.Background(), r, jobs)
+	}()
+	// Wait for the single executor to be in flight (the other three
+	// submissions land on its cache entry), then release it.
+	deadline := time.After(5 * time.Second)
+	for executions.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("executor never started: %+v", r.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(gate)
+	<-done
+	if mapErr != nil {
+		t.Fatal(mapErr)
+	}
+	for i, v := range out {
+		if v != 42 {
+			t.Fatalf("slot %d = %d, want 42", i, v)
+		}
+	}
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("executed %d times, want 1", got)
+	}
+	if s := r.Stats(); s.CacheHits+s.Coalesced != 3 {
+		t.Fatalf("stats = %+v, want CacheHits+Coalesced=3", s)
+	}
+}
+
+// TestCancellation: cancelling the context aborts queued jobs and Map
+// reports the context error.
+func TestCancellation(t *testing.T) {
+	r := New(Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 16)
+	var executions atomic.Uint64
+	jobs := make([]Job[int], 16)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Key: fmt.Sprintf("cell-%d", i), Run: func(ctx context.Context) (int, error) {
+			executions.Add(1)
+			started <- struct{}{}
+			<-ctx.Done()
+			return i, nil
+		}}
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := Map(ctx, r, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// With one worker, whichever job won the slot blocks the pool until
+	// cancellation, so the 15 queued jobs must never have run.
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("executed %d jobs after cancel, want 1", got)
+	}
+}
+
+// TestCancelledCellNotCached: a cell whose execution was cancelled must
+// be recomputed by a later, healthy Map rather than served the stale
+// context error.
+func TestCancelledCellNotCached(t *testing.T) {
+	r := New(Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	canceled := Job[int]{Key: "cell", Run: func(ctx context.Context) (int, error) {
+		return 0, ctx.Err()
+	}}
+	if _, err := Map(ctx, r, []Job[int]{canceled}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	healthy := Job[int]{Key: "cell", Run: func(ctx context.Context) (int, error) { return 5, nil }}
+	out, err := Map(context.Background(), r, []Job[int]{healthy})
+	if err != nil || out[0] != 5 {
+		t.Fatalf("retry after cancel: out=%v err=%v", out, err)
+	}
+}
+
+// TestErrorPropagation: the failing job's error wins over the
+// cancellation fallout of its siblings, and failed cells stay cached.
+func TestErrorPropagation(t *testing.T) {
+	r := New(Config{Workers: 2})
+	boom := errors.New("boom")
+	var executions atomic.Uint64
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Key: fmt.Sprintf("cell-%d", i), Run: func(ctx context.Context) (int, error) {
+			executions.Add(1)
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		}}
+	}
+	if _, err := Map(context.Background(), r, jobs); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if s := r.Stats(); s.Failures != 1 {
+		t.Fatalf("stats = %+v, want Failures=1", s)
+	}
+	// The failed cell's error is a real result and stays cached.
+	before := executions.Load()
+	if _, err := Map(context.Background(), r, []Job[int]{jobs[3]}); !errors.Is(err, boom) {
+		t.Fatalf("cached failure: err = %v, want boom", err)
+	}
+	if executions.Load() != before {
+		t.Fatal("failed cell was re-executed")
+	}
+}
+
+// TestCachedFailureEmitsEvent: replaying a cached failure surfaces in
+// the progress stream as a failure, counts as a cache hit, and does not
+// inflate Failures.
+func TestCachedFailureEmitsEvent(t *testing.T) {
+	var mu sync.Mutex
+	var failedEvents int
+	r := New(Config{Workers: 2, OnEvent: func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ev.Kind == JobFailed {
+			failedEvents++
+		}
+	}})
+	boom := errors.New("boom")
+	j := Job[int]{Key: "cell", Run: func(ctx context.Context) (int, error) { return 0, boom }}
+	for i := 0; i < 2; i++ {
+		if _, err := Map(context.Background(), r, []Job[int]{j}); !errors.Is(err, boom) {
+			t.Fatalf("round %d: err = %v, want boom", i, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if failedEvents != 2 {
+		t.Fatalf("saw %d JobFailed events, want 2 (execution + cached replay)", failedEvents)
+	}
+	if s := r.Stats(); s.Failures != 1 || s.Executed != 1 || s.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want Failures=1 Executed=1 CacheHits=1", s)
+	}
+}
+
+// TestProgressEvents: every job yields a terminal event and Completed
+// reaches the job count.
+func TestProgressEvents(t *testing.T) {
+	var mu = make(chan struct{}, 1)
+	var events []Event
+	r := New(Config{Workers: 4, OnEvent: func(ev Event) {
+		mu <- struct{}{}
+		events = append(events, ev)
+		<-mu
+	}})
+	jobs := []Job[int]{job(1, "a"), job(2, "a"), job(3, "b"), job(4, "")}
+	if _, err := Map(context.Background(), r, jobs); err != nil {
+		t.Fatal(err)
+	}
+	var started, terminal int
+	var maxCompleted uint64
+	for _, ev := range events {
+		switch ev.Kind {
+		case JobStarted:
+			started++
+		case JobDone, JobCached:
+			terminal++
+			if ev.Completed > maxCompleted {
+				maxCompleted = ev.Completed
+			}
+		case JobFailed:
+			t.Fatalf("unexpected failure event: %+v", ev)
+		}
+	}
+	// 3 executions (a, b, keyless) + 1 cache/coalesce terminal event.
+	if started != 3 || terminal != 4 {
+		t.Fatalf("started=%d terminal=%d, want 3 and 4", started, terminal)
+	}
+	if maxCompleted != 4 {
+		t.Fatalf("max Completed = %d, want 4", maxCompleted)
+	}
+}
+
+// TestWorkersDefault: 0 workers selects GOMAXPROCS, and the bound is
+// reported.
+func TestWorkersDefault(t *testing.T) {
+	if w := New(Config{}).Workers(); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+	if w := New(Config{Workers: 3}).Workers(); w != 3 {
+		t.Fatalf("workers = %d, want 3", w)
+	}
+}
+
+// TestConcurrencyBound: no more than Workers jobs run at once, even
+// across concurrent Map calls on the same runner.
+func TestConcurrencyBound(t *testing.T) {
+	const bound = 3
+	r := New(Config{Workers: bound})
+	var running, peak atomic.Int64
+	mk := func(i int) Job[int] {
+		return Job[int]{Run: func(ctx context.Context) (int, error) {
+			n := running.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			running.Add(-1)
+			return i, nil
+		}}
+	}
+	done := make(chan error, 2)
+	for g := 0; g < 2; g++ {
+		go func() {
+			jobs := make([]Job[int], 20)
+			for i := range jobs {
+				jobs[i] = mk(i)
+			}
+			_, err := Map(context.Background(), r, jobs)
+			done <- err
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := peak.Load(); p > bound {
+		t.Fatalf("peak concurrency %d exceeds bound %d", p, bound)
+	}
+}
