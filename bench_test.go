@@ -17,6 +17,7 @@ import (
 	"dynloop/internal/interp"
 	"dynloop/internal/isa"
 	"dynloop/internal/loopdet"
+	"dynloop/internal/loopstats"
 	"dynloop/internal/looptab"
 	"dynloop/internal/runner"
 	"dynloop/internal/spec"
@@ -176,6 +177,64 @@ func BenchmarkAblationNestRule(b *testing.B) {
 }
 
 // --- micro-benchmarks of the mechanisms themselves ---
+
+// benchPipeline drives b.N instructions of swim through the full
+// pipeline — interpreter feeding the detector in batches, with the
+// Table-1 statistics collector and a 4-TU STR(3) speculation engine
+// attached — at the given event-batch size (0 = default). time/op is
+// ns/instruction.
+func benchPipeline(b *testing.B, batchSize int) {
+	bm, err := dynloop.BenchmarkByName("swim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := bm.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	det := loopdet.New(loopdet.Config{Capacity: 16})
+	det.AddObserver(loopstats.NewCollector())
+	det.AddObserver(spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)}))
+	cpu := u.NewCPU()
+	cpu.SetBatchSize(batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	remaining := uint64(b.N)
+	for remaining > 0 {
+		n, err := cpu.Run(remaining, det)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 && !cpu.Halted() {
+			b.Fatal("no progress")
+		}
+		remaining -= n
+		if cpu.Halted() {
+			cpu = u.NewCPU()
+			cpu.SetBatchSize(batchSize)
+		}
+	}
+}
+
+// BenchmarkRun measures the full pipeline's per-instruction cost at the
+// default batch size. The Minstr/s metric is the instructions-per-second
+// headline BENCH_pipeline.json tracks, and allocs/op is the
+// per-instruction steady-state allocation count the batch pipeline pins
+// at 0.
+func BenchmarkRun(b *testing.B) {
+	benchPipeline(b, 0)
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkRunBatchSize sweeps the event-batch size on the BenchmarkRun
+// pipeline; it documents why DefaultBatchSize is where it is (batch=1
+// reproduces the old one-dispatch-per-instruction pipeline).
+func BenchmarkRunBatchSize(b *testing.B) {
+	for _, bs := range []int{1, 64, 512, 4096} {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) { benchPipeline(b, bs) })
+	}
+}
 
 // BenchmarkInterpreter measures raw interpreter throughput (no
 // consumers).

@@ -107,11 +107,12 @@ func cmdList() error {
 	return nil
 }
 
-// benchFlags adds the common -bench/-n/-seed flags.
-func benchFlags(fs *flag.FlagSet) (bench *string, n *uint64, seed *uint64) {
+// benchFlags adds the common -bench/-n/-seed/-batch flags.
+func benchFlags(fs *flag.FlagSet) (bench *string, n *uint64, seed *uint64, batch *int) {
 	bench = fs.String("bench", "", "benchmark name (see: dynloop list)")
 	n = fs.Uint64("n", expt.DefaultBudget, "dynamic instruction budget")
 	seed = fs.Uint64("seed", 1, "workload input seed")
+	batch = fs.Int("batch", 0, "event-batch size (0 = default 4096; results are identical at any size)")
 	return
 }
 
@@ -128,7 +129,7 @@ func buildBench(name string, seed uint64) (*dynloop.Unit, error) {
 
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	bench, n, seed := benchFlags(fs)
+	bench, n, seed, batch := benchFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,7 +138,7 @@ func cmdRun(args []string) error {
 		return err
 	}
 	stats := dynloop.NewLoopStats()
-	res, err := dynloop.Run(u, dynloop.RunConfig{Budget: *n}, stats)
+	res, err := dynloop.Run(u, dynloop.RunConfig{Budget: *n, BatchSize: *batch}, stats)
 	if err != nil {
 		return err
 	}
@@ -178,7 +179,7 @@ func parsePolicy(s string) (dynloop.Policy, error) {
 
 func cmdSpec(args []string) error {
 	fs := flag.NewFlagSet("spec", flag.ExitOnError)
-	bench, n, seed := benchFlags(fs)
+	bench, n, seed, batch := benchFlags(fs)
 	tus := fs.Int("tus", 4, "thread units (0 = infinite machine)")
 	polName := fs.String("policy", "str3", "speculation policy")
 	if err := fs.Parse(args); err != nil {
@@ -193,7 +194,7 @@ func cmdSpec(args []string) error {
 		return err
 	}
 	e := dynloop.NewEngine(dynloop.EngineConfig{TUs: *tus, Policy: pol})
-	res, err := dynloop.Run(u, dynloop.RunConfig{Budget: *n}, e)
+	res, err := dynloop.Run(u, dynloop.RunConfig{Budget: *n, BatchSize: *batch}, e)
 	if err != nil {
 		return err
 	}
@@ -216,7 +217,7 @@ func cmdSpec(args []string) error {
 
 func cmdData(args []string) error {
 	fs := flag.NewFlagSet("data", flag.ExitOnError)
-	bench, n, seed := benchFlags(fs)
+	bench, n, seed, batch := benchFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -225,7 +226,7 @@ func cmdData(args []string) error {
 		return err
 	}
 	c := dynloop.NewDataStats()
-	res, err := dynloop.Run(u, dynloop.RunConfig{Budget: *n}, c)
+	res, err := dynloop.Run(u, dynloop.RunConfig{Budget: *n, BatchSize: *batch}, c)
 	if err != nil {
 		return err
 	}
@@ -246,7 +247,7 @@ func cmdData(args []string) error {
 
 func cmdDisasm(args []string) error {
 	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
-	bench, _, seed := benchFlags(fs)
+	bench, _, seed, _ := benchFlags(fs)
 	maxLines := fs.Int("max", 60, "maximum lines to print (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -311,11 +312,12 @@ func cmdExperiment(ctx context.Context, args []string) error {
 	n := fs.Uint64("n", expt.DefaultBudget, "per-benchmark instruction budget")
 	seed := fs.Uint64("seed", 1, "workload input seed")
 	benches := fs.String("bench", "", "comma-separated benchmark subset")
+	batch := fs.Int("batch", 0, "event-batch size (0 = default 4096; output is identical at any size)")
 	progress, mkRunner := parallelFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	cfg := expt.Config{Budget: *n, Seed: *seed, Runner: mkRunner()}
+	cfg := expt.Config{Budget: *n, Seed: *seed, BatchSize: *batch, Runner: mkRunner()}
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -439,11 +441,12 @@ func cmdSweep(ctx context.Context, args []string) error {
 	benches := fs.String("bench", "", "comma-separated benchmark subset (default: all 18)")
 	policies := fs.String("policy", "", "comma-separated policies (default: idle,str,str1,str2,str3)")
 	tus := fs.String("tus", "", "comma-separated machine sizes (default: 2,4,8,16)")
+	batch := fs.Int("batch", 0, "event-batch size (0 = default 4096; output is identical at any size)")
 	progress, mkRunner := parallelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := expt.Config{Budget: *n, Seed: *seed, Runner: mkRunner()}
+	cfg := expt.Config{Budget: *n, Seed: *seed, BatchSize: *batch, Runner: mkRunner()}
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -475,7 +478,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 
 func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	bench, n, seed := benchFlags(fs)
+	bench, n, seed, batch := benchFlags(fs)
 	out := fs.String("o", "", "output trace file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -497,6 +500,7 @@ func cmdTrace(args []string) error {
 		return err
 	}
 	cpu := u.NewCPU()
+	cpu.SetBatchSize(*batch)
 	executed, err := cpu.Run(*n, w)
 	if err != nil {
 		return err

@@ -15,7 +15,11 @@
 //   - the §4 data-speculation statistics (path regularity, live-in
 //     stride predictability);
 //   - an execution substrate (mini-ISA, structured program builder,
-//     interpreter) and 18 synthetic SPEC95-calibrated workloads;
+//     interpreter) and 18 synthetic SPEC95-calibrated workloads; the
+//     interpreter delivers the retired-instruction stream in reusable
+//     zero-allocation event batches (RunConfig.BatchSize, default 4096),
+//     so consumers cost one interface call per batch, not per
+//     instruction;
 //   - experiment drivers regenerating every table and figure of the
 //     paper's evaluation; and
 //   - a parallel experiment orchestrator (bounded worker pool, keyed

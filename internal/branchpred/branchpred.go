@@ -157,8 +157,8 @@ func (r Result) BackwardAccuracy() float64 {
 }
 
 // Collector measures any number of predictors over one stream (it
-// implements trace.Consumer; attach with harness.Config.PreDetector or
-// as a detector stream observer via Wrap).
+// implements trace.Consumer and trace.BatchConsumer; attach with
+// harness.Config.PreDetector).
 type Collector struct {
 	preds   []Predictor
 	results []Result
@@ -184,6 +184,22 @@ func (c *Collector) Consume(ev *trace.Event) {
 	if ev.Instr.Kind != isa.KindBranch {
 		return
 	}
+	c.score(ev)
+}
+
+// ConsumeBatch implements trace.BatchConsumer: non-branches — the vast
+// majority of the stream — cost one kind test each, with no interface
+// dispatch.
+func (c *Collector) ConsumeBatch(evs []trace.Event) {
+	for i := range evs {
+		if ev := &evs[i]; ev.Instr.Kind == isa.KindBranch {
+			c.score(ev)
+		}
+	}
+}
+
+// score runs every predictor on one conditional branch.
+func (c *Collector) score(ev *trace.Event) {
 	pc, target := ev.PC, ev.Instr.Target
 	backward := target <= pc
 	for i, p := range c.preds {

@@ -79,6 +79,11 @@ type frame struct {
 	regLive  []isa.Reg
 	memFirst map[uint64]int64
 	memSeen  map[uint64]bool // true = written before read
+	// memOrder records first-touched addresses in stream order, so that
+	// live-in evaluation (and, crucially, the MaxMemPerLoop cap
+	// admission) is deterministic — iterating memSeen directly would let
+	// Go's randomised map order pick which locations get predictors.
+	memOrder []uint64
 	pathHash uint64
 	started  bool
 }
@@ -89,8 +94,9 @@ const fnvPrime = 1099511628211
 func (f *frame) reset() {
 	f.gen++
 	f.regLive = f.regLive[:0]
-	f.memFirst = nil
-	f.memSeen = nil
+	f.memOrder = f.memOrder[:0]
+	clear(f.memFirst)
+	clear(f.memSeen)
 	f.pathHash = fnvOffset
 	f.started = true
 }
@@ -121,6 +127,7 @@ func (f *frame) noteMemRead(addr uint64, v int64) {
 	}
 	f.memSeen[addr] = false
 	f.memFirst[addr] = v
+	f.memOrder = append(f.memOrder, addr)
 }
 
 func (f *frame) noteMemWrite(addr uint64) {
@@ -181,6 +188,26 @@ func (c *Collector) Instr(ev *trace.Event) {
 	}
 	if ev.WroteReg {
 		c.shadow[ev.WrittenReg] = ev.WrittenVal
+	}
+}
+
+// InstrBatch implements loopdet.BatchStreamObserver. Outside any loop —
+// the common case between executions — the run reduces to replaying
+// register writes into the shadow file with no per-event dispatch;
+// inside loops the per-event classification is inherently per
+// instruction, but the method-call loop still beats one interface call
+// per event.
+func (c *Collector) InstrBatch(evs []trace.Event) {
+	if len(c.frames) == 0 {
+		for i := range evs {
+			if ev := &evs[i]; ev.WroteReg {
+				c.shadow[ev.WrittenReg] = ev.WrittenVal
+			}
+		}
+		return
+	}
+	for i := range evs {
+		c.Instr(&evs[i])
 	}
 }
 
@@ -281,10 +308,9 @@ func (c *Collector) finishIteration(fr *frame) {
 		}
 		pr.Observe(v)
 	}
-	for addr, written := range fr.memSeen {
-		if written {
-			continue // written before read: not a live-in
-		}
+	// memOrder holds exactly the read-before-write addresses (write-first
+	// locations never enter it), in first-read stream order.
+	for _, addr := range fr.memOrder {
 		v := fr.memFirst[addr]
 		pr := la.memPred[addr]
 		if pr == nil {
@@ -368,11 +394,15 @@ func (c *Collector) Summary() Summary {
 		s.Loops++
 		s.Iters += la.iters
 		s.MemOverflow += la.overflow
-		// Most frequent path of this loop.
+		// Most frequent path of this loop. Ties are broken on the lowest
+		// path hash — without a deterministic tie-break, randomised map
+		// order would pick the winner and the report would differ from
+		// run to run.
 		var best *pathStat
-		for _, ps := range la.paths {
-			if best == nil || ps.iters > best.iters {
-				best = ps
+		var bestHash uint64
+		for h, ps := range la.paths {
+			if best == nil || ps.iters > best.iters || (ps.iters == best.iters && h < bestHash) {
+				best, bestHash = ps, h
 			}
 		}
 		if best == nil {

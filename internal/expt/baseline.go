@@ -46,6 +46,7 @@ func BaselineBranchPred(ctx context.Context, cfg Config) ([]BaselineRow, error) 
 				hc := harness.Config{
 					Budget:      cfg.budget(),
 					CLSCapacity: cfg.CLSCapacity,
+					BatchSize:   cfg.BatchSize,
 					PreDetector: []trace.Consumer{suite},
 				}
 				if _, err := harness.Run(u, hc); err != nil {

@@ -37,6 +37,10 @@ type Config struct {
 	Benchmarks []string
 	// CLSCapacity overrides the CLS size (0 = the paper's 16).
 	CLSCapacity int
+	// BatchSize overrides the interpreter's event-batch size
+	// (0 = interp.DefaultBatchSize). Results are byte-identical at any
+	// setting; the determinism tests sweep it.
+	BatchSize int
 	// Parallel bounds the worker goroutines when the driver builds its
 	// own runner (0 = GOMAXPROCS); 1 reproduces the sequential schedule.
 	// Ignored when Runner is set.
@@ -96,7 +100,7 @@ func (c Config) benchmarks() ([]workload.Benchmark, error) {
 // on, then the cell's own coordinates. Keys must determine the result
 // (and its Go type) completely — see runner.Job.
 func (c Config) cellKey(parts ...any) string {
-	key := fmt.Sprintf("b%d|s%d|cls%d", c.budget(), c.seed(), c.CLSCapacity)
+	key := fmt.Sprintf("b%d|s%d|cls%d|ba%d", c.budget(), c.seed(), c.CLSCapacity, c.BatchSize)
 	for _, p := range parts {
 		key += fmt.Sprintf("|%v", p)
 	}
@@ -121,7 +125,7 @@ func (c Config) runUnit(u *builder.Unit, observers ...loopdet.Observer) error {
 // runWithResult runs a built unit and exposes the harness result (used by
 // ablations that need detector statistics).
 func runWithResult(cfg Config, u *builder.Unit, observers ...loopdet.Observer) (harness.Result, error) {
-	hc := harness.Config{Budget: cfg.budget(), CLSCapacity: cfg.CLSCapacity}
+	hc := harness.Config{Budget: cfg.budget(), CLSCapacity: cfg.CLSCapacity, BatchSize: cfg.BatchSize}
 	return harness.Run(u, hc, observers...)
 }
 

@@ -1,8 +1,8 @@
 // Package harness wires the pipeline together: a built Unit executes on a
-// fresh CPU, the instruction stream flows through a loop Detector, and
-// any number of observers (statistics collectors, tables, speculation
-// engines) watch the loop events. Experiments, examples and tests all run
-// through this package.
+// fresh CPU, the instruction stream flows in batches through a loop
+// Detector, and any number of observers (statistics collectors, tables,
+// speculation engines) watch the loop events. Experiments, examples and
+// tests all run through this package.
 package harness
 
 import (
@@ -21,8 +21,15 @@ type Config struct {
 	// CLSCapacity bounds the CLS; 0 selects DefaultCLSCapacity, negative
 	// means unbounded.
 	CLSCapacity int
+	// BatchSize is the event-batch size the interpreter delivers the
+	// stream in (0 selects interp.DefaultBatchSize). Results are
+	// identical at any setting; 1 degenerates to per-instruction
+	// delivery.
+	BatchSize int
 	// Extra trace consumers that should see the raw stream before the
-	// detector (e.g. trace.Hash for determinism checks).
+	// detector (e.g. trace.Hash for determinism checks). Consumers that
+	// implement trace.BatchConsumer are driven through their native
+	// batch path.
 	PreDetector []trace.Consumer
 }
 
@@ -52,14 +59,17 @@ type Result struct {
 // attached, flushes the detector at the end, and returns the result.
 func Run(u *builder.Unit, cfg Config, observers ...loopdet.Observer) (Result, error) {
 	cpu := u.NewCPU()
+	cpu.SetBatchSize(cfg.BatchSize)
 	det := loopdet.New(loopdet.Config{Capacity: cfg.clsCapacity()})
 	for _, o := range observers {
 		det.AddObserver(o)
 	}
-	var sink trace.Consumer = det
+	var sink trace.BatchConsumer = det
 	if len(cfg.PreDetector) > 0 {
-		tee := make(trace.Tee, 0, len(cfg.PreDetector)+1)
-		tee = append(tee, cfg.PreDetector...)
+		tee := make(trace.BatchTee, 0, len(cfg.PreDetector)+1)
+		for _, c := range cfg.PreDetector {
+			tee = append(tee, trace.AsBatch(c))
+		}
 		tee = append(tee, det)
 		sink = tee
 	}

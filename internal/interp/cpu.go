@@ -3,6 +3,13 @@
 // ATOM-instrumented Alpha binaries: the loop detector, tables, speculation
 // engine and data-speculation statistics all run as consumers of the
 // stream this interpreter produces.
+//
+// Events are delivered in batches: Run fills a reusable buffer of
+// DefaultBatchSize events (see SetBatchSize) and flushes it through
+// trace.BatchConsumer, so the consumer side costs one interface call per
+// batch instead of one per instruction. The buffer is allocated once and
+// reused across batches and Run calls — the steady-state hot path does
+// not allocate.
 package interp
 
 import (
@@ -30,6 +37,11 @@ var (
 // aborts the run rather than looping forever.
 const MaxCallDepth = 4096
 
+// DefaultBatchSize is the event-batch size Run uses unless SetBatchSize
+// chose another. 4096 events (~360 KiB) amortises the per-batch
+// interface dispatch to noise while staying comfortably inside L2.
+const DefaultBatchSize = 4096
+
 // CPU is a single-context interpreter. Create one with New, then call Run.
 type CPU struct {
 	prog *program.Program
@@ -43,6 +55,15 @@ type CPU struct {
 	// retired counts instructions executed so far across Run calls.
 	retired uint64
 	halted  bool
+
+	// batch is the reusable event buffer (len == cap == batchSize); it is
+	// allocated lazily on the first Run with a sink and reused afterwards.
+	batch     []trace.Event
+	batchSize int
+	// scratch receives event writes when Run has no sink, keeping the
+	// execution switch on a single code path without heap-escaping an
+	// event per instruction.
+	scratch trace.Event
 }
 
 // New returns a CPU ready to execute p from its entry point.
@@ -72,27 +93,72 @@ func (c *CPU) Halted() bool { return c.halted }
 // PC returns the current program counter.
 func (c *CPU) PC() isa.Addr { return c.pc }
 
+// SetBatchSize sets the event-batch size for subsequent Run calls
+// (n <= 0 selects DefaultBatchSize). Batch size only affects delivery
+// granularity — consumers see the same events in the same order at any
+// setting — so results are identical; 1 degenerates to per-instruction
+// delivery.
+func (c *CPU) SetBatchSize(n int) {
+	if n <= 0 {
+		n = DefaultBatchSize
+	}
+	if n != c.batchSize {
+		c.batchSize = n
+		c.batch = nil
+	}
+}
+
+// BatchSize returns the effective event-batch size.
+func (c *CPU) BatchSize() int {
+	if c.batchSize <= 0 {
+		return DefaultBatchSize
+	}
+	return c.batchSize
+}
+
 // Run executes up to budget instructions (0 means unlimited), emitting one
 // event per retired instruction to sink (which may be nil). It returns the
 // number of instructions retired by this call. Execution stops at the
-// budget, at a Halt, or on a machine error (bad PC, call stack abuse).
+// budget, at a Halt, or on a machine error (bad PC, call stack abuse);
+// events buffered at that point are flushed before Run returns, so the
+// sink always sees every retired instruction.
 //
-// The event struct is reused across instructions; consumers must not
-// retain the pointer.
-func (c *CPU) Run(budget uint64, sink trace.Consumer) (uint64, error) {
+// Events are delivered in batches of BatchSize; the batch buffer is owned
+// by the CPU and reused, so consumers must copy what they keep (see the
+// trace package comment on batch lifetime).
+func (c *CPU) Run(budget uint64, sink trace.BatchConsumer) (uint64, error) {
 	if c.prog == nil {
 		return 0, ErrNoProgram
 	}
-	var ev trace.Event
+	var buf []trace.Event
+	if sink != nil {
+		if c.batch == nil {
+			c.batch = make([]trace.Event, c.BatchSize())
+		}
+		buf = c.batch
+	}
+	// k is the number of committed events in buf.
+	k := 0
+	flush := func() {
+		if sink != nil && k > 0 {
+			sink.ConsumeBatch(buf[:k])
+			k = 0
+		}
+	}
 	var done uint64
 	code := c.prog.Code
 	n := isa.Addr(len(code))
 	for !c.halted && (budget == 0 || done < budget) {
 		if c.pc >= n {
+			flush()
 			return done, fmt.Errorf("%w: pc=%d len=%d", ErrPC, c.pc, n)
 		}
 		in := &code[c.pc]
-		ev = trace.Event{Index: c.retired, PC: c.pc, Instr: in}
+		ev := &c.scratch
+		if sink != nil {
+			ev = &buf[k]
+		}
+		*ev = trace.Event{Index: c.retired, PC: c.pc, Instr: in}
 		next := c.pc + 1
 		switch in.Kind {
 		case isa.KindALU:
@@ -120,6 +186,7 @@ func (c *CPU) Run(budget uint64, sink trace.Consumer) (uint64, error) {
 			next = in.Target
 		case isa.KindCall:
 			if len(c.stack) >= MaxCallDepth {
+				flush()
 				return done, fmt.Errorf("%w at pc=%d", ErrCallDepth, c.pc)
 			}
 			c.stack = append(c.stack, c.pc+1)
@@ -127,6 +194,7 @@ func (c *CPU) Run(budget uint64, sink trace.Consumer) (uint64, error) {
 			next = in.Target
 		case isa.KindRet:
 			if len(c.stack) == 0 {
+				flush()
 				return done, fmt.Errorf("%w at pc=%d", ErrRetEmpty, c.pc)
 			}
 			ra := c.stack[len(c.stack)-1]
@@ -149,9 +217,13 @@ func (c *CPU) Run(budget uint64, sink trace.Consumer) (uint64, error) {
 		done++
 		c.pc = next
 		if sink != nil {
-			sink.Consume(&ev)
+			if k++; k == len(buf) {
+				sink.ConsumeBatch(buf)
+				k = 0
+			}
 		}
 	}
+	flush()
 	return done, nil
 }
 

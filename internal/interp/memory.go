@@ -6,36 +6,54 @@ const pageBits = 9
 const pageSize = 1 << pageBits
 
 // Memory is a sparse, paged 64-bit word memory. Unwritten locations read
-// as zero. The zero value is ready to use.
+// as zero. The zero value is ready to use. A one-entry page cache (a
+// software TLB) turns the map lookup into a compare on the overwhelmingly
+// common same-page access.
 type Memory struct {
-	pages map[uint64]*[pageSize]int64
+	pages    map[uint64]*[pageSize]int64
+	lastKey  uint64
+	lastPage *[pageSize]int64
 }
 
 // Load returns the word at addr.
 func (m *Memory) Load(addr uint64) int64 {
-	p, ok := m.pages[addr>>pageBits]
+	key := addr >> pageBits
+	if m.lastPage != nil && key == m.lastKey {
+		return m.lastPage[addr&(pageSize-1)]
+	}
+	p, ok := m.pages[key]
 	if !ok {
 		return 0
 	}
+	m.lastKey, m.lastPage = key, p
 	return p[addr&(pageSize-1)]
 }
 
 // Store writes the word at addr.
 func (m *Memory) Store(addr uint64, v int64) {
+	key := addr >> pageBits
+	if m.lastPage != nil && key == m.lastKey {
+		m.lastPage[addr&(pageSize-1)] = v
+		return
+	}
 	if m.pages == nil {
 		m.pages = make(map[uint64]*[pageSize]int64)
 	}
-	key := addr >> pageBits
 	p, ok := m.pages[key]
 	if !ok {
 		p = new([pageSize]int64)
 		m.pages[key] = p
 	}
+	m.lastKey, m.lastPage = key, p
 	p[addr&(pageSize-1)] = v
 }
 
 // Reset drops all pages.
-func (m *Memory) Reset() { m.pages = nil }
+func (m *Memory) Reset() {
+	m.pages = nil
+	m.lastPage = nil
+	m.lastKey = 0
+}
 
 // Footprint returns the number of resident pages, for diagnostics.
 func (m *Memory) Footprint() int { return len(m.pages) }

@@ -1,0 +1,137 @@
+package loopdet
+
+import (
+	"fmt"
+	"testing"
+
+	"dynloop/internal/isa"
+	"dynloop/internal/trace"
+)
+
+// logObs records every observer callback as a string, to compare
+// delivery orders between the scalar and batch paths exactly.
+type logObs struct {
+	log []string
+	// batch switches raw-stream delivery to InstrBatch.
+	batch bool
+}
+
+func (o *logObs) ExecStart(x *Exec) { o.log = append(o.log, fmt.Sprintf("start %d T%d", x.ID, x.T)) }
+func (o *logObs) IterStart(x *Exec, i uint64) {
+	o.log = append(o.log, fmt.Sprintf("iter %d.%d @%d", x.ID, x.Iters, i))
+}
+func (o *logObs) ExecEnd(x *Exec, r EndReason, i uint64) {
+	o.log = append(o.log, fmt.Sprintf("end %d %s @%d iters=%d", x.ID, r, i, x.Iters))
+}
+func (o *logObs) OneShot(t, b isa.Addr, i uint64) {
+	o.log = append(o.log, fmt.Sprintf("oneshot %d-%d @%d", t, b, i))
+}
+func (o *logObs) Instr(ev *trace.Event) {
+	o.log = append(o.log, fmt.Sprintf("instr @%d pc%d", ev.Index, ev.PC))
+}
+func (o *logObs) InstrBatch(evs []trace.Event) {
+	if !o.batch {
+		panic("InstrBatch on scalar observer")
+	}
+	for i := range evs {
+		o.Instr(&evs[i])
+	}
+}
+
+// scalarObs forwards to a logObs without embedding it, so InstrBatch is
+// not promoted into its method set and the detector must fall back to
+// per-event Instr delivery.
+type scalarObs struct{ o *logObs }
+
+func (s scalarObs) ExecStart(x *Exec)                      { s.o.ExecStart(x) }
+func (s scalarObs) IterStart(x *Exec, i uint64)            { s.o.IterStart(x, i) }
+func (s scalarObs) ExecEnd(x *Exec, r EndReason, i uint64) { s.o.ExecEnd(x, r, i) }
+func (s scalarObs) OneShot(t, b isa.Addr, i uint64)        { s.o.OneShot(t, b, i) }
+func (s scalarObs) Instr(ev *trace.Event)                  { s.o.Instr(ev) }
+
+// randomStream builds an arbitrary control-flow event stream with stable
+// Instr pointers (events in a batch all alias the same backing program).
+func randomStream(seed uint64, n int) []trace.Event {
+	r := seed | 1
+	next := func(m uint64) uint64 {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		return r % m
+	}
+	// A small pool of instructions the stream draws from.
+	pool := make([]isa.Instr, 0, 48)
+	for i := 0; i < 16; i++ {
+		pool = append(pool, isa.Branch(isa.CondNEZ, 1, isa.Addr(next(64))))
+		pool = append(pool, isa.Jump(isa.Addr(next(64))))
+		pool = append(pool, isa.Nop())
+	}
+	pool = append(pool, isa.Ret())
+	evs := make([]trace.Event, n)
+	for i := range evs {
+		in := &pool[next(uint64(len(pool)))]
+		ev := trace.Event{Index: uint64(i), PC: isa.Addr(next(64)), Instr: in}
+		if in.Kind.IsControl() && (in.Kind != isa.KindBranch || next(2) == 0) {
+			ev.Taken = true
+			ev.Target = in.Target
+		}
+		evs[i] = ev
+	}
+	return evs
+}
+
+// TestConsumeBatchMatchesConsume: for arbitrary streams, any batch
+// chunking must produce exactly the callback sequence of per-event
+// Consume — for scalar stream observers, batch stream observers, and
+// with the periodic-flush safety valve armed.
+func TestConsumeBatchMatchesConsume(t *testing.T) {
+	for _, flush := range []uint64{0, 97} {
+		for _, chunk := range []int{1, 2, 3, 7, 64, 1000} {
+			for seed := uint64(1); seed <= 5; seed++ {
+				evs := randomStream(seed*2654435761, 1000)
+
+				ref := New(Config{Capacity: 8, FlushInterval: flush})
+				refObs := &logObs{}
+				ref.AddObserver(scalarObs{refObs})
+				for i := range evs {
+					ev := evs[i] // copy: Consume pointees may be reused
+					ref.Consume(&ev)
+				}
+				ref.Flush()
+
+				for _, batchObs := range []bool{false, true} {
+					got := New(Config{Capacity: 8, FlushInterval: flush})
+					gotObs := &logObs{batch: batchObs}
+					if batchObs {
+						got.AddObserver(gotObs)
+					} else {
+						got.AddObserver(scalarObs{gotObs})
+					}
+					for i := 0; i < len(evs); i += chunk {
+						end := i + chunk
+						if end > len(evs) {
+							end = len(evs)
+						}
+						got.ConsumeBatch(evs[i:end])
+					}
+					got.Flush()
+
+					if len(refObs.log) != len(gotObs.log) {
+						t.Fatalf("flush=%d chunk=%d seed=%d batch=%v: %d callbacks, want %d",
+							flush, chunk, seed, batchObs, len(gotObs.log), len(refObs.log))
+					}
+					for i := range refObs.log {
+						if refObs.log[i] != gotObs.log[i] {
+							t.Fatalf("flush=%d chunk=%d seed=%d batch=%v: callback %d = %q, want %q",
+								flush, chunk, seed, batchObs, i, gotObs.log[i], refObs.log[i])
+						}
+					}
+					if ref.Stats() != got.Stats() {
+						t.Fatalf("flush=%d chunk=%d seed=%d batch=%v: stats %+v, want %+v",
+							flush, chunk, seed, batchObs, got.Stats(), ref.Stats())
+					}
+				}
+			}
+		}
+	}
+}

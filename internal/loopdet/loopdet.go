@@ -123,6 +123,22 @@ type StreamObserver interface {
 	Instr(ev *trace.Event)
 }
 
+// BatchStreamObserver is a StreamObserver whose raw-stream delivery can
+// take contiguous runs of events at once. The detector guarantees that a
+// run never spans a loop event: every loop callback derived from an
+// instruction in the run is invoked after InstrBatch returns, and the
+// triggering instruction is always the run's last element. The CLS is
+// therefore in a single consistent state for the whole run, which lets
+// observers hoist per-instruction state lookups out of their inner loop.
+// The slice is reused by the producer (see the trace package comment on
+// batch lifetime).
+type BatchStreamObserver interface {
+	StreamObserver
+	// InstrBatch receives a contiguous run of retired instructions, in
+	// stream order, equivalent to calling Instr for each element.
+	InstrBatch(evs []trace.Event)
+}
+
 // NopObserver implements Observer with no-ops; embed it to implement only
 // some callbacks.
 type NopObserver struct{}
@@ -168,18 +184,37 @@ type Config struct {
 }
 
 // Detector is the CLS mechanism. Create with New, attach observers, then
-// feed it the instruction stream (it implements trace.Consumer) and call
-// Flush at the end.
+// feed it the instruction stream (it implements both trace.Consumer and
+// trace.BatchConsumer; the batch path is the fast one) and call Flush at
+// the end.
 type Detector struct {
 	capacity  int
 	flushMask uint64 // 0 = disabled; otherwise flush when instrs reaches the next multiple
 	flushAt   uint64
 	cls       []*Exec // cls[0] is the deepest/outermost entry
 	obs       []Observer
-	stream    []StreamObserver
+	stream    []streamSink
 	nextID    uint64
 	last      uint64
 	stats     Stats
+}
+
+// streamSink is one attached raw-stream observer with its (possibly
+// adapted) batch delivery path resolved at attachment time, so the hot
+// loop never type-asserts.
+type streamSink struct {
+	scalar StreamObserver
+	batch  BatchStreamObserver // nil when scalar-only
+}
+
+func (s *streamSink) deliver(evs []trace.Event) {
+	if s.batch != nil {
+		s.batch.InstrBatch(evs)
+		return
+	}
+	for i := range evs {
+		s.scalar.Instr(&evs[i])
+	}
 }
 
 // New returns a detector with the given configuration.
@@ -193,11 +228,16 @@ func New(cfg Config) *Detector {
 }
 
 // AddObserver attaches an observer; observers are invoked in attachment
-// order. Observers that implement StreamObserver also receive raw events.
+// order. Observers that implement StreamObserver also receive raw
+// events, via InstrBatch when they implement BatchStreamObserver.
 func (d *Detector) AddObserver(o Observer) {
 	d.obs = append(d.obs, o)
 	if s, ok := o.(StreamObserver); ok {
-		d.stream = append(d.stream, s)
+		sink := streamSink{scalar: s}
+		if b, ok := o.(BatchStreamObserver); ok {
+			sink.batch = b
+		}
+		d.stream = append(d.stream, sink)
 	}
 }
 
@@ -220,15 +260,51 @@ func (d *Detector) Stats() Stats { return d.stats }
 
 // Consume processes one retired instruction (trace.Consumer).
 func (d *Detector) Consume(ev *trace.Event) {
-	for _, s := range d.stream {
-		s.Instr(ev)
+	for i := range d.stream {
+		d.stream[i].scalar.Instr(ev)
 	}
-	d.stats.Instrs++
-	d.last = ev.Index
-	if d.flushMask != 0 && d.stats.Instrs >= d.flushAt {
-		d.flushAt += d.flushMask
-		d.Flush()
+	d.step(ev)
+}
+
+// ConsumeBatch processes a batch of retired instructions
+// (trace.BatchConsumer) with the same observable behaviour as calling
+// Consume per event: raw-stream observers receive the events in
+// contiguous runs that end at each control-transfer instruction (the
+// only kind that can produce loop events) and at periodic-flush
+// boundaries, then the loop logic for that instruction runs. Most
+// instructions are neither, so the inner loop touches no interfaces.
+func (d *Detector) ConsumeBatch(evs []trace.Event) {
+	if len(evs) == 0 {
+		return
 	}
+	if d.flushMask != 0 {
+		d.consumeBatchSlow(evs)
+		return
+	}
+	// Fast path (no periodic flush): bulk the counters, so the scan costs
+	// one kind test per instruction.
+	d.stats.Instrs += uint64(len(evs))
+	start := 0
+	for i := range evs {
+		ev := &evs[i]
+		in := ev.Instr
+		k := in.Kind
+		if k != isa.KindBranch && k != isa.KindJump && k != isa.KindRet {
+			continue
+		}
+		d.emitStream(evs[start : i+1])
+		start = i + 1
+		d.last = ev.Index
+		d.transfer(ev)
+	}
+	d.emitStream(evs[start:])
+	d.last = evs[len(evs)-1].Index
+}
+
+// transfer applies the loop rules for one control-transfer instruction
+// (a no-op for any other kind). Every consume path funnels through it so
+// the scalar and batch paths cannot drift apart.
+func (d *Detector) transfer(ev *trace.Event) {
 	in := ev.Instr
 	switch in.Kind {
 	case isa.KindBranch:
@@ -246,6 +322,53 @@ func (d *Detector) Consume(ev *trace.Event) {
 	case isa.KindRet:
 		d.ret(ev.PC, ev.Index)
 	}
+}
+
+// consumeBatchSlow is the periodic-flush variant: the flush boundary can
+// fall on any instruction, so the counters advance per event.
+func (d *Detector) consumeBatchSlow(evs []trace.Event) {
+	start := 0
+	for i := range evs {
+		ev := &evs[i]
+		d.stats.Instrs++
+		d.last = ev.Index
+		flushDue := d.stats.Instrs >= d.flushAt
+		k := ev.Instr.Kind
+		if !flushDue && k != isa.KindBranch && k != isa.KindJump && k != isa.KindRet {
+			continue
+		}
+		d.emitStream(evs[start : i+1])
+		start = i + 1
+		if flushDue {
+			d.flushAt += d.flushMask
+			d.Flush()
+		}
+		d.transfer(ev)
+	}
+	d.emitStream(evs[start:])
+}
+
+// emitStream delivers a contiguous run of raw events to the stream
+// observers.
+func (d *Detector) emitStream(evs []trace.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	for i := range d.stream {
+		d.stream[i].deliver(evs)
+	}
+}
+
+// step runs the per-instruction bookkeeping and loop logic (everything
+// Consume does except raw-stream delivery).
+func (d *Detector) step(ev *trace.Event) {
+	d.stats.Instrs++
+	d.last = ev.Index
+	if d.flushMask != 0 && d.stats.Instrs >= d.flushAt {
+		d.flushAt += d.flushMask
+		d.Flush()
+	}
+	d.transfer(ev)
 }
 
 // find returns the stack index of the entry with target t, or -1.

@@ -32,9 +32,12 @@ type Collector struct {
 	// stack mirrors the CLS; instructions are attributed to the current
 	// iteration of the INNERMOST active loop (as the paper's per-loop
 	// iteration sizes are: swim's 279 instr/iter is its inner stencil
-	// body, not the whole outer iteration).
-	stack []uint64          // exec IDs, innermost last
-	acc   map[uint64]uint64 // exec ID -> instructions in current iteration
+	// body, not the whole outer iteration). acc runs parallel to stack —
+	// acc[i] counts the instructions of stack[i]'s current iteration —
+	// so the per-instruction hot path is a slice increment, not a map
+	// operation.
+	stack []uint64 // exec IDs, innermost last
+	acc   []uint64
 }
 
 // NewCollector returns a collector; one-shot executions are counted.
@@ -42,8 +45,18 @@ func NewCollector() *Collector {
 	return &Collector{
 		CountOneShots: true,
 		loopIDs:       make(map[isa.Addr]struct{}),
-		acc:           make(map[uint64]uint64),
 	}
+}
+
+// find returns the stack position of exec id (almost always the top), or
+// -1.
+func (c *Collector) find(id uint64) int {
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		if c.stack[i] == id {
+			return i
+		}
+	}
+	return -1
 }
 
 // Instr implements loopdet.StreamObserver: nesting statistics are
@@ -54,7 +67,21 @@ func (c *Collector) Instr(ev *trace.Event) {
 	if c.depth > 0 {
 		c.inLoop++
 		c.depthWeight += uint64(c.depth)
-		c.acc[c.stack[len(c.stack)-1]]++
+		c.acc[len(c.acc)-1]++
+	}
+}
+
+// InstrBatch implements loopdet.BatchStreamObserver. The CLS state is
+// constant across a run (loop events only occur at run boundaries), so
+// the whole run collapses into a handful of additions, including a
+// single increment of the innermost loop's iteration counter.
+func (c *Collector) InstrBatch(evs []trace.Event) {
+	n := uint64(len(evs))
+	c.instrs += n
+	if c.depth > 0 {
+		c.inLoop += n
+		c.depthWeight += uint64(c.depth) * n
+		c.acc[len(c.acc)-1] += n
 	}
 }
 
@@ -66,33 +93,37 @@ func (c *Collector) ExecStart(x *loopdet.Exec) {
 		c.maxDepth = c.depth
 	}
 	c.stack = append(c.stack, x.ID)
-	c.acc[x.ID] = 0
+	c.acc = append(c.acc, 0)
 }
 
 // IterStart implements loopdet.Observer: the previous iteration of x just
 // ended with the closing branch at index.
 func (c *Collector) IterStart(x *loopdet.Exec, index uint64) {
+	i := c.find(x.ID)
+	if i < 0 {
+		return
+	}
 	// The event for iteration 2 is the detection point: the iteration it
 	// closes (iteration 1) was never tracked, so only later boundaries
 	// close a measured iteration.
 	if x.Iters > 2 {
-		c.iterLen += c.acc[x.ID]
+		c.iterLen += c.acc[i]
 		c.iterCount++
 	}
-	c.acc[x.ID] = 0
+	c.acc[i] = 0
 }
 
 // ExecEnd implements loopdet.Observer.
 func (c *Collector) ExecEnd(x *loopdet.Exec, reason loopdet.EndReason, index uint64) {
 	c.depth--
-	n, ok := c.acc[x.ID]
-	delete(c.acc, x.ID)
-	for i := len(c.stack) - 1; i >= 0; i-- {
-		if c.stack[i] == x.ID {
-			copy(c.stack[i:], c.stack[i+1:])
-			c.stack = c.stack[:len(c.stack)-1]
-			break
-		}
+	var n uint64
+	ok := false
+	if i := c.find(x.ID); i >= 0 {
+		n, ok = c.acc[i], true
+		copy(c.stack[i:], c.stack[i+1:])
+		c.stack = c.stack[:len(c.stack)-1]
+		copy(c.acc[i:], c.acc[i+1:])
+		c.acc = c.acc[:len(c.acc)-1]
 	}
 	switch reason {
 	case loopdet.EndEvicted, loopdet.EndFlush:

@@ -199,7 +199,6 @@ type Engine struct {
 
 	idle   int
 	active []*loopState
-	byID   map[uint64]*loopState
 
 	// §2.3.2 exclusion machinery (nil unless enabled).
 	accs     map[isa.Addr]*accuracy
@@ -215,9 +214,8 @@ type Engine struct {
 // NewEngine returns an engine for the given configuration.
 func NewEngine(cfg Config) *Engine {
 	e := &Engine{
-		cfg:  cfg,
-		let:  looptab.NewLET(cfg.LETCapacity),
-		byID: make(map[uint64]*loopState),
+		cfg: cfg,
+		let: looptab.NewLET(cfg.LETCapacity),
 	}
 	if cfg.TUs > 0 {
 		e.idle = cfg.TUs - 1 // one TU is the non-speculative thread
@@ -259,6 +257,24 @@ func (e *Engine) Instr(ev *trace.Event) {
 	e.clock++
 }
 
+// InstrBatch implements loopdet.BatchStreamObserver: the cycle/skip
+// accounting over a run is a pair of additions, because no thread can
+// resolve mid-run (loop events only occur at run boundaries).
+func (e *Engine) InstrBatch(evs []trace.Event) {
+	n := uint64(len(evs))
+	if n == 0 {
+		return
+	}
+	e.m.Instrs += n
+	e.lastIndex = evs[n-1].Index
+	if e.skipBudget >= n {
+		e.skipBudget -= n
+		return
+	}
+	e.clock += n - e.skipBudget
+	e.skipBudget = 0
+}
+
 // ExecStart implements loopdet.Observer.
 func (e *Engine) ExecStart(x *loopdet.Exec) {
 	st := &loopState{x: x}
@@ -269,7 +285,6 @@ func (e *Engine) ExecStart(x *loopdet.Exec) {
 		e.oracleNext++
 	}
 	e.active = append(e.active, st)
-	e.byID[x.ID] = st
 	e.let.OnExecStart(x.T)
 	if e.cfg.Policy.NestLimit > 0 && e.cfg.NestRule == NestRuleStatic && !e.Infinite() {
 		e.enforceStaticNestLimit()
@@ -344,10 +359,22 @@ func (e *Engine) starve(st *loopState, index uint64) {
 	}
 }
 
+// findState returns the active state for execution id. The active list
+// is at most CLS-deep, so a linear scan from the innermost end beats a
+// map on every real workload (and allocates nothing).
+func (e *Engine) findState(id uint64) *loopState {
+	for i := len(e.active) - 1; i >= 0; i-- {
+		if st := e.active[i]; st.x.ID == id {
+			return st
+		}
+	}
+	return nil
+}
+
 // IterStart implements loopdet.Observer: verification (promotion of the
 // first speculated iteration, §3.1.3) followed by spawning (§3.1.1).
 func (e *Engine) IterStart(x *loopdet.Exec, index uint64) {
-	st := e.byID[x.ID]
+	st := e.findState(x.ID)
 	if st == nil {
 		e.m.Anomalies++
 		return
@@ -378,7 +405,12 @@ func (e *Engine) IterStart(x *loopdet.Exec, index uint64) {
 			break
 		}
 		h := st.threads[0]
-		st.threads = st.threads[1:]
+		// Shift down instead of reslicing: a reslice walks the base
+		// pointer forward until the next append reallocates, which would
+		// cost one heap allocation every few promotions forever. The
+		// queue is at most TUs-1 long, so the copy is trivial.
+		copy(st.threads, st.threads[1:])
+		st.threads = st.threads[:len(st.threads)-1]
 		promoted = true
 		e.m.ThreadsPromoted++
 		e.m.ResolvedThreads++
@@ -463,7 +495,7 @@ func (e *Engine) spawn(st *loopState, index uint64) {
 // ExecEnd implements loopdet.Observer: remaining speculative threads of
 // the loop execute non-existent iterations and are squashed (§3.1.3).
 func (e *Engine) ExecEnd(x *loopdet.Exec, reason loopdet.EndReason, index uint64) {
-	st := e.byID[x.ID]
+	st := e.findState(x.ID)
 	if st == nil {
 		return
 	}
@@ -478,7 +510,6 @@ func (e *Engine) ExecEnd(x *loopdet.Exec, reason loopdet.EndReason, index uint64
 	default:
 		e.let.OnExecEnd(x.T, x.Iters)
 	}
-	delete(e.byID, x.ID)
 	for i := len(e.active) - 1; i >= 0; i-- {
 		if e.active[i] == st {
 			copy(e.active[i:], e.active[i+1:])

@@ -2,9 +2,22 @@
 // the interpreter (the producer) to the loop detector, statistics
 // collectors and speculation engine (the consumers).
 //
-// The interpreter emits one Event per retired instruction. Events are
-// passed by pointer and reused by the producer: consumers must copy any
-// field they want to keep beyond the callback.
+// The interpreter retires instructions into a reusable batch buffer and
+// flushes it through the BatchConsumer interface; one ConsumeBatch call
+// replaces thousands of per-instruction interface dispatches. The older
+// per-event Consumer interface remains for callers that genuinely want
+// one event at a time; AsBatch adapts such a consumer to the batch
+// pipeline.
+//
+// # Batch lifetime
+//
+// The batch slice passed to ConsumeBatch — like the pointee passed to
+// Consume — is owned by the producer and reused for the next batch as
+// soon as the call returns. Consumers must copy any event (or field)
+// they want to keep beyond the callback; retaining the slice itself is
+// never safe. Event.Instr pointers are the exception: they point into
+// the program image and stay valid for the lifetime of the program.
+// TestBatchBufferIsReused and the -race CI job enforce these rules.
 package trace
 
 import "dynloop/internal/isa"
@@ -37,11 +50,21 @@ type Event struct {
 	MemVal int64
 }
 
-// Consumer receives retired-instruction events.
+// Consumer receives retired-instruction events one at a time.
 type Consumer interface {
 	// Consume processes one event. The pointee is reused by the producer
 	// after the call returns.
 	Consume(ev *Event)
+}
+
+// BatchConsumer receives retired-instruction events in batches. This is
+// the pipeline's native delivery interface: producers (the interpreter,
+// the trace-file replayer) fill a reusable buffer and flush it here.
+type BatchConsumer interface {
+	// ConsumeBatch processes evs in stream order. The slice and its
+	// backing array are reused by the producer after the call returns;
+	// consumers must copy anything they keep (see the package comment).
+	ConsumeBatch(evs []Event)
 }
 
 // ConsumerFunc adapts a function to the Consumer interface.
@@ -50,13 +73,73 @@ type ConsumerFunc func(ev *Event)
 // Consume calls f(ev).
 func (f ConsumerFunc) Consume(ev *Event) { f(ev) }
 
-// Tee fans one event stream out to several consumers in order.
+// ConsumeBatch calls f for each event in order.
+func (f ConsumerFunc) ConsumeBatch(evs []Event) {
+	for i := range evs {
+		f(&evs[i])
+	}
+}
+
+// BatchConsumerFunc adapts a function to the BatchConsumer interface.
+type BatchConsumerFunc func(evs []Event)
+
+// ConsumeBatch calls f(evs).
+func (f BatchConsumerFunc) ConsumeBatch(evs []Event) { f(evs) }
+
+// batchAdapter delivers a batch to a per-event consumer.
+type batchAdapter struct{ c Consumer }
+
+func (a batchAdapter) ConsumeBatch(evs []Event) {
+	for i := range evs {
+		a.c.Consume(&evs[i])
+	}
+}
+
+// AsBatch adapts a legacy per-event consumer to the batch interface.
+// Consumers that already implement BatchConsumer (every consumer in this
+// module does) are returned unwrapped, so their native batch fast path
+// is used.
+func AsBatch(c Consumer) BatchConsumer {
+	if bc, ok := c.(BatchConsumer); ok {
+		return bc
+	}
+	return batchAdapter{c}
+}
+
+// Tee fans one event stream out to several per-event consumers in order.
 type Tee []Consumer
 
 // Consume forwards ev to every consumer in order.
 func (t Tee) Consume(ev *Event) {
 	for _, c := range t {
 		c.Consume(ev)
+	}
+}
+
+// ConsumeBatch forwards the batch to every consumer, using each
+// consumer's native batch path when it has one. Batch-capable members
+// see whole batches; per-event members see the events one at a time, in
+// order.
+func (t Tee) ConsumeBatch(evs []Event) {
+	for _, c := range t {
+		if bc, ok := c.(BatchConsumer); ok {
+			bc.ConsumeBatch(evs)
+			continue
+		}
+		for i := range evs {
+			c.Consume(&evs[i])
+		}
+	}
+}
+
+// BatchTee fans one batch stream out to several batch consumers in
+// order. It is the fully batch-native composition the harness builds.
+type BatchTee []BatchConsumer
+
+// ConsumeBatch forwards the batch to every consumer in order.
+func (t BatchTee) ConsumeBatch(evs []Event) {
+	for _, c := range t {
+		c.ConsumeBatch(evs)
 	}
 }
 
@@ -85,6 +168,21 @@ func (c *Counter) Consume(ev *Event) {
 	}
 }
 
+// ConsumeBatch tallies every event in the batch.
+func (c *Counter) ConsumeBatch(evs []Event) {
+	c.Total += uint64(len(evs))
+	for i := range evs {
+		ev := &evs[i]
+		c.ByKind[ev.Instr.Kind]++
+		if ev.Instr.Kind == isa.KindBranch {
+			c.Branches++
+			if ev.Taken {
+				c.TakenBranches++
+			}
+		}
+	}
+}
+
 // Recorder stores copies of every event; it is a test helper.
 type Recorder struct {
 	// Events holds the copied events in order.
@@ -93,6 +191,9 @@ type Recorder struct {
 
 // Consume appends a copy of the event.
 func (r *Recorder) Consume(ev *Event) { r.Events = append(r.Events, *ev) }
+
+// ConsumeBatch appends a copy of every event in the batch.
+func (r *Recorder) ConsumeBatch(evs []Event) { r.Events = append(r.Events, evs...) }
 
 // Hash is a 64-bit FNV-1a accumulator over the control-flow facet of the
 // stream (PC, taken, target). Two runs with the same seed must produce the
@@ -117,5 +218,22 @@ func (h *Hash) Consume(ev *Event) {
 	}
 	s = (s ^ t) * fnvPrime
 	s = (s ^ uint64(ev.Target)) * fnvPrime
+	h.Sum = s
+}
+
+// ConsumeBatch folds the whole batch into the hash, keeping the running
+// sum in a register across the loop.
+func (h *Hash) ConsumeBatch(evs []Event) {
+	s := h.Sum
+	for i := range evs {
+		ev := &evs[i]
+		s = (s ^ uint64(ev.PC)) * fnvPrime
+		t := uint64(0)
+		if ev.Taken {
+			t = 1
+		}
+		s = (s ^ t) * fnvPrime
+		s = (s ^ uint64(ev.Target)) * fnvPrime
+	}
 	h.Sum = s
 }

@@ -56,6 +56,105 @@ func TestRecorder(t *testing.T) {
 	}
 }
 
+// batchStream builds a small mixed event stream for batch-equivalence
+// checks.
+func batchStream() []Event {
+	ins := []isa.Instr{
+		isa.Nop(),
+		isa.Branch(isa.CondEQZ, 1, 0),
+		isa.Jump(0),
+		isa.MovI(1, 7),
+	}
+	evs := make([]Event, 0, 32)
+	for i := 0; i < 32; i++ {
+		in := &ins[i%len(ins)]
+		e := Event{Index: uint64(i), PC: isa.Addr(i), Instr: in}
+		if in.Kind == isa.KindJump || (in.Kind == isa.KindBranch && i%3 == 0) {
+			e.Taken, e.Target = true, in.Target
+		}
+		evs = append(evs, e)
+	}
+	return evs
+}
+
+// TestBatchEquivalence: for every built-in consumer, ConsumeBatch must
+// accumulate exactly what per-event Consume does.
+func TestBatchEquivalence(t *testing.T) {
+	evs := batchStream()
+
+	var c1, c2 Counter
+	h1, h2 := NewHash(), NewHash()
+	var r1, r2 Recorder
+	for i := range evs {
+		c1.Consume(&evs[i])
+		h1.Consume(&evs[i])
+		r1.Consume(&evs[i])
+	}
+	// Deliver in uneven chunks to cross batch boundaries.
+	for i := 0; i < len(evs); i += 5 {
+		end := min(i+5, len(evs))
+		c2.ConsumeBatch(evs[i:end])
+		h2.ConsumeBatch(evs[i:end])
+		r2.ConsumeBatch(evs[i:end])
+	}
+	if c1 != c2 {
+		t.Fatalf("counter: batch %+v != scalar %+v", c2, c1)
+	}
+	if h1.Sum != h2.Sum {
+		t.Fatalf("hash: batch %x != scalar %x", h2.Sum, h1.Sum)
+	}
+	if len(r1.Events) != len(r2.Events) {
+		t.Fatalf("recorder: %d != %d events", len(r2.Events), len(r1.Events))
+	}
+	for i := range r1.Events {
+		if r1.Events[i] != r2.Events[i] {
+			t.Fatalf("recorder event %d differs", i)
+		}
+	}
+}
+
+// TestAsBatch: the adapter unwraps native batch consumers and loops for
+// scalar-only ones, preserving order.
+func TestAsBatch(t *testing.T) {
+	h := NewHash()
+	if AsBatch(h) != BatchConsumer(h) {
+		t.Fatal("AsBatch wrapped a native batch consumer")
+	}
+	var seen []uint64
+	scalar := scalarOnly{f: func(e *Event) { seen = append(seen, e.Index) }}
+	bc := AsBatch(scalar)
+	evs := batchStream()
+	bc.ConsumeBatch(evs[:4])
+	bc.ConsumeBatch(evs[4:7])
+	if len(seen) != 7 {
+		t.Fatalf("adapter delivered %d events, want 7", len(seen))
+	}
+	for i, idx := range seen {
+		if idx != uint64(i) {
+			t.Fatalf("order broken at %d: %v", i, seen)
+		}
+	}
+}
+
+// scalarOnly implements Consumer but not BatchConsumer (ConsumerFunc
+// would, via its ConsumeBatch method).
+type scalarOnly struct{ f func(*Event) }
+
+func (s scalarOnly) Consume(e *Event) { s.f(e) }
+
+// TestTeeBatchMixed: a Tee over one batch-native and one scalar-only
+// consumer delivers everything to both, in order.
+func TestTeeBatchMixed(t *testing.T) {
+	var c Counter
+	var seen int
+	tee := Tee{&c, scalarOnly{f: func(*Event) { seen++ }}}
+	evs := batchStream()
+	tee.ConsumeBatch(evs)
+	if c.Total != uint64(len(evs)) || seen != len(evs) {
+		t.Fatalf("tee delivered %d/%d, want %d", c.Total, seen, len(evs))
+	}
+}
+
 // TestHashSensitivity: the hash must react to PC, taken and target, and
 // be reproducible.
 func TestHashSensitivity(t *testing.T) {

@@ -2,11 +2,14 @@ package tracefile
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"testing"
 
 	"dynloop/internal/builder"
+	"dynloop/internal/isa"
 	"dynloop/internal/loopdet"
+	"dynloop/internal/program"
 	"dynloop/internal/trace"
 )
 
@@ -103,7 +106,7 @@ func TestReplayDrivesDetector(t *testing.T) {
 // reports a corrupt stream — never a silent short read.
 func TestTruncation(t *testing.T) {
 	_, data, _, _ := record(t)
-	for _, cut := range []int{0, 3, len(magic), len(magic) + 5, len(data) / 2, len(data) - 1} {
+	for _, cut := range []int{0, 3, len(magicV2), len(magicV2) + 5, len(data) / 2, len(data) - 1} {
 		r, err := NewReader(bytes.NewReader(data[:cut]))
 		if err != nil {
 			continue // header already rejected: fine
@@ -111,6 +114,88 @@ func TestTruncation(t *testing.T) {
 		if _, err := r.Replay(nil); !errors.Is(err, ErrCorrupt) {
 			t.Fatalf("cut=%d: replay err = %v, want ErrCorrupt", cut, err)
 		}
+	}
+}
+
+// encodeV1 builds a legacy (unframed, "DLTRACE1") trace file from
+// recorded events, to prove the reader still accepts the old format.
+func encodeV1(p *program.Program, evs []trace.Event) []byte {
+	buf := []byte(magicV1)
+	buf = binary.AppendUvarint(buf, uint64(len(p.Name)))
+	buf = append(buf, p.Name...)
+	buf = binary.AppendUvarint(buf, uint64(p.Entry))
+	buf = binary.AppendUvarint(buf, uint64(len(p.Code)))
+	for i := range p.Code {
+		in := &p.Code[i]
+		buf = binary.AppendUvarint(buf, uint64(in.Kind))
+		buf = binary.AppendUvarint(buf, uint64(in.Op))
+		buf = binary.AppendUvarint(buf, uint64(in.Cond))
+		buf = binary.AppendUvarint(buf, uint64(in.Rd))
+		buf = binary.AppendUvarint(buf, uint64(in.Rs1))
+		buf = binary.AppendUvarint(buf, uint64(in.Rs2))
+		buf = binary.AppendVarint(buf, in.Imm)
+		buf = binary.AppendUvarint(buf, uint64(in.Target))
+	}
+	for i := range evs {
+		ev := &evs[i]
+		var tag byte
+		if ev.Taken {
+			tag |= tagTaken
+		}
+		if ev.WroteReg {
+			tag |= tagWroteReg
+		}
+		hasMem := ev.Instr.Kind == isa.KindLoad || ev.Instr.Kind == isa.KindStore
+		if hasMem {
+			tag |= tagHasMem
+		}
+		buf = append(buf, tag)
+		buf = binary.AppendUvarint(buf, uint64(ev.PC))
+		if ev.Taken {
+			buf = binary.AppendUvarint(buf, uint64(ev.Target))
+		}
+		if ev.WroteReg {
+			buf = binary.AppendUvarint(buf, uint64(ev.WrittenReg))
+			buf = binary.AppendVarint(buf, ev.WrittenVal)
+		}
+		if hasMem {
+			buf = binary.AppendUvarint(buf, ev.MemAddr)
+			buf = binary.AppendVarint(buf, ev.MemVal)
+		}
+	}
+	buf = append(buf, tagTrailer)
+	buf = binary.AppendUvarint(buf, uint64(len(evs)))
+	return buf
+}
+
+// TestV1BackwardCompat: a legacy v1 file must replay with the same
+// stream hash and detector results as the v2 recording of the same run.
+func TestV1BackwardCompat(t *testing.T) {
+	u, _, liveHash, n := record(t)
+	rec := &trace.Recorder{}
+	cpu := u.NewCPU()
+	if _, err := cpu.Run(0, rec); err != nil {
+		t.Fatal(err)
+	}
+	data := encodeV1(u.Prog, rec.Events)
+
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.v1 {
+		t.Fatal("reader did not detect the v1 format")
+	}
+	h := trace.NewHash()
+	got, err := r.Replay(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("replayed %d of %d events", got, n)
+	}
+	if h.Sum != liveHash {
+		t.Fatalf("v1 replay hash %x != live hash %x", h.Sum, liveHash)
 	}
 }
 
