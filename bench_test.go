@@ -229,9 +229,12 @@ func BenchmarkRun(b *testing.B) {
 
 // BenchmarkRunBatchSize sweeps the event-batch size on the BenchmarkRun
 // pipeline; it documents why DefaultBatchSize is where it is (batch=1
-// reproduces the old one-dispatch-per-instruction pipeline).
+// reproduces the old one-dispatch-per-instruction pipeline). Throughput
+// plateaus by ~256 and the working set leaves L2 as the buffer grows —
+// 4096 events (~360 KiB) measured slower than 512 — so the default sits
+// at the knee.
 func BenchmarkRunBatchSize(b *testing.B) {
-	for _, bs := range []int{1, 64, 512, 4096} {
+	for _, bs := range []int{1, 64, 256, 512, 1024, 2048, 4096} {
 		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) { benchPipeline(b, bs) })
 	}
 }
@@ -438,6 +441,32 @@ func BenchmarkSweepParallelism(b *testing.B) {
 				}
 				if i == b.N-1 {
 					b.ReportMetric(float64(len(rows)), "cells")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepFusion is the A/B of the single-traversal refactor: the
+// full 360-cell sweep grid with every cell traversing its benchmark
+// alone (percell) vs cells fused per benchmark into one traversal
+// (fused). The fused/percell time ratio is the headline
+// BENCH_sweep.json tracks; a fresh runner per iteration keeps the cell
+// cache from short-circuiting the comparison.
+func BenchmarkSweepFusion(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noFuse bool
+	}{{"percell", true}, {"fused", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := expt.Config{Budget: benchBudget, Parallel: 1, NoFuse: mode.noFuse}
+				before := harness.Traversals()
+				if _, err := expt.Sweep(context.Background(), cfg, expt.SweepSpec{}); err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(harness.Traversals()-before), "traversals")
 				}
 			}
 		})

@@ -8,6 +8,7 @@
 //	dynloop run    -bench swim [-n 4000000] [-seed 1]
 //	dynloop spec   -bench swim [-tus 4] [-policy str3] [-n 4000000]
 //	dynloop data   -bench li [-n 4000000]
+//	dynloop analyze -bench swim [-passes stats,spec,data,branch,task,tables] [-shards K]
 //	dynloop disasm -bench perl [-max 80]
 //	dynloop experiment table1|table2|fig4|fig5|fig6|fig7|fig8|ablations|all
 //	                   [-n 4000000] [-bench a,b,c] [-seed 1] [-parallel N] [-progress]
@@ -20,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -28,6 +31,7 @@ import (
 	"dynloop/internal/expt"
 	"dynloop/internal/report"
 	"dynloop/internal/runner"
+	"dynloop/internal/taskpred"
 	"dynloop/internal/tracefile"
 )
 
@@ -52,6 +56,8 @@ func main() {
 		err = cmdData(os.Args[2:])
 	case "disasm":
 		err = cmdDisasm(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(ctx, os.Args[2:])
 	case "sweep":
@@ -82,6 +88,9 @@ commands:
   spec   -bench NAME [-tus K] [-policy idle|str|str1|str2|str3] [-n N]
                                      run the speculation model, print metrics
   data   -bench NAME [-n N]          run the Figure-8 data-speculation stats
+  analyze -bench NAME [-passes stats,spec,data,branch,task,tables] [-shards K]
+                                     run several analyses as fused passes over
+                                     ONE traversal of the benchmark's stream
   disasm -bench NAME [-max LINES]    disassemble the generated program
   experiment WHAT [-n N] [-bench a,b,...] [-parallel N] [-progress]
                                      regenerate paper tables/figures:
@@ -94,6 +103,9 @@ commands:
   trace  -bench NAME -o FILE [-n N]  record an instruction trace to a file
   replay -i FILE [-tus K] [-policy P]
                                      drive the detector + engine from a trace
+
+analyze, experiment and sweep also take -cpuprofile FILE / -memprofile
+FILE to dump pprof profiles of the run.
 `)
 }
 
@@ -112,7 +124,7 @@ func benchFlags(fs *flag.FlagSet) (bench *string, n *uint64, seed *uint64, batch
 	bench = fs.String("bench", "", "benchmark name (see: dynloop list)")
 	n = fs.Uint64("n", expt.DefaultBudget, "dynamic instruction budget")
 	seed = fs.Uint64("seed", 1, "workload input seed")
-	batch = fs.Int("batch", 0, "event-batch size (0 = default 4096; results are identical at any size)")
+	batch = fs.Int("batch", 0, "event-batch size (0 = default 1024; results are identical at any size)")
 	return
 }
 
@@ -245,6 +257,127 @@ func cmdData(args []string) error {
 	return nil
 }
 
+// cmdAnalyze runs several analyses as fused passes over one traversal of
+// a benchmark's instruction stream — the CLI surface of the pass
+// framework (dynloop.MultiRun).
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	bench, n, seed, batch := benchFlags(fs)
+	passNames := fs.String("passes", "stats,spec,data,branch,task,tables",
+		"comma-separated analyses to fuse (stats,spec,data,branch,task,tables)")
+	tus := fs.Int("tus", 4, "thread units for the spec pass")
+	polName := fs.String("policy", "str3", "speculation policy for the spec pass")
+	shards := fs.Int("shards", 0, "fan the passes across K goroutines (0/1 = inline)")
+	profile := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProfile, err := profile()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfile(); err != nil {
+			fmt.Fprintln(os.Stderr, "dynloop: profile:", err)
+		}
+	}()
+	u, err := buildBench(*bench, *seed)
+	if err != nil {
+		return err
+	}
+	var passes []dynloop.Pass
+	var printers []func()
+	for _, name := range strings.Split(*passNames, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "stats":
+			stats := dynloop.NewLoopStats()
+			det := dynloop.NewObserverPass(0, stats)
+			passes = append(passes, det)
+			printers = append(printers, func() {
+				s, ds := stats.Summary(), det.Stats()
+				t := report.NewTable("loop statistics (Table 1)", "metric", "value")
+				t.AddRow("static loops", s.StaticLoops)
+				t.AddRow("iter/exec", s.ItersPerExec)
+				t.AddRow("instr/iter", s.InstrPerIter)
+				t.AddRow("avg nesting", s.AvgNesting)
+				t.AddRow("max nesting", s.MaxNesting)
+				t.AddRow("one-shot executions", ds.OneShots)
+				fmt.Print(t.String())
+			})
+		case "spec":
+			pol, err := parsePolicy(*polName)
+			if err != nil {
+				return err
+			}
+			e := dynloop.NewEngine(dynloop.EngineConfig{TUs: *tus, Policy: pol})
+			passes = append(passes, dynloop.NewObserverPass(0, e))
+			printers = append(printers, func() {
+				m := e.Metrics()
+				t := report.NewTable(fmt.Sprintf("speculation (%s, %d TUs)", pol, *tus), "metric", "value")
+				t.AddRow("TPC", m.TPC())
+				t.AddRow("hit ratio %", m.HitRatio())
+				t.AddRow("threads/spec", m.ThreadsPerSpec())
+				fmt.Print(t.String())
+			})
+		case "data":
+			c := dynloop.NewDataStats()
+			passes = append(passes, dynloop.NewObserverPass(0, c))
+			printers = append(printers, func() {
+				s := c.Summary()
+				t := report.NewTable("data speculation (Figure 8)", "metric", "value")
+				t.AddRow("same path %", s.SamePathPct)
+				t.AddRow("live-in regs predicted %", s.LrPredPct)
+				t.AddRow("live-in mem predicted %", s.LmPredPct)
+				t.AddRow("all data correct %", s.AllDataPct)
+				fmt.Print(t.String())
+			})
+		case "branch":
+			suite := dynloop.NewBranchPredictorSuite()
+			passes = append(passes, suite)
+			printers = append(printers, func() {
+				t := report.NewTable("branch-prediction baseline", "predictor", "accuracy %", "backward %")
+				for _, r := range suite.Results() {
+					t.AddRow(r.Name, r.Accuracy(), r.BackwardAccuracy())
+				}
+				fmt.Print(t.String())
+			})
+		case "task":
+			tp := taskpred.New(taskpred.Config{})
+			passes = append(passes, dynloop.NewObserverPass(0, tp))
+			printers = append(printers, func() {
+				acc, scored := tp.Accuracy()
+				t := report.NewTable("next-task prediction baseline", "metric", "value")
+				t.AddRow("next-task %", acc)
+				t.AddRow("scored", scored)
+				fmt.Print(t.String())
+			})
+		case "tables":
+			tr := dynloop.NewTableTracker(16, 16)
+			passes = append(passes, dynloop.NewObserverPass(0, tr))
+			printers = append(printers, func() {
+				let, _ := tr.LET.HitRatio()
+				lit, _ := tr.LIT.HitRatio()
+				t := report.NewTable("LET/LIT tables (16 entries)", "table", "hit %")
+				t.AddRow("LET", 100*let)
+				t.AddRow("LIT", 100*lit)
+				fmt.Print(t.String())
+			})
+		default:
+			return fmt.Errorf("unknown pass %q (stats|spec|data|branch|task|tables)", name)
+		}
+	}
+	res, err := dynloop.MultiRun(u, dynloop.MultiRunConfig{Budget: *n, BatchSize: *batch, Shards: *shards}, passes...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d instructions, %d passes fused into 1 traversal (%d batches)\n",
+		*bench, res.Executed, len(passes), res.Batches)
+	for _, p := range printers {
+		p()
+	}
+	return nil
+}
+
 func cmdDisasm(args []string) error {
 	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
 	bench, _, seed, _ := benchFlags(fs)
@@ -299,8 +432,50 @@ func printRunnerStats(r *runner.Runner, progress bool) {
 		return
 	}
 	s := r.Stats()
-	fmt.Fprintf(os.Stderr, "runner: %d jobs, %d executed on %d workers, %d cache hits, %d coalesced\n",
-		s.Submitted, s.Executed, r.Workers(), s.CacheHits, s.Coalesced)
+	fmt.Fprintf(os.Stderr, "runner: %d jobs, %d executed, %d fused group runs on %d workers, %d cache hits, %d coalesced\n",
+		s.Submitted, s.Executed, s.GroupRuns, r.Workers(), s.CacheHits, s.Coalesced)
+}
+
+// profileFlags adds -cpuprofile/-memprofile to fs and returns a start
+// hook (call after flag parsing) whose returned stop hook writes the
+// profiles; sweep hotspots become inspectable without editing code.
+func profileFlags(fs *flag.FlagSet) func() (stop func() error, err error) {
+	cpu := fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
+	mem := fs.String("memprofile", "", "write an end-of-command heap profile to this file")
+	return func() (func() error, error) {
+		var cpuFile *os.File
+		if *cpu != "" {
+			f, err := os.Create(*cpu)
+			if err != nil {
+				return nil, err
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return nil, err
+			}
+			cpuFile = f
+		}
+		return func() error {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					return err
+				}
+			}
+			if *mem != "" {
+				f, err := os.Create(*mem)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				runtime.GC() // settle the heap so the profile shows retained memory
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	}
 }
 
 func cmdExperiment(ctx context.Context, args []string) error {
@@ -312,9 +487,14 @@ func cmdExperiment(ctx context.Context, args []string) error {
 	n := fs.Uint64("n", expt.DefaultBudget, "per-benchmark instruction budget")
 	seed := fs.Uint64("seed", 1, "workload input seed")
 	benches := fs.String("bench", "", "comma-separated benchmark subset")
-	batch := fs.Int("batch", 0, "event-batch size (0 = default 4096; output is identical at any size)")
+	batch := fs.Int("batch", 0, "event-batch size (0 = default 1024; output is identical at any size)")
 	progress, mkRunner := parallelFlags(fs)
+	profile := profileFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	stopProfile, err := profile()
+	if err != nil {
 		return err
 	}
 	cfg := expt.Config{Budget: *n, Seed: *seed, BatchSize: *batch, Runner: mkRunner()}
@@ -322,6 +502,11 @@ func cmdExperiment(ctx context.Context, args []string) error {
 		cfg.Benchmarks = strings.Split(*benches, ",")
 	}
 	defer func() { printRunnerStats(cfg.Runner, *progress) }()
+	defer func() {
+		if err := stopProfile(); err != nil {
+			fmt.Fprintln(os.Stderr, "dynloop: profile:", err)
+		}
+	}()
 	run := func(name string) error {
 		switch name {
 		case "table1":
@@ -441,9 +626,14 @@ func cmdSweep(ctx context.Context, args []string) error {
 	benches := fs.String("bench", "", "comma-separated benchmark subset (default: all 18)")
 	policies := fs.String("policy", "", "comma-separated policies (default: idle,str,str1,str2,str3)")
 	tus := fs.String("tus", "", "comma-separated machine sizes (default: 2,4,8,16)")
-	batch := fs.Int("batch", 0, "event-batch size (0 = default 4096; output is identical at any size)")
+	batch := fs.Int("batch", 0, "event-batch size (0 = default 1024; output is identical at any size)")
 	progress, mkRunner := parallelFlags(fs)
+	profile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProfile, err := profile()
+	if err != nil {
 		return err
 	}
 	cfg := expt.Config{Budget: *n, Seed: *seed, BatchSize: *batch, Runner: mkRunner()}
@@ -451,6 +641,11 @@ func cmdSweep(ctx context.Context, args []string) error {
 		cfg.Benchmarks = strings.Split(*benches, ",")
 	}
 	defer func() { printRunnerStats(cfg.Runner, *progress) }()
+	defer func() {
+		if err := stopProfile(); err != nil {
+			fmt.Fprintln(os.Stderr, "dynloop: profile:", err)
+		}
+	}()
 	var sw expt.SweepSpec
 	if *policies != "" {
 		pols, err := expt.ParsePolicies(strings.Split(*policies, ","))

@@ -17,14 +17,19 @@
 //   - an execution substrate (mini-ISA, structured program builder,
 //     interpreter) and 18 synthetic SPEC95-calibrated workloads; the
 //     interpreter delivers the retired-instruction stream in reusable
-//     zero-allocation event batches (RunConfig.BatchSize, default 4096),
+//     zero-allocation event batches (RunConfig.BatchSize, default 1024),
 //     so consumers cost one interface call per batch, not per
 //     instruction;
 //   - experiment drivers regenerating every table and figure of the
-//     paper's evaluation; and
+//     paper's evaluation;
 //   - a parallel experiment orchestrator (bounded worker pool, keyed
 //     result cache, per-job progress) that fans the experiment cells
-//     across GOMAXPROCS — see RunAll, RunSweep and RunnerConfig.
+//     across GOMAXPROCS — see RunAll, RunSweep and RunnerConfig; and
+//   - a pass framework (Pass, MultiRun, NewObserverPass) that broadcasts
+//     one traversal of a benchmark's instruction stream to any number of
+//     independent analyses, so a whole sweep column costs one
+//     interpretation instead of one per cell — the experiment drivers
+//     fuse their (benchmark, budget) groups this way automatically.
 //
 // Quick start:
 //
@@ -54,6 +59,7 @@ import (
 	"dynloop/internal/program"
 	"dynloop/internal/runner"
 	"dynloop/internal/spec"
+	"dynloop/internal/trace"
 	"dynloop/internal/tracefile"
 	"dynloop/internal/workload"
 )
@@ -181,6 +187,45 @@ func RandomProgram(seed uint64) (*Unit, error) {
 func Run(u *Unit, cfg RunConfig, observers ...Observer) (RunResult, error) {
 	return harness.Run(u, cfg, observers...)
 }
+
+// The pass framework: one traversal, many analyses.
+type (
+	// Pass is one complete analysis lifecycle over an event stream
+	// (Init / ConsumeBatch / Finalize). Detectors with observers
+	// attached (NewObserverPass) and the branch-prediction baseline are
+	// passes; MultiRun broadcasts one traversal to any number of them.
+	Pass = trace.Pass
+	// MultiRunConfig parametrises MultiRun.
+	MultiRunConfig = harness.MultiConfig
+	// MultiRunResult reports what a fused run did.
+	MultiRunResult = harness.MultiResult
+)
+
+// MultiRun executes the unit once, broadcasting every event batch to all
+// passes, so N independent analyses cost one traversal of the stream
+// instead of N. Each pass owns whatever detector and tables it needs,
+// so results are identical to running each pass alone (see
+// harness.MultiRun and the ExampleMultiRun godoc).
+func MultiRun(u *Unit, cfg MultiRunConfig, passes ...Pass) (MultiRunResult, error) {
+	return harness.MultiRun(u, cfg, passes...)
+}
+
+// NewObserverPass bundles a fresh detector with the given observers into
+// one schedulable pass. clsCapacity follows RunConfig.CLSCapacity's
+// convention (0 = the paper's 16, negative = unbounded). Keep the
+// returned detector for its stats; keep the observers for their results.
+func NewObserverPass(clsCapacity int, observers ...Observer) *Detector {
+	return harness.NewObserverPass(clsCapacity, observers...)
+}
+
+// AsPass adapts a plain batch consumer (e.g. a trace.Hash or Counter)
+// into a Pass with no-op lifecycle hooks, for fusing raw-stream
+// consumers into a MultiRun traversal.
+func AsPass(c TraceBatchConsumer) Pass { return trace.AsPass(c) }
+
+// TraceBatchConsumer receives retired-instruction events in batches (see
+// trace.BatchConsumer for the buffer-lifetime rules).
+type TraceBatchConsumer = trace.BatchConsumer
 
 // NewDetector returns a standalone loop detector; feed it trace events
 // directly when not using Run.

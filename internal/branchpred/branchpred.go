@@ -156,13 +156,21 @@ func (r Result) BackwardAccuracy() float64 {
 	return 100 * float64(r.BackwardHits) / float64(r.BackwardBranches)
 }
 
-// Collector measures any number of predictors over one stream (it
-// implements trace.Consumer and trace.BatchConsumer; attach with
-// harness.Config.PreDetector).
+// Collector measures any number of predictors over one stream. It
+// implements trace.Consumer, trace.BatchConsumer and trace.Pass: attach
+// it with harness.Config.PreDetector, or schedule it directly as one
+// pass of a fused multi-pass traversal (it needs no loop detector).
 type Collector struct {
 	preds   []Predictor
 	results []Result
 }
+
+// Init implements trace.Pass; a fresh collector needs no setup.
+func (c *Collector) Init() {}
+
+// Finalize implements trace.Pass; the results need no end-of-stream
+// work.
+func (c *Collector) Finalize() {}
 
 // NewCollector returns a collector over the given predictors.
 func NewCollector(preds ...Predictor) *Collector {

@@ -8,7 +8,9 @@
 // it is written inside the iteration (including nested subroutines and
 // inner loops, which belong to the iteration). Tables are unbounded here,
 // as the paper assumes for Figure 8 ("LIT and LET tables have enough
-// capacity to store all the loops").
+// capacity to store all the loops"). The Collector is a detector
+// observer: attach it with Detector.AddObserver, or bundle it into one
+// pass of a fused multi-pass traversal with harness.NewObserverPass.
 package datapred
 
 import (

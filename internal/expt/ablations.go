@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 
+	"dynloop/internal/harness"
 	"dynloop/internal/loopstats"
 	"dynloop/internal/looptab"
 	"dynloop/internal/report"
 	"dynloop/internal/runner"
 	"dynloop/internal/spec"
+	"dynloop/internal/trace"
 	"dynloop/internal/workload"
 )
 
@@ -33,7 +35,9 @@ type clsCell struct {
 // AblationCLSSize sweeps the CLS capacity (the paper fixes 16 and argues
 // it never overflows on SPEC95: "the maximum nesting level is lower than
 // 16"). The sweep shows where detection starts degrading. The grid is
-// one capacity × benchmark job per cell.
+// one capacity × benchmark cell each — and because every cell's pass
+// owns a private detector, all capacities of a benchmark still fuse into
+// one traversal.
 func AblationCLSSize(ctx context.Context, cfg Config, capacities []int) ([]CLSSizeRow, error) {
 	if len(capacities) == 0 {
 		capacities = []int{2, 4, 8, 16}
@@ -42,37 +46,33 @@ func AblationCLSSize(ctx context.Context, cfg Config, capacities []int) ([]CLSSi
 	if err != nil {
 		return nil, err
 	}
-	var jobs []runner.Job[clsCell]
+	var cells []passCell[clsCell]
 	for _, capEntries := range capacities {
 		runCfg := cfg
 		runCfg.CLSCapacity = capEntries
 		for _, bm := range bms {
-			capEntries, bm, runCfg := capEntries, bm, runCfg
-			jobs = append(jobs, runner.Job[clsCell]{
-				Key:   runCfg.cellKey("clssize", bm.Name),
-				Label: fmt.Sprintf("cls %s/%d entries", bm.Name, capEntries),
-				Run: func(ctx context.Context) (clsCell, error) {
+			cells = append(cells, passCell[clsCell]{
+				key:   runCfg.cellKey("clssize", bm.Name),
+				label: fmt.Sprintf("cls %s/%d entries", bm.Name, capEntries),
+				bench: bm,
+				cfg:   runCfg,
+				mk: func() (trace.Pass, func() (clsCell, error)) {
 					ls := loopstats.NewCollector()
 					e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)})
-					u, err := bm.Build(runCfg.seed())
-					if err != nil {
-						return clsCell{}, err
+					det := harness.NewObserverPass(capEntries, ls, e)
+					return det, func() (clsCell, error) {
+						ds := det.Stats()
+						return clsCell{
+							Evictions: ds.Evictions,
+							AtCap:     ds.MaxDepth >= capEntries,
+							TPC:       e.Metrics().TPC(),
+						}, nil
 					}
-					res, err := runWithResult(runCfg, u, ls, e)
-					if err != nil {
-						return clsCell{}, err
-					}
-					ds := res.Detector.Stats()
-					return clsCell{
-						Evictions: ds.Evictions,
-						AtCap:     ds.MaxDepth >= capEntries,
-						TPC:       e.Metrics().TPC(),
-					}, nil
 				},
 			})
 		}
 	}
-	cells, err := runner.Map(ctx, cfg.pool(), jobs)
+	res, err := mapCells(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +81,7 @@ func AblationCLSSize(ctx context.Context, cfg Config, capacities []int) ([]CLSSi
 		row := CLSSizeRow{Capacity: capEntries}
 		var tpcSum float64
 		for bi := range bms {
-			c := cells[ci*len(bms)+bi]
+			c := res[ci*len(bms)+bi]
 			row.Evictions += c.Evictions
 			if c.AtCap {
 				row.MaxDepthHits++
@@ -114,7 +114,7 @@ type LETCapacityRow struct {
 // AblationLETCapacity sweeps the speculation engine's iteration-count
 // LET size (the paper leaves it open; the Figure 4 experiment suggests
 // 16 entries suffice for history hits) — capacity × benchmark spec
-// cells.
+// cells, fused per benchmark.
 func AblationLETCapacity(ctx context.Context, cfg Config, capacities []int) ([]LETCapacityRow, error) {
 	if len(capacities) == 0 {
 		capacities = []int{2, 4, 8, 16, 0}
@@ -123,13 +123,13 @@ func AblationLETCapacity(ctx context.Context, cfg Config, capacities []int) ([]L
 	if err != nil {
 		return nil, err
 	}
-	var jobs []runner.Job[spec.Metrics]
+	var cells []passCell[spec.Metrics]
 	for _, capEntries := range capacities {
 		for _, bm := range bms {
-			jobs = append(jobs, specJob(cfg, bm, spec.Config{TUs: 4, Policy: spec.STRn(3), LETCapacity: capEntries}))
+			cells = append(cells, specCell(cfg, bm, spec.Config{TUs: 4, Policy: spec.STRn(3), LETCapacity: capEntries}))
 		}
 	}
-	ms, err := runner.Map(ctx, cfg.pool(), jobs)
+	ms, err := mapCells(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -177,33 +177,36 @@ type replCell struct {
 	Inhibited uint64
 }
 
-// replJob runs one LET/LIT tracker cell.
-func replJob(cfg Config, bm workload.Benchmark, size int, nestingAware bool) runner.Job[replCell] {
+// replacementCell declares one LET/LIT tracker cell.
+func replacementCell(cfg Config, bm workload.Benchmark, size int, nestingAware bool) passCell[replCell] {
 	mode := "lru"
 	if nestingAware {
 		mode = "nest"
 	}
-	return runner.Job[replCell]{
-		Key:   cfg.cellKey("replacement", bm.Name, size, mode),
-		Label: fmt.Sprintf("replacement %s/%d/%s", bm.Name, size, mode),
-		Run: func(ctx context.Context) (replCell, error) {
+	return passCell[replCell]{
+		key:   cfg.cellKey("replacement", bm.Name, size, mode),
+		label: fmt.Sprintf("replacement %s/%d/%s", bm.Name, size, mode),
+		bench: bm,
+		cfg:   cfg,
+		mk: func() (trace.Pass, func() (replCell, error)) {
 			tr := looptab.NewTracker(size, size)
 			if nestingAware {
 				tr.EnableNestingAware()
 			}
-			if err := cfg.run(bm, tr); err != nil {
-				return replCell{}, err
-			}
-			let, _ := tr.LET.HitRatio()
-			lit, _ := tr.LIT.HitRatio()
-			return replCell{LET: let, LIT: lit, Inhibited: tr.LET.Inhibited() + tr.LIT.Inhibited()}, nil
+			return harness.NewObserverPass(cfg.CLSCapacity, tr),
+				func() (replCell, error) {
+					let, _ := tr.LET.HitRatio()
+					lit, _ := tr.LIT.HitRatio()
+					return replCell{LET: let, LIT: lit, Inhibited: tr.LET.Inhibited() + tr.LIT.Inhibited()}, nil
+				}
 		},
 	}
 }
 
 // AblationReplacement reproduces the paper's §2.3.2 finding: the
 // nesting-aware insertion-inhibit policy improves on LRU only
-// negligibly. The grid is size × benchmark × {LRU, nesting-aware}.
+// negligibly. The grid is size × benchmark × {LRU, nesting-aware}, fused
+// per benchmark.
 func AblationReplacement(ctx context.Context, cfg Config, sizes []int) ([]ReplacementRow, error) {
 	if len(sizes) == 0 {
 		sizes = []int{2, 4, 8}
@@ -212,13 +215,13 @@ func AblationReplacement(ctx context.Context, cfg Config, sizes []int) ([]Replac
 	if err != nil {
 		return nil, err
 	}
-	var jobs []runner.Job[replCell]
+	var cells []passCell[replCell]
 	for _, size := range sizes {
 		for _, bm := range bms {
-			jobs = append(jobs, replJob(cfg, bm, size, false), replJob(cfg, bm, size, true))
+			cells = append(cells, replacementCell(cfg, bm, size, false), replacementCell(cfg, bm, size, true))
 		}
 	}
-	cells, err := runner.Map(ctx, cfg.pool(), jobs)
+	res, err := mapCells(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -226,8 +229,8 @@ func AblationReplacement(ctx context.Context, cfg Config, sizes []int) ([]Replac
 	for si, size := range sizes {
 		row := ReplacementRow{Entries: size}
 		for bi := range bms {
-			lru := cells[(si*len(bms)+bi)*2]
-			nest := cells[(si*len(bms)+bi)*2+1]
+			lru := res[(si*len(bms)+bi)*2]
+			nest := res[(si*len(bms)+bi)*2+1]
 			row.LRULet += lru.LET
 			row.LRULit += lru.LIT
 			row.NestLet += nest.LET
@@ -265,35 +268,36 @@ type OneShotRow struct {
 // AblationOneShots quantifies the effect of counting one-iteration
 // executions in the Table 1 statistics (the paper's definition detects
 // them but does not say whether they are included; we default to
-// counting them). One job per benchmark; both collectors share a single
-// pass.
+// counting them). One pass per benchmark; both collectors share a single
+// detector.
 func AblationOneShots(ctx context.Context, cfg Config) ([]OneShotRow, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	jobs := make([]runner.Job[OneShotRow], len(bms))
+	cells := make([]passCell[OneShotRow], len(bms))
 	for i, bm := range bms {
-		bm := bm
-		jobs[i] = runner.Job[OneShotRow]{
-			Key:   cfg.cellKey("oneshots", bm.Name),
-			Label: "oneshots " + bm.Name,
-			Run: func(ctx context.Context) (OneShotRow, error) {
+		cells[i] = passCell[OneShotRow]{
+			key:   cfg.cellKey("oneshots", bm.Name),
+			label: "oneshots " + bm.Name,
+			bench: bm,
+			cfg:   cfg,
+			mk: func() (trace.Pass, func() (OneShotRow, error)) {
 				with := loopstats.NewCollector()
 				without := loopstats.NewCollector()
 				without.CountOneShots = false
-				if err := cfg.run(bm, with, without); err != nil {
-					return OneShotRow{}, err
-				}
-				w, wo := with.Summary(), without.Summary()
-				return OneShotRow{
-					Bench: bm.Name, WithIPE: w.ItersPerExec, WithoutIPE: wo.ItersPerExec,
-					WithExecs: w.Execs, WithoutExec: wo.Execs,
-				}, nil
+				return harness.NewObserverPass(cfg.CLSCapacity, with, without),
+					func() (OneShotRow, error) {
+						w, wo := with.Summary(), without.Summary()
+						return OneShotRow{
+							Bench: bm.Name, WithIPE: w.ItersPerExec, WithoutIPE: wo.ItersPerExec,
+							WithExecs: w.Execs, WithoutExec: wo.Execs,
+						}, nil
+					}
 			},
 		}
 	}
-	return runner.Map(ctx, cfg.pool(), jobs)
+	return mapCells(ctx, cfg, cells)
 }
 
 // RenderOneShots formats the one-shot ablation.
@@ -318,7 +322,8 @@ type NestRuleRow struct {
 // AblationNestRule compares the starvation-based STR(i) reading (our
 // default; consistent with the paper's Table 2) against the literal
 // structural reading (see spec.NestRule and DESIGN.md). The grid is
-// policy × machine size × benchmark × rule, in spec cells.
+// policy × machine size × benchmark × rule, in spec cells fused per
+// benchmark.
 func AblationNestRule(ctx context.Context, cfg Config, tus []int) ([]NestRuleRow, error) {
 	if len(tus) == 0 {
 		tus = []int{4, 8}
@@ -328,17 +333,17 @@ func AblationNestRule(ctx context.Context, cfg Config, tus []int) ([]NestRuleRow
 		return nil, err
 	}
 	nests := []int{1, 3}
-	var jobs []runner.Job[spec.Metrics]
+	var cells []passCell[spec.Metrics]
 	for _, i := range nests {
 		for _, k := range tus {
 			for _, bm := range bms {
-				jobs = append(jobs,
-					specJob(cfg, bm, spec.Config{TUs: k, Policy: spec.STRn(i)}),
-					specJob(cfg, bm, spec.Config{TUs: k, Policy: spec.STRn(i), NestRule: spec.NestRuleStatic}))
+				cells = append(cells,
+					specCell(cfg, bm, spec.Config{TUs: k, Policy: spec.STRn(i)}),
+					specCell(cfg, bm, spec.Config{TUs: k, Policy: spec.STRn(i), NestRule: spec.NestRuleStatic}))
 			}
 		}
 	}
-	ms, err := runner.Map(ctx, cfg.pool(), jobs)
+	ms, err := mapCells(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -384,7 +389,7 @@ type ExclusionRow struct {
 // AblationExclusion measures the §2.3.2 exclusion table ("those loops
 // with a poor prediction rate may be good candidates to store in this
 // table"): loops whose predicted threads resolve below the threshold are
-// denied further speculation. Two spec cells per benchmark; the
+// denied further speculation. Two spec cells per benchmark, fused; the
 // exclusion-off cell is Table 2's and deduplicates against it on a
 // shared Runner.
 func AblationExclusion(ctx context.Context, cfg Config, threshold float64) ([]ExclusionRow, error) {
@@ -395,16 +400,16 @@ func AblationExclusion(ctx context.Context, cfg Config, threshold float64) ([]Ex
 	if err != nil {
 		return nil, err
 	}
-	jobs := make([]runner.Job[spec.Metrics], 0, 2*len(bms))
+	cells := make([]passCell[spec.Metrics], 0, 2*len(bms))
 	for _, bm := range bms {
-		jobs = append(jobs,
-			specJob(cfg, bm, spec.Config{TUs: 4, Policy: spec.STRn(3)}),
-			specJob(cfg, bm, spec.Config{
+		cells = append(cells,
+			specCell(cfg, bm, spec.Config{TUs: 4, Policy: spec.STRn(3)}),
+			specCell(cfg, bm, spec.Config{
 				TUs: 4, Policy: spec.STRn(3),
 				Exclude: true, ExcludeThreshold: threshold,
 			}))
 	}
-	ms, err := runner.Map(ctx, cfg.pool(), jobs)
+	ms, err := mapCells(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -440,33 +445,37 @@ type OracleRow struct {
 }
 
 // AblationOracle bounds the cost of iteration-count misprediction: a
-// first run records every execution's true count, a second run
+// first traversal records every execution's true count, a second
 // speculates with it. The gap between the STR and oracle columns is all
 // the TPC that better iteration-count prediction could ever recover.
 // Each benchmark is one composite job (the oracle run depends on the
-// recorder pass, so the three runs stay together).
+// recorder pass, so it cannot be a flat cell): traversal one runs the
+// recorder, traversal two runs the blind-STR and oracle engines fused.
 func AblationOracle(ctx context.Context, cfg Config) ([]OracleRow, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
+	mc := harness.MultiConfig{Budget: cfg.budget(), BatchSize: cfg.BatchSize}
 	jobs := make([]runner.Job[OracleRow], len(bms))
 	for i, bm := range bms {
-		bm := bm
 		jobs[i] = runner.Job[OracleRow]{
 			Key:   cfg.cellKey("oracle", bm.Name),
 			Label: "oracle " + bm.Name,
 			Run: func(ctx context.Context) (OracleRow, error) {
+				u, err := bm.Build(cfg.seed())
+				if err != nil {
+					return OracleRow{}, fmt.Errorf("expt: build %s: %w", bm.Name, err)
+				}
 				rec := spec.NewOracleRecorder()
-				if err := cfg.run(bm, rec); err != nil {
+				if _, err := harness.MultiRun(u, mc, harness.NewObserverPass(cfg.CLSCapacity, rec)); err != nil {
 					return OracleRow{}, err
 				}
 				str := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STR()})
-				if err := cfg.run(bm, str); err != nil {
-					return OracleRow{}, err
-				}
 				oracle := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STR(), OracleIters: rec.Counts()})
-				if err := cfg.run(bm, oracle); err != nil {
+				if _, err := harness.MultiRun(u, mc,
+					harness.NewObserverPass(cfg.CLSCapacity, str),
+					harness.NewObserverPass(cfg.CLSCapacity, oracle)); err != nil {
 					return OracleRow{}, err
 				}
 				mS, mO := str.Metrics(), oracle.Metrics()

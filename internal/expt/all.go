@@ -167,7 +167,8 @@ type SweepRow struct {
 }
 
 // Sweep runs an arbitrary benchmark × policy × TUs grid through the
-// runner and returns one row per cell, in benchmark-major order. It is
+// runner and returns one row per cell, in benchmark-major order — each
+// benchmark's whole policy × TUs column fused into one traversal. It is
 // the workhorse behind `dynloop sweep` and the scale-out benchmark.
 func Sweep(ctx context.Context, cfg Config, sw SweepSpec) ([]SweepRow, error) {
 	bms, err := cfg.benchmarks()
@@ -175,15 +176,15 @@ func Sweep(ctx context.Context, cfg Config, sw SweepSpec) ([]SweepRow, error) {
 		return nil, err
 	}
 	pols, tus := sw.policies(), sw.tus()
-	jobs := make([]runner.Job[spec.Metrics], 0, len(bms)*len(pols)*len(tus))
+	cells := make([]passCell[spec.Metrics], 0, len(bms)*len(pols)*len(tus))
 	for _, bm := range bms {
 		for _, pol := range pols {
 			for _, k := range tus {
-				jobs = append(jobs, specJob(cfg, bm, spec.Config{TUs: k, Policy: pol}))
+				cells = append(cells, specCell(cfg, bm, spec.Config{TUs: k, Policy: pol}))
 			}
 		}
 	}
-	ms, err := runner.Map(ctx, cfg.pool(), jobs)
+	ms, err := mapCells(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}

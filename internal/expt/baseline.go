@@ -6,7 +6,6 @@ import (
 	"dynloop/internal/branchpred"
 	"dynloop/internal/harness"
 	"dynloop/internal/report"
-	"dynloop/internal/runner"
 	"dynloop/internal/spec"
 	"dynloop/internal/taskpred"
 	"dynloop/internal/trace"
@@ -22,41 +21,32 @@ type BaselineRow struct {
 }
 
 // BaselineBranchPred measures the classic predictors on every workload,
-// one job per benchmark. The column to look at is the backward-branch
-// accuracy: the paper's premise is that loop closing branches are highly
-// predictable, which is exactly what the whole-iteration speculation
-// exploits.
+// one pass per benchmark (the suite is a raw-stream pass and needs no
+// loop detector, so it fuses with any other cell of the benchmark). The
+// column to look at is the backward-branch accuracy: the paper's premise
+// is that loop closing branches are highly predictable, which is exactly
+// what the whole-iteration speculation exploits.
 func BaselineBranchPred(ctx context.Context, cfg Config) ([]BaselineRow, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	jobs := make([]runner.Job[BaselineRow], len(bms))
+	cells := make([]passCell[BaselineRow], len(bms))
 	for i, bm := range bms {
-		bm := bm
-		jobs[i] = runner.Job[BaselineRow]{
-			Key:   cfg.cellKey("branchpred", bm.Name),
-			Label: "branchpred " + bm.Name,
-			Run: func(ctx context.Context) (BaselineRow, error) {
-				u, err := bm.Build(cfg.seed())
-				if err != nil {
-					return BaselineRow{}, err
-				}
+		cells[i] = passCell[BaselineRow]{
+			key:   cfg.cellKey("branchpred", bm.Name),
+			label: "branchpred " + bm.Name,
+			bench: bm,
+			cfg:   cfg,
+			mk: func() (trace.Pass, func() (BaselineRow, error)) {
 				suite := branchpred.DefaultSuite()
-				hc := harness.Config{
-					Budget:      cfg.budget(),
-					CLSCapacity: cfg.CLSCapacity,
-					BatchSize:   cfg.BatchSize,
-					PreDetector: []trace.Consumer{suite},
+				return suite, func() (BaselineRow, error) {
+					return BaselineRow{Bench: bm.Name, Results: suite.Results()}, nil
 				}
-				if _, err := harness.Run(u, hc); err != nil {
-					return BaselineRow{}, err
-				}
-				return BaselineRow{Bench: bm.Name, Results: suite.Results()}, nil
 			},
 		}
 	}
-	return runner.Map(ctx, cfg.pool(), jobs)
+	return mapCells(ctx, cfg, cells)
 }
 
 // RenderBaseline formats the branch-prediction baseline.
@@ -99,35 +89,36 @@ type TaskPredRow struct {
 
 // BaselineTaskPred measures the multiscalar-style next-task predictor
 // against the paper's iteration-count speculation on every workload. One
-// composite job per benchmark: both observers share a single pass.
+// composite pass per benchmark: both observers share a single detector.
 func BaselineTaskPred(ctx context.Context, cfg Config) ([]TaskPredRow, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	jobs := make([]runner.Job[TaskPredRow], len(bms))
+	cells := make([]passCell[TaskPredRow], len(bms))
 	for i, bm := range bms {
-		bm := bm
-		jobs[i] = runner.Job[TaskPredRow]{
-			Key:   cfg.cellKey("taskpred", bm.Name),
-			Label: "taskpred " + bm.Name,
-			Run: func(ctx context.Context) (TaskPredRow, error) {
+		cells[i] = passCell[TaskPredRow]{
+			key:   cfg.cellKey("taskpred", bm.Name),
+			label: "taskpred " + bm.Name,
+			bench: bm,
+			cfg:   cfg,
+			mk: func() (trace.Pass, func() (TaskPredRow, error)) {
 				tp := taskpred.New(taskpred.Config{})
 				e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)})
-				if err := cfg.run(bm, tp, e); err != nil {
-					return TaskPredRow{}, err
-				}
-				acc, n := tp.Accuracy()
-				return TaskPredRow{
-					Bench:       bm.Name,
-					NextTaskPct: acc,
-					Scored:      n,
-					IterHitPct:  e.Metrics().HitRatio(),
-				}, nil
+				return harness.NewObserverPass(cfg.CLSCapacity, tp, e),
+					func() (TaskPredRow, error) {
+						acc, n := tp.Accuracy()
+						return TaskPredRow{
+							Bench:       bm.Name,
+							NextTaskPct: acc,
+							Scored:      n,
+							IterHitPct:  e.Metrics().HitRatio(),
+						}, nil
+					}
 			},
 		}
 	}
-	return runner.Map(ctx, cfg.pool(), jobs)
+	return mapCells(ctx, cfg, cells)
 }
 
 // RenderTaskPred formats the next-task baseline.

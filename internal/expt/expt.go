@@ -4,23 +4,28 @@
 // harness all run experiments through this package.
 //
 // Every driver decomposes its table or figure into independent cells
-// (benchmark × policy × table-capacity × ablation) and submits them as a
-// job list to an internal/runner pool, so experiments parallelise across
-// GOMAXPROCS while producing byte-identical output at any worker count.
-// Share one Runner across drivers (as All and the CLI do) and
-// overlapping cells — Figure 7's STR column is Figure 6, its STR(3)/4TU
-// cells are Table 2's — are computed once.
+// (benchmark × policy × table-capacity × ablation) and declares each
+// cell as an analysis pass over its benchmark's instruction stream. The
+// internal/runner pool coalesces the cells of each (benchmark, budget)
+// group into one fused execution — a single interpreter traversal feeds
+// every pass of the group through harness.MultiRun — so a whole sweep
+// costs O(benchmarks) traversals instead of O(cells), parallelises
+// across GOMAXPROCS, and still produces byte-identical output at any
+// worker count. Cells are cached and deduplicated individually: share
+// one Runner across drivers (as All and the CLI do) and overlapping
+// cells — Figure 7's STR column is Figure 6, its STR(3)/4TU cells are
+// Table 2's — are computed once.
 package expt
 
 import (
 	"context"
 	"fmt"
+	"strings"
 
-	"dynloop/internal/builder"
 	"dynloop/internal/harness"
-	"dynloop/internal/loopdet"
 	"dynloop/internal/runner"
 	"dynloop/internal/spec"
+	"dynloop/internal/trace"
 	"dynloop/internal/workload"
 )
 
@@ -52,6 +57,13 @@ type Config struct {
 	// OnEvent streams per-job progress when the driver builds its own
 	// runner. Ignored when Runner is set (configure it there instead).
 	OnEvent func(runner.Event)
+	// NoFuse disables traversal fusion: every cell runs its own private
+	// interpreter traversal, as the pre-fusion drivers did. Results are
+	// identical either way (each cell's pass owns its detector and
+	// tables, so fusion shares only the read-only event stream); the
+	// flag exists for the byte-identity regression tests and for A/B
+	// benchmarking the fusion win.
+	NoFuse bool
 }
 
 // DefaultBudget is the per-benchmark instruction budget experiments use
@@ -98,58 +110,106 @@ func (c Config) benchmarks() ([]workload.Benchmark, error) {
 
 // cellKey builds a runner cache key: the Config fields every run depends
 // on, then the cell's own coordinates. Keys must determine the result
-// (and its Go type) completely — see runner.Job.
+// (and its Go type) completely — see runner.Job. Each part is
+// length-prefixed so adjacent parts cannot blur into a colliding key
+// ("a","bc" vs "ab","c", or a part containing the delimiter).
 func (c Config) cellKey(parts ...any) string {
-	key := fmt.Sprintf("b%d|s%d|cls%d|ba%d", c.budget(), c.seed(), c.CLSCapacity, c.BatchSize)
+	var b strings.Builder
+	fmt.Fprintf(&b, "b%d|s%d|cls%d|ba%d", c.budget(), c.seed(), c.CLSCapacity, c.BatchSize)
 	for _, p := range parts {
-		key += fmt.Sprintf("|%v", p)
+		s := fmt.Sprint(p)
+		fmt.Fprintf(&b, "|%d:%s", len(s), s)
 	}
-	return key
+	return b.String()
 }
 
-// run builds one benchmark and executes it under the configured budget
-// with the given observers attached.
-func (c Config) run(bm workload.Benchmark, observers ...loopdet.Observer) error {
-	u, err := bm.Build(c.seed())
-	if err != nil {
-		return fmt.Errorf("expt: build %s: %w", bm.Name, err)
+// groupKey names a fusion group: everything that determines the
+// instruction stream a cell's pass observes — the benchmark, the
+// traversal budget, the input seed and the batch size. Cells of one
+// driver call sharing a group key execute in one fused traversal; the
+// per-pass knobs (policy, TU count, table capacities, even the CLS
+// capacity) deliberately stay out.
+func (c Config) groupKey(bench string, budget uint64) string {
+	return fmt.Sprintf("g|%d:%s|b%d|s%d|ba%d", len(bench), bench, budget, c.seed(), c.BatchSize)
+}
+
+// passCell is one experiment cell declared as an analysis pass: mk
+// constructs the pass that will observe the benchmark's stream plus a
+// finish hook extracting the cell's result once the traversal is
+// finalised. key/label follow runner.Job semantics. cfg is the cell's
+// own Config — normally the driver's, but a driver may vary it per cell
+// (Fig5 runs a reduced budget); the traversal is built from it, so
+// whatever the cell's key recorded is what actually runs.
+type passCell[T any] struct {
+	key   string
+	label string
+	bench workload.Benchmark
+	cfg   Config
+	mk    func() (trace.Pass, func() (T, error))
+}
+
+// mapCells resolves every cell through the runner — cached cells are
+// served individually, missing cells execute fused per (benchmark,
+// budget) group: one unit build, one harness.MultiRun traversal feeding
+// all of the group's passes, then each cell's finish hook. Results
+// return in cell order, byte-identical at any worker count and with
+// fusion on or off.
+func mapCells[T any](ctx context.Context, cfg Config, cells []passCell[T]) ([]T, error) {
+	jobs := make([]runner.GroupJob[T], len(cells))
+	for i, c := range cells {
+		group := c.cfg.groupKey(c.bench.Name, c.cfg.budget())
+		if cfg.NoFuse {
+			group = fmt.Sprintf("%s|cell%d", group, i)
+		}
+		jobs[i] = runner.GroupJob[T]{Key: c.key, Group: group, Label: c.label}
 	}
-	return c.runUnit(u, observers...)
+	exec := func(ctx context.Context, group string, idx []int) ([]T, error) {
+		lead := cells[idx[0]]
+		u, err := lead.bench.Build(lead.cfg.seed())
+		if err != nil {
+			return nil, fmt.Errorf("expt: build %s: %w", lead.bench.Name, err)
+		}
+		passes := make([]trace.Pass, len(idx))
+		finish := make([]func() (T, error), len(idx))
+		for j, i := range idx {
+			passes[j], finish[j] = cells[i].mk()
+		}
+		mc := harness.MultiConfig{Budget: lead.cfg.budget(), BatchSize: lead.cfg.BatchSize}
+		if _, err := harness.MultiRun(u, mc, passes...); err != nil {
+			return nil, err
+		}
+		out := make([]T, len(idx))
+		for j, f := range finish {
+			if out[j], err = f(); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	return runner.MapGroups(ctx, cfg.pool(), jobs, exec)
 }
 
-func (c Config) runUnit(u *builder.Unit, observers ...loopdet.Observer) error {
-	_, err := runWithResult(c, u, observers...)
-	return err
-}
-
-// runWithResult runs a built unit and exposes the harness result (used by
-// ablations that need detector statistics).
-func runWithResult(cfg Config, u *builder.Unit, observers ...loopdet.Observer) (harness.Result, error) {
-	hc := harness.Config{Budget: cfg.budget(), CLSCapacity: cfg.CLSCapacity, BatchSize: cfg.BatchSize}
-	return harness.Run(u, hc, observers...)
-}
-
-// specJob is the shared benchmark × engine-configuration cell that
+// specCell is the shared benchmark × engine-configuration cell that
 // Table 2, Figures 5–7, the sweep command and several ablations are all
 // built from; the cache key covers every spec.Config field so distinct
 // configurations never collide, while identical cells submitted by
 // different drivers on a shared Runner are computed once. ec.OracleIters
 // must be nil (a slice cannot be keyed); oracle runs use dedicated
 // composite jobs instead.
-func specJob(cfg Config, bm workload.Benchmark, ec spec.Config) runner.Job[spec.Metrics] {
+func specCell(cfg Config, bm workload.Benchmark, ec spec.Config) passCell[spec.Metrics] {
 	if ec.OracleIters != nil {
-		panic("expt: specJob cannot key an oracle run")
+		panic("expt: specCell cannot key an oracle run")
 	}
-	return runner.Job[spec.Metrics]{
-		Key: cfg.cellKey("spec", bm.Name, ec.TUs, ec.Policy, ec.LETCapacity, ec.NestRule,
+	return passCell[spec.Metrics]{
+		key: cfg.cellKey("spec", bm.Name, ec.TUs, ec.Policy, ec.LETCapacity, ec.NestRule,
 			ec.Exclude, ec.ExcludeThreshold, ec.ExcludeMinResolved, ec.ExcludeCapacity),
-		Label: fmt.Sprintf("%s %s/%d TUs", bm.Name, ec.Policy, ec.TUs),
-		Run: func(ctx context.Context) (spec.Metrics, error) {
+		label: fmt.Sprintf("%s %s/%d TUs", bm.Name, ec.Policy, ec.TUs),
+		bench: bm,
+		cfg:   cfg,
+		mk: func() (trace.Pass, func() (spec.Metrics, error)) {
 			e := spec.NewEngine(ec)
-			if err := cfg.run(bm, e); err != nil {
-				return spec.Metrics{}, err
-			}
-			return e.Metrics(), nil
+			return harness.NewObserverPass(cfg.CLSCapacity, e),
+				func() (spec.Metrics, error) { return e.Metrics(), nil }
 		},
 	}
 }

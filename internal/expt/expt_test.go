@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"dynloop/internal/harness"
 	"dynloop/internal/runner"
 	"dynloop/internal/spec"
 )
@@ -52,6 +53,68 @@ func TestCellKeyCoversConfig(t *testing.T) {
 	// Parallelism must NOT change the key: the result is the same cell.
 	if b := (Config{Budget: 100, Parallel: 8}).cellKey("spec", "swim", 4); b != a {
 		t.Fatalf("worker count leaked into the cell key: %q vs %q", b, a)
+	}
+	// Fusion must NOT change the key either: fused and per-cell runs
+	// compute the same cell.
+	if b := (Config{Budget: 100, NoFuse: true}).cellKey("spec", "swim", 4); b != a {
+		t.Fatalf("NoFuse leaked into the cell key: %q vs %q", b, a)
+	}
+}
+
+// TestCellKeyDelimiterCollisions: the length-prefixed encoding keeps
+// adjacent parts from blurring into each other — "a","bc" and "ab","c"
+// concatenate identically under a naive delimiter scheme, as do parts
+// that contain the delimiter itself.
+func TestCellKeyDelimiterCollisions(t *testing.T) {
+	cfg := Config{Budget: 100}
+	pairs := [][2][]any{
+		{{"a", "bc"}, {"ab", "c"}},
+		{{"a|b"}, {"a", "b"}},
+		{{"a|", "b"}, {"a", "|b"}},
+		{{"x", ""}, {"x"}},
+		{{1, 23}, {12, 3}},
+		{{"spec", "swim", "41"}, {"spec", "swim4", "1"}},
+		{{"2:ab"}, {"ab"}},
+	}
+	for _, p := range pairs {
+		if a, b := cfg.cellKey(p[0]...), cfg.cellKey(p[1]...); a == b {
+			t.Errorf("cellKey(%v) == cellKey(%v) == %q", p[0], p[1], a)
+		}
+	}
+	// And equal parts still key equal.
+	if cfg.cellKey("spec", "swim", 4) != cfg.cellKey("spec", "swim", 4) {
+		t.Fatal("identical parts produced different keys")
+	}
+}
+
+// TestFusionByteIdenticalAndFewerTraversals is the acceptance property
+// of the fused pass pipeline: the full rendered report under fused
+// multi-pass execution is byte-identical to the per-cell reference path
+// (each cell traversing the stream alone), at 1 worker and at 8 — while
+// using at least 3× fewer interpreter traversals.
+func TestFusionByteIdenticalAndFewerTraversals(t *testing.T) {
+	base := Config{Budget: 50_000, Benchmarks: []string{"m88ksim", "perl"}}
+	render := func(parallel int, noFuse bool) (string, uint64) {
+		cfg := base
+		cfg.Parallel = parallel
+		cfg.NoFuse = noFuse
+		before := harness.Traversals()
+		out, err := All(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("parallel=%d noFuse=%v: %v", parallel, noFuse, err)
+		}
+		return out, harness.Traversals() - before
+	}
+	ref, perCell := render(1, true)
+	for _, parallel := range []int{1, 8} {
+		fusedOut, fused := render(parallel, false)
+		if fusedOut != ref {
+			t.Fatalf("fused report (parallel=%d) differs from the per-cell reference:\n--- per-cell ---\n%s\n--- fused ---\n%s",
+				parallel, ref, fusedOut)
+		}
+		if fused*3 > perCell {
+			t.Errorf("parallel=%d: fused run used %d traversals, per-cell used %d — want >=3x fewer", parallel, fused, perCell)
+		}
 	}
 }
 

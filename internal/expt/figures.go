@@ -6,10 +6,11 @@ import (
 	"strings"
 
 	"dynloop/internal/datapred"
+	"dynloop/internal/harness"
 	"dynloop/internal/looptab"
 	"dynloop/internal/report"
-	"dynloop/internal/runner"
 	"dynloop/internal/spec"
+	"dynloop/internal/trace"
 )
 
 // Fig4Point is the average LET/LIT hit ratio at one table size.
@@ -30,32 +31,34 @@ type fig4Cell struct {
 
 // Fig4 reproduces Figure 4: LET and LIT hit ratios for 2–16 entries,
 // averaged over the suite (CLS fixed at 16 entries as in §2.3.1). The
-// grid is one size × benchmark job per cell.
+// grid is one size × benchmark cell per point; all four table sizes of a
+// benchmark fuse into one traversal.
 func Fig4(ctx context.Context, cfg Config) ([]Fig4Point, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	jobs := make([]runner.Job[fig4Cell], 0, len(Fig4Sizes)*len(bms))
+	cells := make([]passCell[fig4Cell], 0, len(Fig4Sizes)*len(bms))
 	for _, size := range Fig4Sizes {
 		for _, bm := range bms {
-			size, bm := size, bm
-			jobs = append(jobs, runner.Job[fig4Cell]{
-				Key:   cfg.cellKey("fig4", size, bm.Name),
-				Label: fmt.Sprintf("fig4 %s/%d entries", bm.Name, size),
-				Run: func(ctx context.Context) (fig4Cell, error) {
+			cells = append(cells, passCell[fig4Cell]{
+				key:   cfg.cellKey("fig4", size, bm.Name),
+				label: fmt.Sprintf("fig4 %s/%d entries", bm.Name, size),
+				bench: bm,
+				cfg:   cfg,
+				mk: func() (trace.Pass, func() (fig4Cell, error)) {
 					tr := looptab.NewTracker(size, size)
-					if err := cfg.run(bm, tr); err != nil {
-						return fig4Cell{}, err
-					}
-					let, _ := tr.LET.HitRatio()
-					lit, _ := tr.LIT.HitRatio()
-					return fig4Cell{LET: let, LIT: lit}, nil
+					return harness.NewObserverPass(cfg.CLSCapacity, tr),
+						func() (fig4Cell, error) {
+							let, _ := tr.LET.HitRatio()
+							lit, _ := tr.LIT.HitRatio()
+							return fig4Cell{LET: let, LIT: lit}, nil
+						}
 				},
 			})
 		}
 	}
-	cells, err := runner.Map(ctx, cfg.pool(), jobs)
+	cells2, err := mapCells(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +67,7 @@ func Fig4(ctx context.Context, cfg Config) ([]Fig4Point, error) {
 	for si, size := range Fig4Sizes {
 		var letSum, litSum float64
 		for bi := range bms {
-			c := cells[si*len(bms)+bi]
+			c := cells2[si*len(bms)+bi]
 			letSum += c.LET
 			litSum += c.LIT
 		}
@@ -101,7 +104,9 @@ type Fig5Row struct {
 
 // Fig5 reproduces Figure 5: TPC for a machine with unlimited thread
 // units, full vs reduced instruction window — two spec cells per
-// benchmark (the budget is part of the cell key).
+// benchmark (the budget is part of the cell key, and of the fusion
+// group: different budgets mean different streams, so these cells never
+// fuse with each other).
 func Fig5(ctx context.Context, cfg Config) ([]Fig5Row, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
@@ -109,13 +114,13 @@ func Fig5(ctx context.Context, cfg Config) ([]Fig5Row, error) {
 	}
 	reducedCfg := cfg
 	reducedCfg.Budget = cfg.budget() / 4
-	jobs := make([]runner.Job[spec.Metrics], 0, 2*len(bms))
+	cells := make([]passCell[spec.Metrics], 0, 2*len(bms))
 	for _, bm := range bms {
-		jobs = append(jobs,
-			specJob(cfg, bm, spec.Config{TUs: 0}),
-			specJob(reducedCfg, bm, spec.Config{TUs: 0}))
+		cells = append(cells,
+			specCell(cfg, bm, spec.Config{TUs: 0}),
+			specCell(reducedCfg, bm, spec.Config{TUs: 0}))
 	}
-	ms, err := runner.Map(ctx, cfg.pool(), jobs)
+	ms, err := mapCells(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -158,19 +163,20 @@ type Fig6Row struct {
 }
 
 // Fig6 reproduces Figure 6: per-program TPC under the STR policy for
-// 2–16 TUs — a benchmark × machine-size cell grid.
+// 2–16 TUs — a benchmark × machine-size cell grid, all four machine
+// sizes of a benchmark fused into one traversal.
 func Fig6(ctx context.Context, cfg Config) ([]Fig6Row, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	jobs := make([]runner.Job[spec.Metrics], 0, len(bms)*len(Fig6TUs))
+	cells := make([]passCell[spec.Metrics], 0, len(bms)*len(Fig6TUs))
 	for _, bm := range bms {
 		for _, tus := range Fig6TUs {
-			jobs = append(jobs, specJob(cfg, bm, spec.Config{TUs: tus, Policy: spec.STR()}))
+			cells = append(cells, specCell(cfg, bm, spec.Config{TUs: tus, Policy: spec.STR()}))
 		}
 	}
-	ms, err := runner.Map(ctx, cfg.pool(), jobs)
+	ms, err := mapCells(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -219,38 +225,39 @@ type Fig7Cell struct {
 }
 
 // Fig7 reproduces Figure 7: average TPC for IDLE, STR and STR(1..3)
-// across 2–16 TUs. The benchmark × policy × TUs grid is one flat job
-// list; on a shared Runner its STR column deduplicates against Figure 6
-// and its STR(3)/4TU cells against Table 2.
+// across 2–16 TUs. The benchmark × policy × TUs grid is one flat cell
+// list: each benchmark's twenty cells fuse into a single traversal, and
+// on a shared Runner its STR column deduplicates against Figure 6 and
+// its STR(3)/4TU cells against Table 2.
 func Fig7(ctx context.Context, cfg Config) ([]Fig7Cell, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
 	pols := Fig7Policies()
-	jobs := make([]runner.Job[spec.Metrics], 0, len(bms)*len(pols)*len(Fig6TUs))
+	cells := make([]passCell[spec.Metrics], 0, len(bms)*len(pols)*len(Fig6TUs))
 	for _, bm := range bms {
 		for _, pol := range pols {
 			for _, tus := range Fig6TUs {
-				jobs = append(jobs, specJob(cfg, bm, spec.Config{TUs: tus, Policy: pol}))
+				cells = append(cells, specCell(cfg, bm, spec.Config{TUs: tus, Policy: pol}))
 			}
 		}
 	}
-	ms, err := runner.Map(ctx, cfg.pool(), jobs)
+	ms, err := mapCells(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}
-	cells := make([]Fig7Cell, 0, len(pols)*len(Fig6TUs))
+	out := make([]Fig7Cell, 0, len(pols)*len(Fig6TUs))
 	for pi, pol := range pols {
 		for ti, tus := range Fig6TUs {
 			var sum float64
 			for bi := range bms {
 				sum += ms[(bi*len(pols)+pi)*len(Fig6TUs)+ti].TPC()
 			}
-			cells = append(cells, Fig7Cell{Policy: pol.String(), TUs: tus, AvgTPC: sum / float64(len(bms))})
+			out = append(out, Fig7Cell{Policy: pol.String(), TUs: tus, AvgTPC: sum / float64(len(bms))})
 		}
 	}
-	return cells, nil
+	return out, nil
 }
 
 // RenderFig7 formats Figure 7 as a policy × TUs matrix.
@@ -282,28 +289,29 @@ type Fig8Row struct {
 }
 
 // Fig8 reproduces Figure 8: path regularity and live-in predictability
-// (LIT/LET unbounded, as the paper assumes) — one job per benchmark.
+// (LIT/LET unbounded, as the paper assumes) — one pass per benchmark.
 func Fig8(ctx context.Context, cfg Config) ([]Fig8Row, Fig8Row, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, Fig8Row{}, err
 	}
-	jobs := make([]runner.Job[Fig8Row], len(bms))
+	cells := make([]passCell[Fig8Row], len(bms))
 	for i, bm := range bms {
-		bm := bm
-		jobs[i] = runner.Job[Fig8Row]{
-			Key:   cfg.cellKey("fig8", bm.Name),
-			Label: "fig8 " + bm.Name,
-			Run: func(ctx context.Context) (Fig8Row, error) {
+		cells[i] = passCell[Fig8Row]{
+			key:   cfg.cellKey("fig8", bm.Name),
+			label: "fig8 " + bm.Name,
+			bench: bm,
+			cfg:   cfg,
+			mk: func() (trace.Pass, func() (Fig8Row, error)) {
 				c := datapred.NewCollector(datapred.Config{})
-				if err := cfg.run(bm, c); err != nil {
-					return Fig8Row{}, err
-				}
-				return Fig8Row{Bench: bm.Name, S: c.Summary()}, nil
+				return harness.NewObserverPass(cfg.CLSCapacity, c),
+					func() (Fig8Row, error) {
+						return Fig8Row{Bench: bm.Name, S: c.Summary()}, nil
+					}
 			},
 		}
 	}
-	rows, err := runner.Map(ctx, cfg.pool(), jobs)
+	rows, err := mapCells(ctx, cfg, cells)
 	if err != nil {
 		return nil, Fig8Row{}, err
 	}

@@ -4,10 +4,11 @@ import (
 	"context"
 	"fmt"
 
+	"dynloop/internal/harness"
 	"dynloop/internal/loopstats"
 	"dynloop/internal/report"
-	"dynloop/internal/runner"
 	"dynloop/internal/spec"
+	"dynloop/internal/trace"
 	"dynloop/internal/workload"
 )
 
@@ -19,28 +20,29 @@ type Table1Row struct {
 }
 
 // Table1 reproduces the paper's Table 1 (loop statistics per program),
-// one job per benchmark.
+// one pass per benchmark.
 func Table1(ctx context.Context, cfg Config) ([]Table1Row, error) {
 	bms, err := cfg.benchmarks()
 	if err != nil {
 		return nil, err
 	}
-	jobs := make([]runner.Job[Table1Row], len(bms))
+	cells := make([]passCell[Table1Row], len(bms))
 	for i, bm := range bms {
-		bm := bm
-		jobs[i] = runner.Job[Table1Row]{
-			Key:   cfg.cellKey("table1", bm.Name),
-			Label: "table1 " + bm.Name,
-			Run: func(ctx context.Context) (Table1Row, error) {
+		cells[i] = passCell[Table1Row]{
+			key:   cfg.cellKey("table1", bm.Name),
+			label: "table1 " + bm.Name,
+			bench: bm,
+			cfg:   cfg,
+			mk: func() (trace.Pass, func() (Table1Row, error)) {
 				c := loopstats.NewCollector()
-				if err := cfg.run(bm, c); err != nil {
-					return Table1Row{}, err
-				}
-				return Table1Row{Bench: bm.Name, S: c.Summary(), Paper: bm.Paper}, nil
+				return harness.NewObserverPass(cfg.CLSCapacity, c),
+					func() (Table1Row, error) {
+						return Table1Row{Bench: bm.Name, S: c.Summary(), Paper: bm.Paper}, nil
+					}
 			},
 		}
 	}
-	return runner.Map(ctx, cfg.pool(), jobs)
+	return mapCells(ctx, cfg, cells)
 }
 
 // RenderTable1 formats Table 1 with the paper's values alongside.
@@ -74,11 +76,11 @@ func Table2(ctx context.Context, cfg Config) ([]Table2Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	jobs := make([]runner.Job[spec.Metrics], len(bms))
+	cells := make([]passCell[spec.Metrics], len(bms))
 	for i, bm := range bms {
-		jobs[i] = specJob(cfg, bm, spec.Config{TUs: 4, Policy: spec.STRn(3)})
+		cells[i] = specCell(cfg, bm, spec.Config{TUs: 4, Policy: spec.STRn(3)})
 	}
-	ms, err := runner.Map(ctx, cfg.pool(), jobs)
+	ms, err := mapCells(ctx, cfg, cells)
 	if err != nil {
 		return nil, err
 	}

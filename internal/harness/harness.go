@@ -1,11 +1,20 @@
 // Package harness wires the pipeline together: a built Unit executes on a
-// fresh CPU, the instruction stream flows in batches through a loop
-// Detector, and any number of observers (statistics collectors, tables,
-// speculation engines) watch the loop events. Experiments, examples and
-// tests all run through this package.
+// fresh CPU and the instruction stream flows in batches to one or more
+// analysis passes — each typically a loop Detector with observers
+// (statistics collectors, tables, speculation engines) attached.
+// Experiments, examples and tests all run through this package.
+//
+// Run is the single-pass entry point (one detector, N observers).
+// MultiRun is the fused entry point: one traversal of the stream feeds
+// any number of independent passes through a trace.Broadcast, so a whole
+// column of experiment cells — different policies, table capacities,
+// even different CLS capacities, each pass owning its own detector —
+// costs one interpretation instead of one per cell.
 package harness
 
 import (
+	"sync/atomic"
+
 	"dynloop/internal/builder"
 	"dynloop/internal/loopdet"
 	"dynloop/internal/trace"
@@ -13,6 +22,29 @@ import (
 
 // DefaultCLSCapacity is the paper's CLS size (16 entries, §2.3.1).
 const DefaultCLSCapacity = 16
+
+// traversals counts interpreter traversals started by Run and MultiRun
+// across the process, for efficiency assertions: fusing N cells into one
+// MultiRun must show up as one traversal, not N.
+var traversals atomic.Uint64
+
+// Traversals returns the process-lifetime count of stream traversals
+// started by Run and MultiRun.
+func Traversals() uint64 { return traversals.Load() }
+
+// ResolveCLSCapacity maps the harness capacity convention to a
+// loopdet.Config capacity: 0 selects DefaultCLSCapacity, negative means
+// unbounded.
+func ResolveCLSCapacity(c int) int {
+	switch {
+	case c == 0:
+		return DefaultCLSCapacity
+	case c < 0:
+		return 0
+	default:
+		return c
+	}
+}
 
 // Config parametrises a run.
 type Config struct {
@@ -33,17 +65,6 @@ type Config struct {
 	PreDetector []trace.Consumer
 }
 
-func (c Config) clsCapacity() int {
-	switch {
-	case c.CLSCapacity == 0:
-		return DefaultCLSCapacity
-	case c.CLSCapacity < 0:
-		return 0
-	default:
-		return c.CLSCapacity
-	}
-}
-
 // Result reports what a run did.
 type Result struct {
 	// Executed is the number of retired instructions.
@@ -56,27 +77,74 @@ type Result struct {
 }
 
 // Run executes the unit under a fresh detector with the given observers
-// attached, flushes the detector at the end, and returns the result.
+// attached, flushes the detector at the end, and returns the result. It
+// is MultiRun with a single observer pass (plus any PreDetector
+// consumers, which see the stream first).
 func Run(u *builder.Unit, cfg Config, observers ...loopdet.Observer) (Result, error) {
-	cpu := u.NewCPU()
-	cpu.SetBatchSize(cfg.BatchSize)
-	det := loopdet.New(loopdet.Config{Capacity: cfg.clsCapacity()})
+	det := NewObserverPass(cfg.CLSCapacity, observers...)
+	passes := make([]trace.Pass, 0, len(cfg.PreDetector)+1)
+	for _, c := range cfg.PreDetector {
+		passes = append(passes, trace.AsPass(trace.AsBatch(c)))
+	}
+	passes = append(passes, det)
+	res, err := MultiRun(u, MultiConfig{Budget: cfg.Budget, BatchSize: cfg.BatchSize}, passes...)
+	return Result{Executed: res.Executed, Halted: res.Halted, Detector: det}, err
+}
+
+// NewObserverPass bundles a fresh detector with the given observers into
+// one schedulable pass (Finalize flushes the CLS). clsCapacity follows
+// the Config.CLSCapacity convention: 0 selects DefaultCLSCapacity,
+// negative means unbounded. Keep the returned detector to read its
+// stats; keep the observers to read their results.
+func NewObserverPass(clsCapacity int, observers ...loopdet.Observer) *loopdet.Detector {
+	det := loopdet.New(loopdet.Config{Capacity: ResolveCLSCapacity(clsCapacity)})
 	for _, o := range observers {
 		det.AddObserver(o)
 	}
-	var sink trace.BatchConsumer = det
-	if len(cfg.PreDetector) > 0 {
-		tee := make(trace.BatchTee, 0, len(cfg.PreDetector)+1)
-		for _, c := range cfg.PreDetector {
-			tee = append(tee, trace.AsBatch(c))
-		}
-		tee = append(tee, det)
-		sink = tee
-	}
-	n, err := cpu.Run(cfg.Budget, sink)
+	return det
+}
+
+// MultiConfig parametrises a fused multi-pass run.
+type MultiConfig struct {
+	// Budget is the dynamic instruction limit (0 = run to halt).
+	Budget uint64
+	// BatchSize is the event-batch size (0 selects
+	// interp.DefaultBatchSize). Results are identical at any setting.
+	BatchSize int
+	// Shards spreads the passes across that many goroutines, with a
+	// barrier per batch so the reusable buffer never escapes its epoch
+	// (see trace.Broadcast). <= 1 runs the passes inline. Passes are
+	// independent, so sharding changes wall-clock only, never results.
+	Shards int
+}
+
+// MultiResult reports what a fused run did.
+type MultiResult struct {
+	// Executed is the number of retired instructions.
+	Executed uint64
+	// Halted reports whether the program ran to completion.
+	Halted bool
+	// Batches is the number of buffer epochs delivered.
+	Batches uint64
+}
+
+// MultiRun executes the unit once, broadcasting every event batch to all
+// passes: Init before the first batch (in pass order), ConsumeBatch per
+// batch, Finalize after the last (in pass order, skipped on error). One
+// traversal of the stream thus feeds N independent analyses; because
+// every pass owns whatever detector or tables it needs, the results are
+// identical to running each pass in its own traversal.
+func MultiRun(u *builder.Unit, cfg MultiConfig, passes ...trace.Pass) (MultiResult, error) {
+	traversals.Add(1)
+	cpu := u.NewCPU()
+	cpu.SetBatchSize(cfg.BatchSize)
+	b := trace.NewBroadcast(cfg.Shards, passes...)
+	b.Init()
+	n, err := cpu.Run(cfg.Budget, b)
 	if err != nil {
-		return Result{Executed: n, Detector: det}, err
+		b.Stop()
+		return MultiResult{Executed: n, Batches: b.Epochs()}, err
 	}
-	det.Flush()
-	return Result{Executed: n, Halted: cpu.Halted(), Detector: det}, nil
+	b.Finalize()
+	return MultiResult{Executed: n, Halted: cpu.Halted(), Batches: b.Epochs()}, nil
 }

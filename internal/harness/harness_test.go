@@ -47,13 +47,13 @@ func TestBudgetStops(t *testing.T) {
 // TestCLSCapacityMapping: 0 selects the paper's default, negative means
 // unbounded.
 func TestCLSCapacityMapping(t *testing.T) {
-	if got := (Config{}).clsCapacity(); got != DefaultCLSCapacity {
+	if got := ResolveCLSCapacity(0); got != DefaultCLSCapacity {
 		t.Fatalf("default capacity = %d", got)
 	}
-	if got := (Config{CLSCapacity: -1}).clsCapacity(); got != 0 {
+	if got := ResolveCLSCapacity(-1); got != 0 {
 		t.Fatalf("unbounded capacity = %d", got)
 	}
-	if got := (Config{CLSCapacity: 3}).clsCapacity(); got != 3 {
+	if got := ResolveCLSCapacity(3); got != 3 {
 		t.Fatalf("explicit capacity = %d", got)
 	}
 }
@@ -89,3 +89,75 @@ type execCounter struct {
 }
 
 func (e *execCounter) ExecStart(*loopdet.Exec) { *e.n++ }
+
+// TestMultiRunMatchesSeparateRuns: N passes fused into one traversal
+// produce exactly the results of N separate Run traversals — including
+// passes with different CLS capacities — while the traversal counter
+// shows a single traversal.
+func TestMultiRunMatchesSeparateRuns(t *testing.T) {
+	u := unit(t)
+	// Reference: three separate traversals.
+	var hashRef trace.Hash
+	sep1, err := Run(u, Config{PreDetector: []trace.Consumer{&hashRef}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e1 int
+	sep2, err := Run(u, Config{}, &execCounter{n: &e1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep3, err := Run(u, Config{CLSCapacity: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fused: the same three analyses on one traversal.
+	var hash trace.Hash
+	var e2 int
+	det := NewObserverPass(0, &execCounter{n: &e2})
+	detUnbounded := NewObserverPass(-1)
+	before := Traversals()
+	res, err := MultiRun(u, MultiConfig{}, trace.AsPass(&hash), det, detUnbounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Traversals() - before; got != 1 {
+		t.Fatalf("fused run used %d traversals, want 1", got)
+	}
+	if res.Executed != sep1.Executed || !res.Halted {
+		t.Fatalf("res = %+v, want executed %d", res, sep1.Executed)
+	}
+	if hash.Sum != hashRef.Sum {
+		t.Fatalf("stream hash diverged: %x vs %x", hash.Sum, hashRef.Sum)
+	}
+	if e2 != e1 {
+		t.Fatalf("fused observer saw %d execs, separate saw %d", e2, e1)
+	}
+	if det.Stats() != sep2.Detector.Stats() {
+		t.Fatalf("detector stats diverged:\nfused:    %+v\nseparate: %+v", det.Stats(), sep2.Detector.Stats())
+	}
+	if detUnbounded.Stats() != sep3.Detector.Stats() {
+		t.Fatalf("unbounded detector stats diverged")
+	}
+	if res.Batches == 0 {
+		t.Fatal("no batches reported")
+	}
+}
+
+// TestMultiRunSharded: sharding the passes across goroutines changes
+// nothing observable.
+func TestMultiRunSharded(t *testing.T) {
+	u := unit(t)
+	run := func(shards int) (loopdet.Stats, loopdet.Stats) {
+		a, b := NewObserverPass(0), NewObserverPass(-1)
+		if _, err := MultiRun(u, MultiConfig{Shards: shards}, a, b); err != nil {
+			t.Fatal(err)
+		}
+		return a.Stats(), b.Stats()
+	}
+	a1, b1 := run(0)
+	a2, b2 := run(2)
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("sharded stats diverged: %+v/%+v vs %+v/%+v", a1, b1, a2, b2)
+	}
+}

@@ -38,9 +38,11 @@ var (
 const MaxCallDepth = 4096
 
 // DefaultBatchSize is the event-batch size Run uses unless SetBatchSize
-// chose another. 4096 events (~360 KiB) amortises the per-batch
-// interface dispatch to noise while staying comfortably inside L2.
-const DefaultBatchSize = 4096
+// chose another. 1024 events (~90 KiB) sits at the measured knee of the
+// BenchmarkRunBatchSize sweep: the per-batch interface dispatch is
+// amortised to noise by ~256, and the buffer stays comfortably inside
+// L2 — 4096 (~360 KiB) measured ~10% slower on the reference host.
+const DefaultBatchSize = 1024
 
 // CPU is a single-context interpreter. Create one with New, then call Run.
 type CPU struct {

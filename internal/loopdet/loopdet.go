@@ -241,6 +241,15 @@ func (d *Detector) AddObserver(o Observer) {
 	}
 }
 
+// Init implements trace.Pass; a fresh detector needs no setup.
+func (d *Detector) Init() {}
+
+// Finalize implements trace.Pass by flushing the CLS, so a detector (with
+// its observers) is directly schedulable as one pass of a fused
+// multi-pass traversal — each pass owning a private detector is what
+// lets CLS-capacity ablations share one instruction stream.
+func (d *Detector) Finalize() { d.Flush() }
+
 // Depth returns the current CLS occupancy.
 func (d *Detector) Depth() int { return len(d.cls) }
 

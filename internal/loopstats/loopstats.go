@@ -11,7 +11,9 @@ import (
 )
 
 // Collector accumulates Table-1 statistics as a detector observer. Attach
-// it with Detector.AddObserver and read Summary after Flush.
+// it with Detector.AddObserver (or bundle it into one pass of a fused
+// multi-pass traversal with harness.NewObserverPass) and read Summary
+// after Flush.
 type Collector struct {
 	// CountOneShots includes single-iteration executions in the execution
 	// and iteration totals (the default; see the AblationOneShots

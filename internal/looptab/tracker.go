@@ -5,8 +5,11 @@ import (
 	"dynloop/internal/loopdet"
 )
 
-// Tracker wires detector events into a LET and a LIT, implementing the
-// event-to-table mapping of §2.3:
+// Tracker wires detector events into a LET and a LIT (attach it as a
+// detector observer, or bundle it into one pass of a fused multi-pass
+// traversal with harness.NewObserverPass — Figure 4 runs all its table
+// sizes on one traversal that way), implementing the event-to-table
+// mapping of §2.3:
 //
 //   - entries are inserted when an execution starts (the detection point);
 //   - the LET hit test and recency update happen at execution start;

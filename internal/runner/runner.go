@@ -96,6 +96,12 @@ type Stats struct {
 	// Failures counts failed executions; cache-served replays of a
 	// failed cell count as CacheHits, not new Failures.
 	Failures uint64
+	// GroupRuns counts fused group executions (MapGroups): each covers
+	// one or more executed cells in a single run. Executed also counts
+	// plain Map jobs, which have no group run, so Executed/GroupRuns
+	// only measures the fusion factor on a runner used purely through
+	// MapGroups.
+	GroupRuns uint64
 }
 
 // Job is one independent experiment cell producing a T.
@@ -134,6 +140,7 @@ type Runner struct {
 	cacheHits atomic.Uint64
 	coalesced atomic.Uint64
 	failures  atomic.Uint64
+	groupRuns atomic.Uint64
 	completed atomic.Uint64
 }
 
@@ -168,6 +175,7 @@ func (r *Runner) Stats() Stats {
 		CacheHits: r.cacheHits.Load(),
 		Coalesced: r.coalesced.Load(),
 		Failures:  r.failures.Load(),
+		GroupRuns: r.groupRuns.Load(),
 	}
 }
 
@@ -208,22 +216,7 @@ func Map[T any](ctx context.Context, r *Runner, jobs []Job[T]) ([]T, error) {
 	// Report the job that actually failed, not the cancellation fallout
 	// of its siblings; fall back to the first error (caller-cancelled
 	// runs have nothing but context errors).
-	var first error
-	for _, err := range errs {
-		if err == nil {
-			continue
-		}
-		if first == nil {
-			first = err
-		}
-		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			return nil, err
-		}
-	}
-	if first != nil {
-		return nil, first
-	}
-	return out, nil
+	return collectErrs(out, errs)
 }
 
 // do resolves one job through the cache: the first submission of a key

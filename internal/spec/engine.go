@@ -186,9 +186,11 @@ type accuracy struct {
 }
 
 // Engine is the speculation machine. Attach it to a Detector with
-// AddObserver; it consumes the raw stream (cycle accounting) and the loop
-// events (spawn, verify, squash). Read Metrics after the detector is
-// flushed.
+// AddObserver — or bundle it into one pass of a fused multi-pass
+// traversal with harness.NewObserverPass, which is how the experiment
+// drivers run whole policy × TU columns on a single interpretation. It
+// consumes the raw stream (cycle accounting) and the loop events
+// (spawn, verify, squash). Read Metrics after the detector is flushed.
 type Engine struct {
 	cfg Config
 	let *looptab.LET

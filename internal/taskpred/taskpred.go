@@ -39,7 +39,8 @@ func (c *Config) setDefaults() {
 }
 
 // Predictor observes loop executions and scores next-execution-target
-// predictions. Attach it as a detector observer.
+// predictions. Attach it as a detector observer (or bundle it into one
+// pass of a fused multi-pass traversal with harness.NewObserverPass).
 type Predictor struct {
 	loopdet.NopObserver
 	cfg     Config

@@ -1,0 +1,149 @@
+package trace
+
+import "sync"
+
+// Pass is one complete analysis lifecycle over an event stream: Init is
+// called once before the first batch of a traversal, ConsumeBatch for
+// every batch in stream order, Finalize once after the last batch. It is
+// the unit the broadcast fan-out and harness.MultiRun schedule: any
+// number of passes share a single traversal of the stream, each one as
+// isolated as if it had run alone.
+//
+// The batch-lifetime rules of BatchConsumer apply unchanged: the slice
+// passed to ConsumeBatch is owned by the producer, is reused for the
+// next batch (the next "epoch", see Broadcast) as soon as every pass has
+// returned, and must be treated as read-only — a pass that wrote to the
+// shared buffer would corrupt its sibling passes.
+type Pass interface {
+	// Init is called once, before the first batch.
+	Init()
+	BatchConsumer
+	// Finalize is called once, after the last batch of a completed
+	// traversal (it is skipped when the traversal aborts on error).
+	Finalize()
+}
+
+// passAdapter lifts a plain BatchConsumer into a Pass with no-op
+// lifecycle hooks.
+type passAdapter struct{ BatchConsumer }
+
+func (passAdapter) Init()     {}
+func (passAdapter) Finalize() {}
+
+// AsPass adapts a plain batch consumer to the Pass interface with no-op
+// Init/Finalize. Consumers that already implement Pass are returned
+// unwrapped.
+func AsPass(c BatchConsumer) Pass {
+	if p, ok := c.(Pass); ok {
+		return p
+	}
+	return passAdapter{c}
+}
+
+// Broadcast fans one event stream out to any number of passes, so a
+// single traversal of the stream (one interpreter run, one trace-file
+// replay) feeds every registered analysis at once.
+//
+// # Buffer epochs
+//
+// The producer owns the batch buffer and reuses it for the next batch as
+// soon as ConsumeBatch returns; each delivery is therefore one buffer
+// "epoch". Broadcast's contract is that it never lets an epoch escape:
+// ConsumeBatch returns — and the producer may overwrite the buffer —
+// only after every pass, on every shard, has finished consuming the
+// batch. With Shards <= 1 that is trivially true (passes run inline, in
+// registration order); with Shards > 1 each batch is a barrier: the
+// shard goroutines all consume the epoch concurrently (each pass still
+// sees every batch in stream order, on its home shard) and ConsumeBatch
+// blocks until the last shard is done. Epochs() counts deliveries.
+//
+// Passes never interact, so sharding changes wall-clock only, never
+// results. Init and Finalize always run inline in registration order.
+type Broadcast struct {
+	passes []Pass
+	shards [][]Pass
+	work   []chan []Event
+	wg     sync.WaitGroup
+	epochs uint64
+}
+
+// NewBroadcast returns a broadcast over the passes. shards <= 1 delivers
+// inline; shards > 1 spreads the passes round-robin over that many
+// goroutines (capped at the pass count), started by Init and stopped by
+// Finalize or Stop.
+func NewBroadcast(shards int, passes ...Pass) *Broadcast {
+	b := &Broadcast{passes: passes}
+	if shards > len(passes) {
+		shards = len(passes)
+	}
+	if shards > 1 {
+		b.shards = make([][]Pass, shards)
+		for i, p := range passes {
+			b.shards[i%shards] = append(b.shards[i%shards], p)
+		}
+	}
+	return b
+}
+
+// Epochs returns the number of batches delivered so far.
+func (b *Broadcast) Epochs() uint64 { return b.epochs }
+
+// Init initialises every pass in registration order, then starts the
+// shard workers (if sharded).
+func (b *Broadcast) Init() {
+	for _, p := range b.passes {
+		p.Init()
+	}
+	if b.shards == nil {
+		return
+	}
+	b.work = make([]chan []Event, len(b.shards))
+	for i, shard := range b.shards {
+		ch := make(chan []Event)
+		b.work[i] = ch
+		go func(shard []Pass, ch <-chan []Event) {
+			for evs := range ch {
+				for _, p := range shard {
+					p.ConsumeBatch(evs)
+				}
+				b.wg.Done()
+			}
+		}(shard, ch)
+	}
+}
+
+// ConsumeBatch delivers one epoch to every pass and returns once all of
+// them are done with it, so the producer may safely reuse the buffer.
+func (b *Broadcast) ConsumeBatch(evs []Event) {
+	b.epochs++
+	if b.work == nil {
+		for _, p := range b.passes {
+			p.ConsumeBatch(evs)
+		}
+		return
+	}
+	b.wg.Add(len(b.work))
+	for _, ch := range b.work {
+		ch <- evs
+	}
+	b.wg.Wait()
+}
+
+// Finalize stops the shard workers and finalises every pass in
+// registration order.
+func (b *Broadcast) Finalize() {
+	b.Stop()
+	for _, p := range b.passes {
+		p.Finalize()
+	}
+}
+
+// Stop shuts the shard workers down without finalising the passes; use
+// it on the error path of an aborted traversal (Finalize calls it).
+// Calling Stop or Finalize more than once is safe.
+func (b *Broadcast) Stop() {
+	for _, ch := range b.work {
+		close(ch)
+	}
+	b.work = nil
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"testing"
+
+	"dynloop/internal/isa"
+)
+
+// lifecyclePass records the lifecycle callbacks it receives and sums the
+// PCs it sees, for order and equivalence checks.
+type lifecyclePass struct {
+	inits, finals int
+	batches       int
+	sum           uint64
+	order         *[]string
+	name          string
+}
+
+func (p *lifecyclePass) Init() {
+	p.inits++
+	if p.order != nil {
+		*p.order = append(*p.order, p.name+".init")
+	}
+}
+
+func (p *lifecyclePass) Finalize() {
+	p.finals++
+	if p.order != nil {
+		*p.order = append(*p.order, p.name+".final")
+	}
+}
+
+func (p *lifecyclePass) ConsumeBatch(evs []Event) {
+	p.batches++
+	for i := range evs {
+		p.sum += uint64(evs[i].PC)
+	}
+}
+
+// TestAsPassUnwrapsNative: a consumer that already implements Pass comes
+// back unwrapped; a plain consumer gains no-op hooks.
+func TestAsPassUnwrapsNative(t *testing.T) {
+	p := &lifecyclePass{}
+	if AsPass(p) != Pass(p) {
+		t.Fatal("native pass was wrapped")
+	}
+	var c Counter
+	adapted := AsPass(&c)
+	adapted.Init()
+	in := isa.Instr{Kind: isa.KindNop}
+	adapted.ConsumeBatch([]Event{{Instr: &in}, {Instr: &in}})
+	adapted.Finalize()
+	if c.Total != 2 {
+		t.Fatalf("adapted consumer saw %d events", c.Total)
+	}
+}
+
+// TestBroadcastLifecycleOrder: Init and Finalize run inline in
+// registration order, exactly once, and every pass sees every batch.
+func TestBroadcastLifecycleOrder(t *testing.T) {
+	var order []string
+	a := &lifecyclePass{order: &order, name: "a"}
+	b := &lifecyclePass{order: &order, name: "b"}
+	bc := NewBroadcast(0, a, b)
+	bc.Init()
+	in := isa.Instr{Kind: isa.KindNop}
+	bc.ConsumeBatch([]Event{{PC: 1, Instr: &in}, {PC: 2, Instr: &in}})
+	bc.ConsumeBatch([]Event{{PC: 3, Instr: &in}})
+	bc.Finalize()
+	want := []string{"a.init", "b.init", "a.final", "b.final"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if a.sum != 6 || b.sum != 6 || a.batches != 2 || b.batches != 2 {
+		t.Fatalf("a = %+v, b = %+v", a, b)
+	}
+	if bc.Epochs() != 2 {
+		t.Fatalf("epochs = %d, want 2", bc.Epochs())
+	}
+}
+
+// TestBroadcastShardedEquivalence: sharded delivery sees exactly the
+// same events as inline delivery, for every pass, even when the producer
+// reuses one buffer across epochs — the per-batch barrier keeps the
+// epoch from escaping.
+func TestBroadcastShardedEquivalence(t *testing.T) {
+	in := isa.Instr{Kind: isa.KindNop}
+	run := func(shards int) []uint64 {
+		passes := make([]Pass, 5)
+		lps := make([]*lifecyclePass, 5)
+		for i := range passes {
+			lps[i] = &lifecyclePass{}
+			passes[i] = lps[i]
+		}
+		bc := NewBroadcast(shards, passes...)
+		bc.Init()
+		buf := make([]Event, 64) // one reusable buffer, like the interpreter's
+		pc := uint64(0)
+		for epoch := 0; epoch < 100; epoch++ {
+			for i := range buf {
+				pc++
+				buf[i] = Event{PC: isa.Addr(pc), Instr: &in}
+			}
+			bc.ConsumeBatch(buf)
+		}
+		bc.Finalize()
+		sums := make([]uint64, len(lps))
+		for i, p := range lps {
+			if p.inits != 1 || p.finals != 1 || p.batches != 100 {
+				t.Fatalf("shards=%d: pass %d lifecycle %+v", shards, i, p)
+			}
+			sums[i] = p.sum
+		}
+		return sums
+	}
+	inline := run(0)
+	for _, shards := range []int{2, 3, 8} {
+		sharded := run(shards)
+		for i := range inline {
+			if sharded[i] != inline[i] {
+				t.Fatalf("shards=%d: pass %d sum %d != inline %d", shards, i, sharded[i], inline[i])
+			}
+		}
+	}
+}
+
+// TestBroadcastStopIdempotent: Stop twice, or Stop then Finalize, must
+// not panic or double-finalise.
+func TestBroadcastStopIdempotent(t *testing.T) {
+	p := &lifecyclePass{}
+	bc := NewBroadcast(2, p, p)
+	bc.Init()
+	bc.Stop()
+	bc.Stop()
+	bc.Finalize()
+}
