@@ -12,7 +12,10 @@
 //	dynloop disasm -bench perl [-max 80]
 //	dynloop experiment table1|table2|fig4|fig5|fig6|fig7|fig8|ablations|all
 //	                   [-n 4000000] [-bench a,b,c] [-seed 1] [-parallel N] [-progress]
+//	                   [-store DIR]
 //	dynloop sweep      [-bench a,b] [-policy str,str3] [-tus 2,4,8] [-parallel N]
+//	                   [-store DIR] [-remote URL]
+//	dynloop serve      [-addr 127.0.0.1:9090] [-store DIR] [-parallel N]
 package main
 
 import (
@@ -28,11 +31,15 @@ import (
 	"time"
 
 	"dynloop"
+	"dynloop/internal/client"
 	"dynloop/internal/expt"
 	"dynloop/internal/report"
 	"dynloop/internal/runner"
+	"dynloop/internal/server"
+	"dynloop/internal/store"
 	"dynloop/internal/taskpred"
 	"dynloop/internal/tracefile"
+	"dynloop/internal/wire"
 )
 
 func main() {
@@ -62,6 +69,8 @@ func main() {
 		err = cmdExperiment(ctx, os.Args[2:])
 	case "sweep":
 		err = cmdSweep(ctx, os.Args[2:])
+	case "serve":
+		err = cmdServe(ctx, os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
 	case "replay":
@@ -97,15 +106,23 @@ commands:
                                      table1 table2 fig4 fig5 fig6 fig7 fig8
                                      baseline ablations all
   sweep  [-bench a,b,...] [-policy p1,p2,...] [-tus 2,4,...]
-         [-n N] [-parallel N] [-progress]
+         [-n N] [-parallel N] [-progress] [-remote URL]
                                      run an arbitrary benchmark × policy × TUs
-                                     grid through the parallel orchestrator
+                                     grid through the parallel orchestrator,
+                                     locally or on a dynloop serve daemon
+  serve  [-addr HOST:PORT] [-store DIR] [-parallel N] [-max-inflight N]
+                                     run the grid-serving HTTP daemon: clients
+                                     share one worker pool, one result cache
+                                     and one persistent store (SIGINT shuts
+                                     down gracefully)
   trace  -bench NAME -o FILE [-n N]  record an instruction trace to a file
   replay -i FILE [-tus K] [-policy P]
                                      drive the detector + engine from a trace
 
-analyze, experiment and sweep also take -cpuprofile FILE / -memprofile
-FILE to dump pprof profiles of the run.
+experiment and sweep also take -store DIR to persist every computed cell
+in an on-disk result store and serve repeat cells from it; analyze,
+experiment and sweep take -cpuprofile FILE / -memprofile FILE to dump
+pprof profiles of the run.
 `)
 }
 
@@ -403,25 +420,46 @@ func cmdDisasm(args []string) error {
 
 // parallelFlags adds the orchestrator flags shared by experiment and
 // sweep, returning the parsed progress flag and a resolver that builds
-// the shared Runner (with the progress stream attached when requested).
-func parallelFlags(fs *flag.FlagSet) (*bool, func() *runner.Runner) {
+// the shared Runner (with the progress stream, and the on-disk result
+// store when -store is given, attached). The returned cleanup closes
+// the store; call it when the command is done.
+func parallelFlags(fs *flag.FlagSet) (*bool, func() (*runner.Runner, func(), error)) {
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	progress := fs.Bool("progress", false, "stream per-job progress to stderr")
-	return progress, func() *runner.Runner {
+	storeDir := fs.String("store", "", "persist results in this on-disk store directory (warm runs skip computed cells)")
+	return progress, func() (*runner.Runner, func(), error) {
 		rc := runner.Config{Workers: *parallel}
 		if *progress {
-			rc.OnEvent = func(ev runner.Event) {
-				switch ev.Kind {
-				case runner.JobDone:
-					fmt.Fprintf(os.Stderr, "[%4d done] %s (%s)\n", ev.Completed, ev.Label, ev.Elapsed.Round(time.Millisecond))
-				case runner.JobCached:
-					fmt.Fprintf(os.Stderr, "[%4d done] %s (cached)\n", ev.Completed, ev.Label)
-				case runner.JobFailed:
-					fmt.Fprintf(os.Stderr, "[   failed] %s: %v\n", ev.Label, ev.Err)
+			rc.OnEvent = progressPrinter()
+		}
+		cleanup := func() {}
+		if *storeDir != "" {
+			st, err := store.Open(*storeDir, store.Options{})
+			if err != nil {
+				return nil, nil, err
+			}
+			rc.Cache = store.NewCache(st)
+			cleanup = func() {
+				if err := st.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "dynloop: store:", err)
 				}
 			}
 		}
-		return runner.New(rc)
+		return runner.New(rc), cleanup, nil
+	}
+}
+
+// progressPrinter streams per-job progress events to stderr.
+func progressPrinter() func(runner.Event) {
+	return func(ev runner.Event) {
+		switch ev.Kind {
+		case runner.JobDone:
+			fmt.Fprintf(os.Stderr, "[%4d done] %s (%s)\n", ev.Completed, ev.Label, ev.Elapsed.Round(time.Millisecond))
+		case runner.JobCached:
+			fmt.Fprintf(os.Stderr, "[%4d done] %s (cached)\n", ev.Completed, ev.Label)
+		case runner.JobFailed:
+			fmt.Fprintf(os.Stderr, "[   failed] %s: %v\n", ev.Label, ev.Err)
+		}
 	}
 }
 
@@ -432,8 +470,11 @@ func printRunnerStats(r *runner.Runner, progress bool) {
 		return
 	}
 	s := r.Stats()
-	fmt.Fprintf(os.Stderr, "runner: %d jobs, %d executed, %d fused group runs on %d workers, %d cache hits, %d coalesced\n",
-		s.Submitted, s.Executed, s.GroupRuns, r.Workers(), s.CacheHits, s.Coalesced)
+	fmt.Fprintf(os.Stderr, "runner: %d jobs, %d executed, %d fused group runs on %d workers, %d cache hits, %d coalesced, %d disk hits, %d disk puts\n",
+		s.Submitted, s.Executed, s.GroupRuns, r.Workers(), s.CacheHits, s.Coalesced, s.DiskHits, s.DiskPuts)
+	if s.TierErrors > 0 {
+		fmt.Fprintf(os.Stderr, "runner: %d store-tier errors (treated as misses)\n", s.TierErrors)
+	}
 }
 
 // profileFlags adds -cpuprofile/-memprofile to fs and returns a start
@@ -497,7 +538,12 @@ func cmdExperiment(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := expt.Config{Budget: *n, Seed: *seed, BatchSize: *batch, Runner: mkRunner()}
+	r, closeStore, err := mkRunner()
+	if err != nil {
+		return err
+	}
+	defer closeStore()
+	cfg := expt.Config{Budget: *n, Seed: *seed, BatchSize: *batch, Runner: r}
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -627,19 +673,51 @@ func cmdSweep(ctx context.Context, args []string) error {
 	policies := fs.String("policy", "", "comma-separated policies (default: idle,str,str1,str2,str3)")
 	tus := fs.String("tus", "", "comma-separated machine sizes (default: 2,4,8,16)")
 	batch := fs.Int("batch", 0, "event-batch size (0 = default 1024; output is identical at any size)")
+	remote := fs.String("remote", "", "run the sweep on a dynloop serve daemon at this base URL instead of locally")
 	progress, mkRunner := parallelFlags(fs)
 	profile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var tuList []int
+	if *tus != "" {
+		for _, s := range strings.Split(*tus, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || k < 0 {
+				return fmt.Errorf("bad -tus entry %q", s)
+			}
+			tuList = append(tuList, k)
+		}
+	}
+	var benchList, policyList []string
+	if *benches != "" {
+		benchList = strings.Split(*benches, ",")
+	}
+	if *policies != "" {
+		policyList = strings.Split(*policies, ",")
+	}
+
+	if *remote != "" {
+		return remoteSweep(ctx, *remote, wire.SweepRequest{
+			Benchmarks: benchList,
+			Policies:   policyList,
+			TUs:        tuList,
+			Budget:     *n,
+			Seed:       *seed,
+			BatchSize:  *batch,
+		}, *progress)
+	}
+
 	stopProfile, err := profile()
 	if err != nil {
 		return err
 	}
-	cfg := expt.Config{Budget: *n, Seed: *seed, BatchSize: *batch, Runner: mkRunner()}
-	if *benches != "" {
-		cfg.Benchmarks = strings.Split(*benches, ",")
+	r, closeStore, err := mkRunner()
+	if err != nil {
+		return err
 	}
+	defer closeStore()
+	cfg := expt.Config{Budget: *n, Seed: *seed, BatchSize: *batch, Benchmarks: benchList, Runner: r}
 	defer func() { printRunnerStats(cfg.Runner, *progress) }()
 	defer func() {
 		if err := stopProfile(); err != nil {
@@ -647,28 +725,121 @@ func cmdSweep(ctx context.Context, args []string) error {
 		}
 	}()
 	var sw expt.SweepSpec
-	if *policies != "" {
-		pols, err := expt.ParsePolicies(strings.Split(*policies, ","))
+	if len(policyList) > 0 {
+		pols, err := expt.ParsePolicies(policyList)
 		if err != nil {
 			return err
 		}
 		sw.Policies = pols
 	}
-	if *tus != "" {
-		for _, s := range strings.Split(*tus, ",") {
-			k, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || k < 0 {
-				return fmt.Errorf("bad -tus entry %q", s)
-			}
-			sw.TUs = append(sw.TUs, k)
-		}
-	}
+	sw.TUs = tuList
 	rows, err := expt.Sweep(ctx, cfg, sw)
 	if err != nil {
 		return err
 	}
 	fmt.Print(expt.RenderSweep(rows))
 	return nil
+}
+
+// remoteSweep runs the grid on a daemon and renders the rows with the
+// same renderer as the local path — the output is byte-identical to a
+// local run of the same grid. With -progress, the daemon's event
+// stream is mirrored to stderr while the sweep computes (events from
+// other concurrent clients appear too: the daemon's grid is shared).
+func remoteSweep(ctx context.Context, base string, req wire.SweepRequest, progress bool) error {
+	c := client.New(base, nil)
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("daemon at %s: %w", base, err)
+	}
+	var stopEvents context.CancelFunc
+	if progress {
+		var evCtx context.Context
+		evCtx, stopEvents = context.WithCancel(ctx)
+		print := progressPrinter()
+		go func() {
+			err := c.Events(evCtx, func(ev wire.Event) {
+				kind, ok := map[string]runner.EventKind{
+					"done": runner.JobDone, "cached": runner.JobCached, "failed": runner.JobFailed,
+				}[ev.Kind]
+				if !ok {
+					return
+				}
+				rev := runner.Event{Kind: kind, Key: ev.Key, Label: ev.Label,
+					Elapsed: time.Duration(ev.ElapsedMS) * time.Millisecond, Completed: ev.Completed}
+				if ev.Err != "" {
+					rev.Err = fmt.Errorf("%s", ev.Err)
+				}
+				print(rev)
+			})
+			if err != nil && evCtx.Err() == nil {
+				fmt.Fprintln(os.Stderr, "dynloop: event stream:", err)
+			}
+		}()
+	}
+	rows, err := c.Sweep(ctx, req)
+	if stopEvents != nil {
+		stopEvents()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(expt.RenderSweep(rows))
+	if progress {
+		st, err := c.Stats(ctx)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "daemon: %d jobs, %d executed, %d fused group runs on %d workers, %d cache hits, %d coalesced, %d disk hits, %d disk puts\n",
+				st.Runner.Submitted, st.Runner.Executed, st.Runner.GroupRuns, st.Workers,
+				st.Runner.CacheHits, st.Runner.Coalesced, st.Runner.DiskHits, st.Runner.DiskPuts)
+		}
+	}
+	return nil
+}
+
+// cmdServe runs the grid-serving daemon until interrupted; Ctrl-C (or
+// SIGINT from a supervisor) shuts it down gracefully.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "listen address")
+	storeDir := fs.String("store", "", "persistent result store directory (empty = in-memory results only)")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+	inflight := fs.Int("max-inflight", 0, "concurrently computed grid requests (0 = 2x workers)")
+	maxCells := fs.Int("max-cells", 0, "largest accepted grid in cells (0 = 100000)")
+	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
+	progress := fs.Bool("progress", false, "stream per-job progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := server.Config{Workers: *parallel, MaxInflight: *inflight, MaxCells: *maxCells}
+	if *progress {
+		cfg.OnEvent = progressPrinter()
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "dynloop: store:", err)
+			}
+		}()
+		cfg.Store = st
+		ss := st.Stats()
+		fmt.Fprintf(os.Stderr, "dynloop: store %s: %d results in %d segments (%d bytes)\n",
+			*storeDir, ss.Records, ss.Segments, ss.Bytes)
+	}
+	srv := server.New(cfg)
+	ready := make(chan string, 1)
+	go func() {
+		bound, ok := <-ready
+		if ok && bound != "" {
+			fmt.Fprintf(os.Stderr, "dynloop: serving on http://%s (%d workers)\n", bound, srv.Runner().Workers())
+		}
+	}()
+	err := srv.ListenAndServe(ctx, *addr, ready, *grace)
+	fmt.Fprintln(os.Stderr, "dynloop: daemon stopped")
+	printRunnerStats(srv.Runner(), true)
+	return err
 }
 
 func cmdTrace(args []string) error {

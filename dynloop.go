@@ -29,7 +29,12 @@
 //     one traversal of a benchmark's instruction stream to any number of
 //     independent analyses, so a whole sweep column costs one
 //     interpretation instead of one per cell — the experiment drivers
-//     fuse their (benchmark, budget) groups this way automatically.
+//     fuse their (benchmark, budget) groups this way automatically; and
+//   - a grid-serving subsystem: a crash-safe on-disk result store that
+//     plugs in behind the orchestrator's cache (OpenStore,
+//     NewStoreCache), and an HTTP daemon + client (NewServer,
+//     NewClient, `dynloop serve`) that serve precomputed grids to
+//     remote sweeps byte-identically to local runs.
 //
 // Quick start:
 //
@@ -50,6 +55,7 @@ import (
 
 	"dynloop/internal/branchpred"
 	"dynloop/internal/builder"
+	"dynloop/internal/client"
 	"dynloop/internal/datapred"
 	"dynloop/internal/expt"
 	"dynloop/internal/harness"
@@ -58,9 +64,12 @@ import (
 	"dynloop/internal/looptab"
 	"dynloop/internal/program"
 	"dynloop/internal/runner"
+	"dynloop/internal/server"
 	"dynloop/internal/spec"
+	"dynloop/internal/store"
 	"dynloop/internal/trace"
 	"dynloop/internal/tracefile"
+	"dynloop/internal/wire"
 	"dynloop/internal/workload"
 )
 
@@ -274,6 +283,52 @@ func NewTraceWriter(w io.Writer, p *program.Program) (*TraceWriter, error) {
 func NewTraceReader(r io.Reader) (*TraceReader, error) {
 	return tracefile.NewReader(r)
 }
+
+// The grid-serving subsystem: a persistent result store, the HTTP
+// daemon behind `dynloop serve`, and its Go client. Cell results cross
+// the store and the wire in the same versioned binary frames
+// (internal/codec), so a persisted or remotely computed cell is
+// byte-identical to a local one.
+type (
+	// Store is the content-addressed, crash-safe on-disk result store:
+	// append-only segment files with CRC-framed records, addressed by
+	// the cell's full configuration key.
+	Store = store.Store
+	// StoreOptions tune a Store.
+	StoreOptions = store.Options
+	// StoreStats are the store's on-disk and lifetime counters.
+	StoreStats = store.Stats
+	// RunnerCache is the pluggable second result tier behind a Runner's
+	// in-memory cache (see NewStoreCache).
+	RunnerCache = runner.Cache
+	// Server is the grid-serving HTTP daemon over a shared Runner and
+	// an optional Store.
+	Server = server.Server
+	// ServerConfig parametrises a Server.
+	ServerConfig = server.Config
+	// Client talks to a Server.
+	Client = client.Client
+	// SweepRequest asks a Server for one benchmark × policy × TUs grid.
+	SweepRequest = wire.SweepRequest
+)
+
+// OpenStore opens (creating if needed) an on-disk result store, scans
+// its segments to rebuild the index, and recovers from a torn tail
+// left by a crash.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) { return store.Open(dir, opts) }
+
+// NewStoreCache adapts a Store into a Runner's second cache tier: set
+// it as RunnerConfig.Cache and every computed cell persists, every
+// repeat cell is served from disk without a traversal.
+func NewStoreCache(s *Store) RunnerCache { return store.NewCache(s) }
+
+// NewServer builds a grid-serving daemon; serve its Handler (or call
+// ListenAndServe) to accept remote sweeps over the shared Runner.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// NewClient returns a client for a daemon at base (e.g.
+// "http://127.0.0.1:9090"); nil selects http.DefaultClient.
+func NewClient(base string) *Client { return client.New(base, nil) }
 
 // NewOracleRecorder returns an observer that records every execution's
 // true iteration count, for EngineConfig.OracleIters (perfect-prediction

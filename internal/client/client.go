@@ -1,0 +1,188 @@
+// Package client is the Go client for the `dynloop serve` daemon
+// (internal/server). It speaks the internal/wire protocol: sweep
+// results come back as the same codec frames the daemon's store
+// persists, so a remote sweep decodes to exactly the rows a local run
+// computes — `dynloop sweep -remote URL` renders byte-identical output.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"dynloop/internal/codec"
+	"dynloop/internal/expt"
+	"dynloop/internal/wire"
+)
+
+// ErrNotFound reports a cell query for a key the daemon has no result
+// for.
+var ErrNotFound = errors.New("client: no such cell")
+
+// Client talks to one daemon. Create one with New; the zero value is
+// not usable.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:9090"). httpClient nil selects
+// http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// apiError extracts the daemon's JSON error envelope.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("client: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("client: %s", resp.Status)
+}
+
+// Sweep submits a grid request and decodes the resulting rows — one
+// per benchmark × policy × TUs cell, in benchmark-major order, exactly
+// as expt.Sweep returns them locally.
+func (c *Client) Sweep(ctx context.Context, req wire.SweepRequest) ([]expt.SweepRow, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	grid, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeGrid(grid)
+}
+
+// Cell fetches one persisted cell result by its full configuration key
+// and decodes it through the codec registry. The returned value's
+// concrete type is whatever the key's cell produces (e.g.
+// spec.Metrics). ErrNotFound reports an absent key.
+func (c *Client) Cell(ctx context.Context, key string) (any, error) {
+	u := c.base + "/v1/cell?key=" + url.QueryEscape(key)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	frame, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return codec.Decode(frame)
+}
+
+// Stats fetches the daemon's runner/store counters.
+func (c *Client) Stats(ctx context.Context) (wire.Stats, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return wire.Stats{}, apiError(resp)
+	}
+	var st wire.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return wire.Stats{}, err
+	}
+	return st, nil
+}
+
+// Health probes the daemon's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return nil
+}
+
+// Events subscribes to the daemon's progress stream and calls fn for
+// every event until ctx is cancelled, the daemon shuts down (returns
+// nil), or the stream errors. Slow consumers see gaps, not stalls: the
+// daemon drops events a subscriber cannot keep up with.
+func (c *Client) Events(ctx context.Context, fn func(wire.Event)) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		var ev wire.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return fmt.Errorf("client: bad event %q: %w", data, err)
+		}
+		fn(ev)
+	}
+	err = sc.Err()
+	if err == nil || errors.Is(err, io.EOF) || ctx.Err() != nil {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,38 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"dynloop/internal/client"
+	"dynloop/internal/server"
+	"dynloop/internal/wire"
+)
+
+// ExampleClient runs a small remote sweep against an in-process daemon.
+// Against a real deployment, replace the httptest server with the
+// daemon's address: client.New("http://127.0.0.1:9090", nil).
+func ExampleClient() {
+	srv := server.New(server.Config{Workers: 1})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	c := client.New(hs.URL, hs.Client())
+	rows, err := c.Sweep(context.Background(), wire.SweepRequest{
+		Benchmarks: []string{"swim"},
+		Policies:   []string{"str3"},
+		TUs:        []int{4},
+		Budget:     100_000,
+	})
+	if err != nil {
+		fmt.Println("sweep:", err)
+		return
+	}
+	for _, r := range rows {
+		fmt.Printf("%s %s/%d TUs: TPC %.2f, hit %.1f%%\n",
+			r.Bench, r.Policy, r.TUs, r.M.TPC(), r.M.HitRatio())
+	}
+	// Output:
+	// swim STR(3)/4 TUs: TPC 3.50, hit 84.8%
+}

@@ -1,0 +1,135 @@
+package expt
+
+import (
+	"encoding/hex"
+	"reflect"
+	"testing"
+
+	"dynloop/internal/branchpred"
+	"dynloop/internal/codec"
+	"dynloop/internal/datapred"
+	"dynloop/internal/loopstats"
+	"dynloop/internal/spec"
+	"dynloop/internal/workload"
+)
+
+// sampleCells is one representative value per registered cell-result
+// type, with every field set to a distinctive non-zero value so a
+// field-order slip cannot round-trip cleanly.
+func sampleCells() []any {
+	return []any{
+		spec.Metrics{
+			Instrs: 1000, Cycles: 400, SpecEvents: 7,
+			ThreadsSpawned: 21, ThreadsPromoted: 17, ThreadsSquashed: 3, ThreadsFlushed: 1,
+			OutstandingSum: 19, VerifDistSum: 950, ResolvedThreads: 20,
+			DeniedSpawns: 2, ExcludedLoops: 1, Anomalies: 0,
+		},
+		fig4Cell{LET: 0.75, LIT: 0.5},
+		Table1Row{
+			Bench: "swim",
+			S: loopstats.Summary{
+				Instrs: 500, StaticLoops: 6, Execs: 40, Iters: 200,
+				ItersPerExec: 5, InstrPerIter: 2.5, AvgNesting: 1.25,
+				MaxNesting: 3, InLoopFrac: 0.875,
+			},
+			Paper: workload.PaperRow{
+				Loops: 8, ItersPerExec: 4.5, InstrPerIter: 3.5,
+				AvgNL: 1.5, MaxNL: 4, TPC4: 2.25, HitRatio: 90.5,
+			},
+		},
+		Fig8Row{
+			Bench: "li",
+			S: datapred.Summary{
+				Loops: 3, Iters: 60, SamePathPct: 85.5, LrPredPct: 70.25,
+				LmPredPct: 60.125, AllLrPct: 50.5, AllLmPct: 40.25,
+				AllDataPct: 30.125, LrLastPct: 20.5, LmLastPct: 10.25, MemOverflow: 2,
+			},
+		},
+		clsCell{Evictions: 12, AtCap: true, TPC: 1.75},
+		replCell{LET: 0.25, LIT: 0.625, Inhibited: 9},
+		OneShotRow{Bench: "perl", WithIPE: 6.5, WithoutIPE: 8.25, WithExecs: 30, WithoutExec: 24},
+		BaselineRow{Bench: "gcc", Results: []branchpred.Result{
+			{Name: "btfn", Branches: 100, Hits: 80, BackwardBranches: 40, BackwardHits: 38},
+			{Name: "gshare", Branches: 100, Hits: 95, BackwardBranches: 40, BackwardHits: 39},
+		}},
+		TaskPredRow{Bench: "go", NextTaskPct: 77.5, Scored: 123, IterHitPct: 88.25},
+		OracleRow{Bench: "apsi", STRTPC: 1.5, OracleTPC: 2.5, STRHit: 75.5, OracleHit: 99.5},
+	}
+}
+
+// golden pins the exact frame bytes of every registered cell type.
+// These bytes are a persistence format: the on-disk store and the
+// serving wire format both carry them. If this test fails because you
+// changed an encoding, bump that type's registered version (and, for
+// semantic changes, cellSchemaVersion) — do not just update the hex.
+var golden = map[string]string{
+	"spec.Metrics":     "0101e8079003071511030113b60714020200",
+	"expt.fig4Cell":    "0201000000000000e83f000000000000e03f",
+	"expt.Table1Row":   "0301047377696df4030c28c80100000000000014400000000000000440000000000000f43f06000000000000ec3f1000000000000012400000000000000c40000000000000f83f0800000000000002400000000000a05640",
+	"expt.Fig8Row":     "0401026c69063c000000000060554000000000009051400000000000104e40000000000040494000000000002044400000000000203e400000000000803440000000000080244002",
+	"expt.clsCell":     "05010c01000000000000fc3f",
+	"expt.replCell":    "0601000000000000d03f000000000000e43f09",
+	"expt.OneShotRow":  "0701047065726c0000000000001a4000000000008020401e18",
+	"expt.BaselineRow": "08010367636304046274666e6450282606677368617265645f2827",
+	"expt.TaskPredRow": "090102676f00000000006053407b0000000000105640",
+	"expt.OracleRow":   "0a010461707369000000000000f83f00000000000004400000000000e052400000000000e05840",
+}
+
+func typeName(v any) string { return reflect.TypeOf(v).String() }
+
+func TestCellCodecRoundTrip(t *testing.T) {
+	for _, v := range sampleCells() {
+		b, err := codec.Encode(v)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", typeName(v), err)
+		}
+		got, err := codec.Decode(b)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", typeName(v), err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("%s: round trip\n got  %+v\n want %+v", typeName(v), got, v)
+		}
+	}
+}
+
+func TestCellCodecGolden(t *testing.T) {
+	seen := map[string]bool{}
+	for _, v := range sampleCells() {
+		name := typeName(v)
+		seen[name] = true
+		b, err := codec.Encode(v)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		want, ok := golden[name]
+		if !ok {
+			t.Errorf("%s: no golden entry; add:\n%q: \"%s\"", name, name, hex.EncodeToString(b))
+			continue
+		}
+		if got := hex.EncodeToString(b); got != want {
+			t.Errorf("%s: frame bytes changed (bump the codec version instead of editing the golden)\n got  %s\n want %s", name, got, want)
+		}
+	}
+	for name := range golden {
+		if !seen[name] {
+			t.Errorf("golden entry %s has no sample", name)
+		}
+	}
+}
+
+// TestCellCodecCorruptNeverPartial: truncating any sample frame at any
+// byte must yield an error, never a silently partial value.
+func TestCellCodecCorruptNeverPartial(t *testing.T) {
+	for _, v := range sampleCells() {
+		b, err := codec.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(b); cut++ {
+			if _, err := codec.Decode(b[:cut]); err == nil {
+				t.Fatalf("%s: truncation at %d/%d decoded cleanly", typeName(v), cut, len(b))
+			}
+		}
+	}
+}

@@ -108,14 +108,27 @@ func (c Config) benchmarks() ([]workload.Benchmark, error) {
 	return out, nil
 }
 
-// cellKey builds a runner cache key: the Config fields every run depends
-// on, then the cell's own coordinates. Keys must determine the result
-// (and its Go type) completely — see runner.Job. Each part is
-// length-prefixed so adjacent parts cannot blur into a colliding key
-// ("a","bc" vs "ab","c", or a part containing the delimiter).
+// cellSchemaVersion stamps every cell key. Because keys address the
+// persistent result store (and the serving layer's wire queries), a
+// change to what a cell MEANS — detector semantics, metric definitions,
+// workload generation — must bump this version: the new keys then miss
+// every previously persisted result instead of serving stale ones.
+// Purely additive changes (new cell types, new key parts) don't need a
+// bump; the new keys cannot collide with old ones.
+//
+// It is a variable only so the self-invalidation regression test can
+// bump it; treat it as a constant everywhere else.
+var cellSchemaVersion = 1
+
+// cellKey builds a runner cache key: the schema version, the Config
+// fields every run depends on, then the cell's own coordinates. Keys
+// must determine the result (and its Go type) completely — see
+// runner.Job. Each part is length-prefixed so adjacent parts cannot
+// blur into a colliding key ("a","bc" vs "ab","c", or a part containing
+// the delimiter).
 func (c Config) cellKey(parts ...any) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "b%d|s%d|cls%d|ba%d", c.budget(), c.seed(), c.CLSCapacity, c.BatchSize)
+	fmt.Fprintf(&b, "v%d|b%d|s%d|cls%d|ba%d", cellSchemaVersion, c.budget(), c.seed(), c.CLSCapacity, c.BatchSize)
 	for _, p := range parts {
 		s := fmt.Sprint(p)
 		fmt.Fprintf(&b, "|%d:%s", len(s), s)

@@ -84,6 +84,7 @@ func MapGroups[T any](ctx context.Context, r *Runner, jobs []GroupJob[T],
 				e.err = err
 			} else {
 				e.val = vals[j]
+				r.tierPut(jobs[i].Key, vals[j])
 			}
 			if err != nil && isContextErr(err) {
 				r.mu.Lock()
@@ -178,8 +179,14 @@ func MapGroups[T any](ctx context.Context, r *Runner, jobs []GroupJob[T],
 				cancel()
 				return
 			}
+			vv, ok := e.val.(T)
+			if !ok {
+				errs[i] = fmt.Errorf("runner: cached value for %q is %T, not the job's result type", job.Key, e.val)
+				cancel()
+				return
+			}
 			r.emit(Event{Kind: JobCached, Key: job.Key, Label: job.label(), Completed: r.completed.Add(1)})
-			out[i] = e.val.(T)
+			out[i] = vv
 			return
 		}
 	}
@@ -206,6 +213,22 @@ func MapGroups[T any](ctx context.Context, r *Runner, jobs []GroupJob[T],
 			e = &entry{done: make(chan struct{})}
 			r.cache[job.Key] = e
 			r.mu.Unlock()
+			// The persistent tier gets one look before the cell joins a
+			// fused group: a disk hit resolves the claim immediately and
+			// keeps the cell out of this call's traversals.
+			if v, hit := r.tierGet(job.Key); hit {
+				if vv, ok := v.(T); ok {
+					e.val = v
+					close(e.done)
+					out[i] = vv
+					r.diskHits.Add(1)
+					r.emit(Event{Kind: JobCached, Key: job.Key, Label: job.label(), Completed: r.completed.Add(1)})
+					continue
+				}
+				// Wrong type for this job's key: fall through and
+				// recompute (the write-back overwrites the stale entry).
+				r.tierErrors.Add(1)
+			}
 		}
 		if _, ok := groupIdx[job.Group]; !ok {
 			groupOrder = append(groupOrder, job.Group)

@@ -17,6 +17,7 @@ package runner
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,25 @@ type Config struct {
 	// (start, done, cache hit, failure). It is called from worker
 	// goroutines and must be safe for concurrent use.
 	OnEvent func(Event)
+	// Cache, when non-nil, is the second result tier behind the runner's
+	// in-memory map: a key that misses memory is looked up here before
+	// executing, and every successful execution is written back. With a
+	// disk-backed Cache (see internal/store) the runner becomes a
+	// memory→disk hierarchy whose results outlive the process. Cache
+	// errors never fail jobs — a failing tier reads as a miss and the
+	// cell recomputes (counted in Stats.TierErrors).
+	Cache Cache
+}
+
+// Cache is a pluggable second result tier. Implementations must be safe
+// for concurrent use. Get returns ok=false when the key is absent; a
+// non-nil error (with ok=false) marks an entry that exists but cannot
+// be used — corrupt, version-skewed — and is treated as a miss.
+// Put persists a computed result; implementations that cannot encode a
+// value should skip it and return nil.
+type Cache interface {
+	Get(key string) (val any, ok bool, err error)
+	Put(key string, val any) error
 }
 
 // EventKind says what a progress Event reports.
@@ -102,6 +122,15 @@ type Stats struct {
 	// only measures the fusion factor on a runner used purely through
 	// MapGroups.
 	GroupRuns uint64
+	// DiskHits counts jobs satisfied from the second cache tier
+	// (Config.Cache) without executing.
+	DiskHits uint64
+	// DiskPuts counts results handed to the second tier for write-back
+	// (the tier itself may skip values it cannot encode).
+	DiskPuts uint64
+	// TierErrors counts second-tier operations that failed (treated as
+	// misses on Get, dropped on Put).
+	TierErrors uint64
 }
 
 // Job is one independent experiment cell producing a T.
@@ -131,17 +160,21 @@ func (j Job[T]) label() string {
 type Runner struct {
 	onEvent func(Event)
 	sem     chan struct{}
+	tier2   Cache
 
 	mu    sync.Mutex
 	cache map[string]*entry
 
-	submitted atomic.Uint64
-	executed  atomic.Uint64
-	cacheHits atomic.Uint64
-	coalesced atomic.Uint64
-	failures  atomic.Uint64
-	groupRuns atomic.Uint64
-	completed atomic.Uint64
+	submitted  atomic.Uint64
+	executed   atomic.Uint64
+	cacheHits  atomic.Uint64
+	coalesced  atomic.Uint64
+	failures   atomic.Uint64
+	groupRuns  atomic.Uint64
+	completed  atomic.Uint64
+	diskHits   atomic.Uint64
+	diskPuts   atomic.Uint64
+	tierErrors atomic.Uint64
 }
 
 // entry is one cache cell; done is closed once val/err are final.
@@ -160,6 +193,7 @@ func New(cfg Config) *Runner {
 	return &Runner{
 		onEvent: cfg.OnEvent,
 		sem:     make(chan struct{}, w),
+		tier2:   cfg.Cache,
 		cache:   make(map[string]*entry),
 	}
 }
@@ -170,13 +204,41 @@ func (r *Runner) Workers() int { return cap(r.sem) }
 // Stats returns a snapshot of the runner-lifetime counters.
 func (r *Runner) Stats() Stats {
 	return Stats{
-		Submitted: r.submitted.Load(),
-		Executed:  r.executed.Load(),
-		CacheHits: r.cacheHits.Load(),
-		Coalesced: r.coalesced.Load(),
-		Failures:  r.failures.Load(),
-		GroupRuns: r.groupRuns.Load(),
+		Submitted:  r.submitted.Load(),
+		Executed:   r.executed.Load(),
+		CacheHits:  r.cacheHits.Load(),
+		Coalesced:  r.coalesced.Load(),
+		Failures:   r.failures.Load(),
+		GroupRuns:  r.groupRuns.Load(),
+		DiskHits:   r.diskHits.Load(),
+		DiskPuts:   r.diskPuts.Load(),
+		TierErrors: r.tierErrors.Load(),
 	}
+}
+
+// tierGet consults the second cache tier; errors read as misses.
+func (r *Runner) tierGet(key string) (any, bool) {
+	if r.tier2 == nil || key == "" {
+		return nil, false
+	}
+	v, ok, err := r.tier2.Get(key)
+	if err != nil {
+		r.tierErrors.Add(1)
+		return nil, false
+	}
+	return v, ok
+}
+
+// tierPut persists a computed result to the second tier, best effort.
+func (r *Runner) tierPut(key string, v any) {
+	if r.tier2 == nil || key == "" {
+		return
+	}
+	if err := r.tier2.Put(key, v); err != nil {
+		r.tierErrors.Add(1)
+		return
+	}
+	r.diskPuts.Add(1)
 }
 
 func (r *Runner) emit(ev Event) {
@@ -201,7 +263,8 @@ func Map[T any](ctx context.Context, r *Runner, jobs []Job[T]) ([]T, error) {
 		go func(i int) {
 			defer wg.Done()
 			job := jobs[i]
-			v, err := r.do(ctx, job.Key, job.label(), func(ctx context.Context) (any, error) {
+			typeOK := func(v any) bool { _, ok := v.(T); return ok }
+			v, err := r.do(ctx, job.Key, job.label(), typeOK, func(ctx context.Context) (any, error) {
 				return job.Run(ctx)
 			})
 			if err != nil {
@@ -209,7 +272,16 @@ func Map[T any](ctx context.Context, r *Runner, jobs []Job[T]) ([]T, error) {
 				cancel()
 				return
 			}
-			out[i] = v.(T)
+			vv, ok := v.(T)
+			if !ok {
+				// A cache key must determine its result type; a mismatch
+				// means two jobs share a key (or a persistent tier served
+				// a stale type) — fail loudly instead of panicking.
+				errs[i] = fmt.Errorf("runner: cached value for %q is %T, not the job's result type", job.Key, v)
+				cancel()
+				return
+			}
+			out[i] = vv
 		}(i)
 	}
 	wg.Wait()
@@ -221,8 +293,11 @@ func Map[T any](ctx context.Context, r *Runner, jobs []Job[T]) ([]T, error) {
 
 // do resolves one job through the cache: the first submission of a key
 // executes it, identical concurrent submissions wait for that execution,
-// and later submissions hit the stored result.
-func (r *Runner) do(ctx context.Context, key, label string, fn func(context.Context) (any, error)) (any, error) {
+// and later submissions hit the stored result. typeOK, when non-nil,
+// validates a persistent-tier value's dynamic type for this job: a
+// stale-typed entry is recomputed (and overwritten by the write-back)
+// rather than served — the tier must never fail a job.
+func (r *Runner) do(ctx context.Context, key, label string, typeOK func(any) bool, fn func(context.Context) (any, error)) (any, error) {
 	r.submitted.Add(1)
 	if key == "" {
 		return r.execute(ctx, key, label, fn)
@@ -234,7 +309,25 @@ func (r *Runner) do(ctx context.Context, key, label string, fn func(context.Cont
 			e = &entry{done: make(chan struct{})}
 			r.cache[key] = e
 			r.mu.Unlock()
+			// The key is claimed; the persistent tier gets one look
+			// before the cell is executed for real.
+			if v, hit := r.tierGet(key); hit {
+				if typeOK == nil || typeOK(v) {
+					e.val = v
+					close(e.done)
+					r.diskHits.Add(1)
+					r.emit(Event{Kind: JobCached, Key: key, Label: label, Completed: r.completed.Add(1)})
+					return e.val, nil
+				}
+				// Wrong type for this job's key: self-invalidate by
+				// recomputing (the write-back overwrites the stale
+				// entry), as MapGroups does.
+				r.tierErrors.Add(1)
+			}
 			e.val, e.err = r.execute(ctx, key, label, fn)
+			if e.err == nil {
+				r.tierPut(key, e.val)
+			}
 			if e.err != nil && isContextErr(e.err) {
 				// A cancelled execution is not a result: drop the entry
 				// so a later submission (from an uncancelled Map) can

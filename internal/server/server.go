@@ -1,0 +1,400 @@
+// Package server is the grid-serving daemon behind `dynloop serve`: a
+// long-lived HTTP front end over one shared Runner and one persistent
+// result store. Every client sweep fans into the same bounded worker
+// semaphore and the same memory→disk cache hierarchy, so concurrent
+// clients asking overlapping questions — the normal shape of a shared
+// configuration grid — cost one execution per distinct cell, and a
+// fully warm cell costs one store lookup with no traversal at all.
+//
+// Endpoints:
+//
+//	POST /v1/sweep   JSON wire.SweepRequest → binary wire grid
+//	GET  /v1/cell    ?key= → the cell's stored codec frame (octet-stream)
+//	GET  /v1/events  Server-Sent Events stream of runner progress
+//	GET  /v1/stats   JSON wire.Stats (runner, store, traversal counters)
+//	GET  /healthz    liveness probe
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"dynloop/internal/expt"
+	"dynloop/internal/harness"
+	"dynloop/internal/runner"
+	"dynloop/internal/store"
+	"dynloop/internal/wire"
+)
+
+// Config parametrises a Server.
+type Config struct {
+	// Workers bounds the shared Runner's concurrently executing cells;
+	// 0 selects GOMAXPROCS.
+	Workers int
+	// Store, when non-nil, is the persistent result tier. The server
+	// does not close it.
+	Store *store.Store
+	// MaxInflight bounds concurrently computed sweep requests (each may
+	// expand to many cells; the cells themselves additionally ride the
+	// worker semaphore). 0 selects 2×workers. Excess requests queue
+	// until a slot frees or the client gives up.
+	MaxInflight int
+	// MaxCells rejects sweep requests expanding to more cells than
+	// this, protecting the daemon from accidental mega-grids.
+	// 0 selects DefaultMaxCells.
+	MaxCells int
+	// OnEvent, when non-nil, additionally receives every runner
+	// progress event in-process (SSE subscribers get them regardless).
+	OnEvent func(runner.Event)
+}
+
+// DefaultMaxCells bounds the grid size of one sweep request.
+const DefaultMaxCells = 100_000
+
+// Server owns the shared Runner, the optional store and the progress
+// fan-out. Create one with New.
+type Server struct {
+	cfg      Config
+	runner   *runner.Runner
+	inflight chan struct{}
+	maxCells int
+
+	hub *hub
+}
+
+// New builds a Server and its shared Runner (wired to the store tier
+// and the progress hub).
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg, hub: newHub()}
+	onEvent := s.hub.publish
+	if cfg.OnEvent != nil {
+		onEvent = func(ev runner.Event) {
+			s.hub.publish(ev)
+			cfg.OnEvent(ev)
+		}
+	}
+	rc := runner.Config{Workers: cfg.Workers, OnEvent: onEvent}
+	if cfg.Store != nil {
+		rc.Cache = store.NewCache(cfg.Store)
+	}
+	s.runner = runner.New(rc)
+	inflight := cfg.MaxInflight
+	if inflight <= 0 {
+		inflight = 2 * s.runner.Workers()
+	}
+	s.inflight = make(chan struct{}, inflight)
+	s.maxCells = cfg.MaxCells
+	if s.maxCells <= 0 {
+		s.maxCells = DefaultMaxCells
+	}
+	return s
+}
+
+// Runner exposes the shared runner (for stats lines and tests).
+func (s *Server) Runner() *runner.Runner { return s.runner }
+
+// Handler returns the daemon's routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/cell", s.handleCell)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// ListenAndServe runs the daemon until ctx is cancelled, then shuts
+// down gracefully: the listener closes, in-flight requests get grace
+// to finish, and the progress hub's event streams end (so SSE clients
+// see EOF rather than a hang). ready, when non-nil, receives the bound
+// address once the listener is up (useful with ":0") and is closed.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready chan<- string, grace time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+		close(ready)
+	}
+	if grace <= 0 {
+		grace = 10 * time.Second
+	}
+	// Requests outlive the serve ctx through the grace window: they are
+	// cancelled only after Shutdown has had its chance to drain them,
+	// so a SIGINT lets in-flight sweeps finish (and their cells land in
+	// the store) instead of wasting the work already done.
+	reqCtx, cancelReqs := context.WithCancel(context.WithoutCancel(ctx))
+	defer cancelReqs()
+	hs := &http.Server{
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return reqCtx },
+	}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case err := <-done:
+		s.hub.close()
+		return err
+	case <-ctx.Done():
+	}
+	// The SSE streams must end first — Shutdown waits for active
+	// handlers, and an open event stream is an active handler.
+	s.hub.close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err = hs.Shutdown(shutdownCtx)
+	// Grace expired (or Shutdown failed): hard-cancel whatever is left.
+	cancelReqs()
+	if serveErr := <-done; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	return err
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// acquire takes one inflight slot, queueing until the client hangs up.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.inflight <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	// Sweep requests are tiny; cap the body so no client can balloon
+	// the long-lived daemon's memory before validation runs.
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var req wire.SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	cfg := expt.Config{
+		Budget:     req.Budget,
+		Seed:       req.Seed,
+		Benchmarks: req.Benchmarks,
+		BatchSize:  req.BatchSize,
+		Runner:     s.runner,
+	}
+	var sw expt.SweepSpec
+	if len(req.Policies) > 0 {
+		pols, err := expt.ParsePolicies(req.Policies)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		sw.Policies = pols
+	}
+	sw.TUs = req.TUs
+	for _, k := range req.TUs {
+		if k < 0 {
+			httpError(w, http.StatusBadRequest, "negative TU count %d", k)
+			return
+		}
+	}
+	cells, err := expt.SweepGridSize(cfg, sw)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if cells > s.maxCells {
+		httpError(w, http.StatusUnprocessableEntity, "grid of %d cells exceeds the daemon's limit of %d", cells, s.maxCells)
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		return // client went away while queued
+	}
+	defer func() { <-s.inflight }()
+	rows, err := expt.Sweep(r.Context(), cfg, sw)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Daemon shutdown past its grace window (or the client hung
+			// up — then nobody reads this). An explicit status beats an
+			// empty 200 the client would misread as a corrupt grid.
+			httpError(w, http.StatusServiceUnavailable, "sweep canceled: %v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "sweep failed: %v", err)
+		return
+	}
+	body, err := wire.AppendGrid(nil, rows)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding grid: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Dynloop-Cells", fmt.Sprint(len(rows)))
+	w.Write(body)
+}
+
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		httpError(w, http.StatusServiceUnavailable, "daemon runs without a persistent store")
+		return
+	}
+	key, err := url.QueryUnescape(r.URL.Query().Get("key"))
+	if err != nil || key == "" {
+		httpError(w, http.StatusBadRequest, "missing or malformed ?key=")
+		return
+	}
+	frame, ok, err := s.cfg.Store.Get(key)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "store: %v", err)
+		return
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "no result for key %q", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(frame)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	rs := s.runner.Stats()
+	st := wire.Stats{
+		Workers:    uint64(s.runner.Workers()),
+		Traversals: harness.Traversals(),
+		Runner: wire.RunnerStats{
+			Submitted:  rs.Submitted,
+			Executed:   rs.Executed,
+			CacheHits:  rs.CacheHits,
+			Coalesced:  rs.Coalesced,
+			Failures:   rs.Failures,
+			GroupRuns:  rs.GroupRuns,
+			DiskHits:   rs.DiskHits,
+			DiskPuts:   rs.DiskPuts,
+			TierErrors: rs.TierErrors,
+		},
+	}
+	if s.cfg.Store != nil {
+		ss := s.cfg.Store.Stats()
+		st.Store = &wire.StoreStats{
+			Records:       ss.Records,
+			Segments:      ss.Segments,
+			Bytes:         ss.Bytes,
+			Puts:          ss.Puts,
+			Gets:          ss.Gets,
+			Hits:          ss.Hits,
+			TruncatedTail: ss.TruncatedTail,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	ch, cancel := s.hub.subscribe()
+	defer cancel()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return // hub closed: daemon shutting down
+			}
+			fmt.Fprint(w, "data: ")
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			fmt.Fprint(w, "\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// hub fans runner progress events out to any number of SSE
+// subscribers. Slow subscribers drop events rather than stall the
+// workers: progress is advisory, results are not.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[int]chan wire.Event
+	next   int
+	closed bool
+}
+
+func newHub() *hub { return &hub{subs: map[int]chan wire.Event{}} }
+
+func (h *hub) publish(ev runner.Event) {
+	wev := wire.Event{
+		Kind:      ev.Kind.String(),
+		Key:       ev.Key,
+		Label:     ev.Label,
+		ElapsedMS: ev.Elapsed.Milliseconds(),
+		Completed: ev.Completed,
+	}
+	if ev.Err != nil {
+		wev.Err = ev.Err.Error()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ch := range h.subs {
+		select {
+		case ch <- wev:
+		default:
+		}
+	}
+}
+
+func (h *hub) subscribe() (<-chan wire.Event, func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id := h.next
+	h.next++
+	ch := make(chan wire.Event, 256)
+	if h.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	h.subs[id] = ch
+	return ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+		}
+	}
+}
+
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for id, ch := range h.subs {
+		close(ch)
+		delete(h.subs, id)
+	}
+}

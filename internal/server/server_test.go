@@ -1,0 +1,278 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dynloop/internal/client"
+	"dynloop/internal/expt"
+	"dynloop/internal/spec"
+	"dynloop/internal/store"
+	"dynloop/internal/wire"
+)
+
+var testReq = wire.SweepRequest{
+	Benchmarks: []string{"swim", "compress"},
+	Policies:   []string{"str", "str3"},
+	TUs:        []int{2, 4},
+	Budget:     50_000,
+}
+
+func testCfg(req wire.SweepRequest) expt.Config {
+	return expt.Config{Budget: req.Budget, Seed: req.Seed, Benchmarks: req.Benchmarks, BatchSize: req.BatchSize}
+}
+
+func testSpec(t *testing.T, req wire.SweepRequest) expt.SweepSpec {
+	t.Helper()
+	pols, err := expt.ParsePolicies(req.Policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return expt.SweepSpec{Policies: pols, TUs: req.TUs}
+}
+
+// newTestDaemon starts a daemon over httptest and returns a client.
+func newTestDaemon(t *testing.T, cfg Config) (*Server, *client.Client) {
+	t.Helper()
+	s := New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, client.New(hs.URL, hs.Client())
+}
+
+// TestRemoteSweepByteIdentical is the acceptance criterion: the remote
+// path must render byte-identical output to the local path, at 1 and
+// at 8 workers.
+func TestRemoteSweepByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	localCfg := testCfg(testReq)
+	localCfg.Parallel = 1
+	localRows, err := expt.Sweep(ctx, localCfg, testSpec(t, testReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expt.RenderSweep(localRows)
+
+	for _, workers := range []int{1, 8} {
+		_, c := newTestDaemon(t, Config{Workers: workers})
+		rows, err := c.Sweep(ctx, testReq)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := expt.RenderSweep(rows); got != want {
+			t.Fatalf("workers=%d: remote render differs:\n%s\nwant:\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestDaemonSharesCellsAcrossClients: two clients asking overlapping
+// grids compute the overlap once.
+func TestDaemonSharesCellsAcrossClients(t *testing.T) {
+	ctx := context.Background()
+	s, c := newTestDaemon(t, Config{Workers: 4})
+	if _, err := c.Sweep(ctx, testReq); err != nil {
+		t.Fatal(err)
+	}
+	executed := s.Runner().Stats().Executed
+	if _, err := c.Sweep(ctx, testReq); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Runner().Stats()
+	if st.Executed != executed {
+		t.Fatalf("identical second sweep executed %d new cells", st.Executed-executed)
+	}
+	if st.CacheHits == 0 {
+		t.Fatalf("second sweep produced no cache hits: %+v", st)
+	}
+}
+
+// TestDaemonStoreTier: a daemon restarted over the same store serves a
+// repeat sweep from disk without executing anything.
+func TestDaemonStoreTier(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c1 := newTestDaemon(t, Config{Workers: 4, Store: st1})
+	rows1, err := c1.Sweep(ctx, testReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	s2, c2 := newTestDaemon(t, Config{Workers: 4, Store: st2})
+	rows2, err := c2.Sweep(ctx, testReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expt.RenderSweep(rows1) != expt.RenderSweep(rows2) {
+		t.Fatal("store-served sweep differs from computed sweep")
+	}
+	rs := s2.Runner().Stats()
+	if rs.Executed != 0 || rs.DiskHits == 0 {
+		t.Fatalf("restarted daemon recomputed cells: %+v", rs)
+	}
+
+	// The stats endpoint reports the disk tier.
+	stats, err := c2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runner.DiskHits != rs.DiskHits || stats.Store == nil || stats.Store.Records == 0 {
+		t.Fatalf("stats endpoint: %+v", stats)
+	}
+}
+
+// TestCellQuery: a persisted cell is queryable by its full
+// configuration key and decodes to the exact metrics the sweep row
+// carried.
+func TestCellQuery(t *testing.T) {
+	ctx := context.Background()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	_, c := newTestDaemon(t, Config{Workers: 2, Store: st})
+	rows, err := c.Sweep(ctx, testReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := st.Keys()
+	if len(keys) != len(rows) {
+		t.Fatalf("store has %d keys for %d rows", len(keys), len(rows))
+	}
+	found := 0
+	for _, key := range keys {
+		v, err := c.Cell(ctx, key)
+		if err != nil {
+			t.Fatalf("Cell(%q): %v", key, err)
+		}
+		m, ok := v.(spec.Metrics)
+		if !ok {
+			t.Fatalf("Cell(%q) decoded to %T", key, v)
+		}
+		for _, r := range rows {
+			if r.M == m {
+				found++
+				break
+			}
+		}
+	}
+	if found != len(keys) {
+		t.Fatalf("only %d of %d cell queries matched a sweep row", found, len(keys))
+	}
+	if _, err := c.Cell(ctx, "no such key"); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("absent key: %v", err)
+	}
+}
+
+// TestEventsStream: an SSE subscriber sees the sweep's progress.
+func TestEventsStream(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, c := newTestDaemon(t, Config{Workers: 2})
+
+	var mu sync.Mutex
+	kinds := map[string]int{}
+	streamDone := make(chan error, 1)
+	go func() {
+		streamDone <- c.Events(ctx, func(ev wire.Event) {
+			mu.Lock()
+			kinds[ev.Kind]++
+			mu.Unlock()
+		})
+	}()
+	// Give the subscription a moment to attach before generating events.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := c.Sweep(ctx, testReq); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		done := kinds["done"]
+		mu.Unlock()
+		if done > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("no done events seen: %v", kinds)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-streamDone; err != nil {
+		t.Fatalf("event stream: %v", err)
+	}
+}
+
+// TestGracefulShutdown: cancelling the serve context stops the
+// listener, ends event streams, and returns without error.
+func TestGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := New(Config{Workers: 2})
+	ready := make(chan string, 1)
+	served := make(chan error, 1)
+	go func() { served <- s.ListenAndServe(ctx, "127.0.0.1:0", ready, 5*time.Second) }()
+	addr := <-ready
+	c := client.New("http://"+addr, nil)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// An open SSE stream must not wedge shutdown.
+	streamDone := make(chan error, 1)
+	go func() { streamDone <- c.Events(context.Background(), func(wire.Event) {}) }()
+	time.Sleep(50 * time.Millisecond)
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("ListenAndServe: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	select {
+	case <-streamDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("event stream did not end on shutdown")
+	}
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("daemon still serving after shutdown")
+	}
+}
+
+// TestSweepValidation: bad requests fail fast with useful statuses.
+func TestSweepValidation(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestDaemon(t, Config{Workers: 1, MaxCells: 4})
+	cases := []wire.SweepRequest{
+		{Benchmarks: []string{"nope"}, Budget: 1000},
+		{Policies: []string{"warp-drive"}, Budget: 1000},
+		{TUs: []int{-1}, Budget: 1000},
+		{Budget: 1000}, // full default grid exceeds MaxCells=4
+	}
+	for i, req := range cases {
+		if _, err := c.Sweep(ctx, req); err == nil {
+			t.Errorf("case %d accepted: %+v", i, req)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package store
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"dynloop/internal/codec"
+)
+
+// Cache adapts a Store to the runner's pluggable second cache tier
+// (runner.Cache): values cross the boundary through the codec registry,
+// so only results with a registered stable binary form persist — and a
+// stored frame whose kind or schema version no longer matches simply
+// reads as a miss-with-error, which the runner recomputes and
+// overwrites. Values whose type has no codec registration are skipped
+// silently on Put (counted in Skipped): an unregistered result is not
+// an error, it is just not persistable yet.
+type Cache struct {
+	s       *Store
+	skipped atomic.Uint64
+}
+
+// NewCache wraps s for use as a runner.Cache.
+func NewCache(s *Store) *Cache { return &Cache{s: s} }
+
+// Store returns the underlying store.
+func (c *Cache) Store() *Store { return c.s }
+
+// Skipped counts Puts dropped because the value's type has no codec
+// registration.
+func (c *Cache) Skipped() uint64 { return c.skipped.Load() }
+
+// Get fetches and decodes key's result. Decode failures (corrupt frame,
+// unknown kind, version skew) return the error with ok=false: the tier
+// above treats the entry as missing and recomputes.
+func (c *Cache) Get(key string) (any, bool, error) {
+	b, ok, err := c.s.Get(key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	v, err := codec.Decode(b)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Put encodes and persists key's result.
+func (c *Cache) Put(key string, v any) error {
+	b, err := codec.Encode(v)
+	if err != nil {
+		if errors.Is(err, codec.ErrUnregistered) {
+			c.skipped.Add(1)
+			return nil
+		}
+		return err
+	}
+	return c.s.Put(key, b)
+}

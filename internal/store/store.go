@@ -1,0 +1,444 @@
+// Package store is the persistent tier of the experiment-result cache:
+// a content-addressed, crash-safe on-disk key/value store for encoded
+// cell results. The address of a result is its complete cell
+// configuration — the versioned runner cache key — so a store can be
+// shared by every process (and, through `dynloop serve`, every client)
+// that agrees on the key schema, and the millionth identical query
+// costs one index lookup instead of one interpreter traversal.
+//
+// Layout: a directory of append-only segment files (seg-000001.dlstore,
+// seg-000002.dlstore, ...), each
+//
+//	header:  magic "DLSTORE1\n"
+//	records: uvarint bodyLen, 4-byte little-endian CRC32 (IEEE) of the
+//	         body, body = uvarint recVersion, uvarint keyLen, key,
+//	         uvarint valLen, val
+//
+// following the tracefile encoding discipline (varint framing, explicit
+// magic, integrity checks, ErrCorrupt). Writes append whole records in
+// a single write; the in-memory index (key → segment/offset, last write
+// wins) is rebuilt by scanning the segments on Open. Crash safety falls
+// out of the framing: a torn final record in the newest segment is
+// truncated away on Open, while corruption anywhere earlier — bytes
+// that were once durable — surfaces as ErrCorrupt rather than being
+// silently skipped.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	magic = "DLSTORE1\n"
+	// recVersion is the record-body schema version; readers reject
+	// records from a future schema instead of misparsing them.
+	recVersion = 1
+	// DefaultMaxSegmentBytes is the segment size at which Put rotates to
+	// a fresh segment file.
+	DefaultMaxSegmentBytes = 64 << 20
+	// maxRecordBytes bounds a single record allocation when scanning
+	// untrusted files.
+	maxRecordBytes = 64 << 20
+)
+
+// ErrCorrupt reports a malformed store segment (outside the torn tail
+// of the newest segment, which Open repairs by truncation).
+var ErrCorrupt = errors.New("store: corrupt segment")
+
+// ErrClosed reports use of a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Options tune a Store.
+type Options struct {
+	// MaxSegmentBytes rotates the active segment past this size;
+	// 0 selects DefaultMaxSegmentBytes.
+	MaxSegmentBytes int64
+}
+
+// Stats are store-lifetime and on-disk counters.
+type Stats struct {
+	// Records is the number of live keys in the index.
+	Records int
+	// Segments is the number of segment files.
+	Segments int
+	// Bytes is the total on-disk size of all segments.
+	Bytes int64
+	// Puts and Gets count operations since Open; Hits counts Gets that
+	// found their key.
+	Puts, Gets, Hits uint64
+	// TruncatedTail is the number of torn-tail bytes Open discarded
+	// while recovering the newest segment.
+	TruncatedTail int64
+}
+
+// ref locates one value inside a segment.
+type ref struct {
+	seg  int // index into Store.segs
+	off  int64
+	vlen int
+}
+
+// segment is one open segment file.
+type segment struct {
+	path string
+	f    *os.File
+	size int64
+}
+
+// Store is the on-disk result store. It is safe for concurrent use.
+type Store struct {
+	dir    string
+	maxSeg int64
+
+	mu     sync.RWMutex
+	idx    map[string]ref
+	segs   []*segment
+	closed bool
+
+	puts, gets, hits atomic.Uint64
+	truncated        int64
+}
+
+// Open opens (creating if needed) the store in dir, scans every segment
+// to rebuild the index, and recovers from a torn tail in the newest
+// segment by truncating it at the last intact record.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	maxSeg := opts.MaxSegmentBytes
+	if maxSeg <= 0 {
+		maxSeg = DefaultMaxSegmentBytes
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.dlstore"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	s := &Store{dir: dir, maxSeg: maxSeg, idx: make(map[string]ref)}
+	for i, name := range names {
+		last := i == len(names)-1
+		if err := s.openSegment(name, last); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	if len(s.segs) == 0 {
+		if err := s.addSegment(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// openSegment scans one existing segment into the index. last marks the
+// newest segment, whose torn tail (an interrupted final write) is
+// repaired by truncation; earlier segments must be fully intact.
+func (s *Store) openSegment(path string, last bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	recs, good, err := ScanSegment(data)
+	if err != nil {
+		if !last || !errors.Is(err, errTorn) {
+			return fmt.Errorf("%w: %s: %v", ErrCorrupt, filepath.Base(path), err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if good < int64(len(data)) {
+		// Torn tail in the newest segment: drop the partial record so
+		// the next Put appends a clean one.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return err
+		}
+		s.truncated += int64(len(data)) - good
+	}
+	if good < int64(len(magic)) {
+		// The tear was inside the header itself; restore the magic so
+		// the segment stays well-formed.
+		if _, err := f.WriteAt([]byte(magic), 0); err != nil {
+			f.Close()
+			return err
+		}
+		good = int64(len(magic))
+	}
+	seg := &segment{path: path, f: f, size: good}
+	s.segs = append(s.segs, seg)
+	si := len(s.segs) - 1
+	for _, r := range recs {
+		s.idx[r.Key] = ref{seg: si, off: r.ValOff, vlen: len(r.Val)}
+	}
+	return nil
+}
+
+// addSegment creates and opens the next empty segment file.
+func (s *Store) addSegment() error {
+	path := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.dlstore", len(s.segs)+1))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(magic)); err != nil {
+		f.Close()
+		return err
+	}
+	s.segs = append(s.segs, &segment{path: path, f: f, size: int64(len(magic))})
+	return nil
+}
+
+// Put appends one key/value record and updates the index (last write
+// wins). The record is written in a single write call so a crash leaves
+// at worst one torn tail, never an half-indexed state.
+func (s *Store) Put(key string, val []byte) error {
+	body := make([]byte, 0, 2+10+len(key)+10+len(val))
+	body = binary.AppendUvarint(body, recVersion)
+	body = binary.AppendUvarint(body, uint64(len(key)))
+	body = append(body, key...)
+	body = binary.AppendUvarint(body, uint64(len(val)))
+	body = append(body, val...)
+
+	rec := make([]byte, 0, binary.MaxVarintLen64+4+len(body))
+	rec = binary.AppendUvarint(rec, uint64(len(body)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(body))
+	rec = append(rec, body...)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	active := s.segs[len(s.segs)-1]
+	if active.size > int64(len(magic)) && active.size+int64(len(rec)) > s.maxSeg {
+		if err := s.addSegment(); err != nil {
+			return err
+		}
+		active = s.segs[len(s.segs)-1]
+	}
+	if _, err := active.f.WriteAt(rec, active.size); err != nil {
+		return err
+	}
+	// The value sits at the end of the record.
+	valOff := active.size + int64(len(rec)) - int64(len(val))
+	active.size += int64(len(rec))
+	s.idx[key] = ref{seg: len(s.segs) - 1, off: valOff, vlen: len(val)}
+	s.puts.Add(1)
+	return nil
+}
+
+// Get returns the stored value for key, or ok=false when absent. The
+// returned slice is freshly read and owned by the caller.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, false, ErrClosed
+	}
+	s.gets.Add(1)
+	r, ok := s.idx[key]
+	if !ok {
+		return nil, false, nil
+	}
+	s.hits.Add(1)
+	val := make([]byte, r.vlen)
+	if _, err := s.segs[r.seg].f.ReadAt(val, r.off); err != nil {
+		return nil, false, fmt.Errorf("%w: reading %q: %v", ErrCorrupt, key, err)
+	}
+	return val, true, nil
+}
+
+// Has reports whether key is present, without reading the value.
+func (s *Store) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.idx[key]
+	return ok
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.idx)
+}
+
+// Keys returns the live keys, sorted (for diagnostics and tests).
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.idx))
+	for k := range s.idx {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Records:       len(s.idx),
+		Segments:      len(s.segs),
+		Puts:          s.puts.Load(),
+		Gets:          s.gets.Load(),
+		Hits:          s.hits.Load(),
+		TruncatedTail: s.truncated,
+	}
+	for _, seg := range s.segs {
+		st.Bytes += seg.size
+	}
+	return st
+}
+
+// Sync flushes all segments to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for _, seg := range s.segs {
+		if err := seg.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes every segment. The store must not be used
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, seg := range s.segs {
+		if err := seg.f.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Record is one decoded segment record, for scans and tests.
+type Record struct {
+	Key string
+	Val []byte
+	// ValOff is the value's byte offset inside the segment file.
+	ValOff int64
+}
+
+// errTorn distinguishes a cleanly-truncated tail (recoverable in the
+// newest segment) from outright corruption (wrong magic, CRC mismatch,
+// garbage framing mid-file).
+var errTorn = errors.New("torn tail")
+
+// ScanSegment decodes a whole segment image, returning the records it
+// holds and the byte offset of the last intact record's end. A segment
+// that simply stops mid-record (a torn append) returns errTorn with
+// good marking the intact prefix; anything else malformed — bad magic,
+// CRC mismatch, oversized framing, a record-version from the future —
+// returns a hard error wrapping ErrCorrupt. It never panics and never
+// returns a partially-decoded record.
+func ScanSegment(data []byte) (recs []Record, good int64, err error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		// A short file can only be a torn header write if it is a strict
+		// magic prefix.
+		if len(data) < len(magic) && string(data) == magic[:len(data)] {
+			return nil, 0, errTorn
+		}
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	pos := int64(len(magic))
+	for int(pos) < len(data) {
+		rest := data[pos:]
+		bodyLen, n := binary.Uvarint(rest)
+		if n <= 0 {
+			if len(rest) < binary.MaxVarintLen64 {
+				return recs, pos, errTorn
+			}
+			return recs, pos, fmt.Errorf("%w: bad record length at %d", ErrCorrupt, pos)
+		}
+		if bodyLen > maxRecordBytes {
+			return recs, pos, fmt.Errorf("%w: record length %d at %d", ErrCorrupt, bodyLen, pos)
+		}
+		if uint64(len(rest)) < uint64(n)+4+bodyLen {
+			return recs, pos, errTorn
+		}
+		crc := binary.LittleEndian.Uint32(rest[n : n+4])
+		body := rest[uint64(n)+4 : uint64(n)+4+bodyLen]
+		if crc32.ChecksumIEEE(body) != crc {
+			return recs, pos, fmt.Errorf("%w: CRC mismatch at %d", ErrCorrupt, pos)
+		}
+		rec, valOff, derr := decodeBody(body)
+		if derr != nil {
+			return recs, pos, fmt.Errorf("%w: record at %d: %v", ErrCorrupt, pos, derr)
+		}
+		rec.ValOff = pos + int64(n) + 4 + valOff
+		recs = append(recs, rec)
+		pos += int64(n) + 4 + int64(bodyLen)
+	}
+	return recs, pos, nil
+}
+
+// decodeBody parses one CRC-verified record body.
+func decodeBody(body []byte) (Record, int64, error) {
+	pos := 0
+	uv := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("bad %s", what)
+		}
+		pos += n
+		return v, nil
+	}
+	ver, err := uv("record version")
+	if err != nil {
+		return Record{}, 0, err
+	}
+	if ver != recVersion {
+		return Record{}, 0, fmt.Errorf("record version %d (this build reads %d)", ver, recVersion)
+	}
+	keyLen, err := uv("key length")
+	if err != nil {
+		return Record{}, 0, err
+	}
+	if keyLen > uint64(len(body)-pos) {
+		return Record{}, 0, fmt.Errorf("key length %d exceeds body", keyLen)
+	}
+	key := string(body[pos : pos+int(keyLen)])
+	pos += int(keyLen)
+	valLen, err := uv("value length")
+	if err != nil {
+		return Record{}, 0, err
+	}
+	if valLen != uint64(len(body)-pos) {
+		return Record{}, 0, fmt.Errorf("value length %d does not fill body (%d left)", valLen, len(body)-pos)
+	}
+	val := make([]byte, valLen)
+	copy(val, body[pos:])
+	return Record{Key: key, Val: val}, int64(pos), nil
+}

@@ -1,0 +1,299 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	if err := s.Put("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k2", []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("k1")
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("Get k1 = %q, %v, %v", v, ok, err)
+	}
+	v, ok, err = s.Get("k2")
+	if err != nil || !ok || len(v) != 0 {
+		t.Fatalf("Get k2 = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := s.Get("absent"); ok {
+		t.Fatal("Get(absent) = ok")
+	}
+	st := s.Stats()
+	if st.Records != 2 || st.Puts != 2 || st.Gets != 3 || st.Hits != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLastWriteWinsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if err := s.Put("k", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(s *Store) {
+		t.Helper()
+		v, ok, err := s.Get("k")
+		if err != nil || !ok || string(v) != "v2" {
+			t.Fatalf("Get k = %q, %v, %v (want v2)", v, ok, err)
+		}
+		if s.Len() != 1 {
+			t.Fatalf("Len = %d", s.Len())
+		}
+	}
+	check(s)
+	s.Close()
+	check(openT(t, dir, Options{}))
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{MaxSegmentBytes: 256})
+	val := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%02d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	s.Close()
+
+	// Every key survives a reopen across segments.
+	s2 := openT(t, dir, Options{MaxSegmentBytes: 256})
+	for i := 0; i < 10; i++ {
+		v, ok, err := s2.Get(fmt.Sprintf("k%02d", i))
+		if err != nil || !ok || !bytes.Equal(v, val) {
+			t.Fatalf("k%02d after reopen: %v %v", i, ok, err)
+		}
+	}
+}
+
+// lastSegment returns the path of the newest segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.dlstore"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	return names[len(names)-1]
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	if err := s.Put("good", []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("torn", []byte("this record will be cut")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the final record mid-way: a crash between write and rename of
+	// the torn tail.
+	if err := os.WriteFile(seg, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Options{})
+	if _, ok, _ := s2.Get("torn"); ok {
+		t.Fatal("torn record survived recovery")
+	}
+	v, ok, err := s2.Get("good")
+	if err != nil || !ok || string(v) != "intact" {
+		t.Fatalf("good record lost in recovery: %q %v %v", v, ok, err)
+	}
+	if st := s2.Stats(); st.TruncatedTail == 0 {
+		t.Fatalf("TruncatedTail not reported: %+v", st)
+	}
+	// The store stays writable after recovery, and the recovered state
+	// survives another reopen cleanly.
+	if err := s2.Put("after", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := openT(t, dir, Options{})
+	if st := s3.Stats(); st.TruncatedTail != 0 {
+		t.Fatalf("second open still truncating: %+v", st)
+	}
+	if v, ok, _ := s3.Get("after"); !ok || string(v) != "ok" {
+		t.Fatal("post-recovery write lost")
+	}
+}
+
+func TestCorruptionMidFileIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	if err := s.Put("a", []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the FIRST record's body: durable bytes changed
+	// under us — that is corruption, not a torn tail, and must not be
+	// silently repaired.
+	data[len(magic)+7] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadMagicIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "seg-000001.dlstore"), []byte("NOTASTORE\nxxxx"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestVersionSkewedRecordIsAnError: a record written by a future store
+// schema must fail the scan, never misparse.
+func TestVersionSkewedRecordIsAnError(t *testing.T) {
+	body := binary.AppendUvarint(nil, recVersion+1)
+	body = binary.AppendUvarint(body, 1)
+	body = append(body, 'k')
+	body = binary.AppendUvarint(body, 1)
+	body = append(body, 'v')
+	rec := binary.AppendUvarint([]byte(magic), uint64(len(body)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(body))
+	rec = append(rec, body...)
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "seg-000001.dlstore"), rec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{MaxSegmentBytes: 1 << 12})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("g%d-i%d", g, i)
+				if err := s.Put(key, []byte(key)); err != nil {
+					t.Error(err)
+					return
+				}
+				v, ok, err := s.Get(key)
+				if err != nil || !ok || string(v) != key {
+					t.Errorf("Get %s = %q %v %v", key, v, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 400 {
+		t.Fatalf("Len = %d, want 400", s.Len())
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	s.Close()
+	if err := s.Put("k", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after close = %v", err)
+	}
+	if _, _, err := s.Get("k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after close = %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+// FuzzScanSegment: the record decoder must classify ANY byte stream as
+// (records, torn tail) or ErrCorrupt — never panic, never return a
+// record it did not fully verify, and always report a consistent good
+// offset so recovery can truncate.
+func FuzzScanSegment(f *testing.F) {
+	mk := func(puts ...string) []byte {
+		dir := f.TempDir()
+		s, err := Open(dir, Options{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i, v := range puts {
+			if err := s.Put(fmt.Sprintf("key%d", i), []byte(v)); err != nil {
+				f.Fatal(err)
+			}
+		}
+		s.Close()
+		names, _ := filepath.Glob(filepath.Join(dir, "seg-*.dlstore"))
+		data, err := os.ReadFile(names[0])
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
+	f.Add(mk())
+	f.Add(mk("hello", "world"))
+	f.Add([]byte(magic))
+	f.Add([]byte("DLSTORE1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, good, err := ScanSegment(data)
+		if good < 0 || good > int64(len(data)) {
+			t.Fatalf("good offset %d out of range [0,%d]", good, len(data))
+		}
+		if err == nil && good != int64(len(data)) {
+			t.Fatalf("nil error but only %d of %d bytes consumed", good, len(data))
+		}
+		for _, r := range recs {
+			if r.ValOff < 0 || r.ValOff+int64(len(r.Val)) > good {
+				t.Fatalf("record %q value [%d,+%d) outside verified prefix %d",
+					r.Key, r.ValOff, len(r.Val), good)
+			}
+		}
+	})
+}

@@ -1,0 +1,177 @@
+// Package wire is the grid-serving protocol shared by the HTTP daemon
+// (internal/server) and its Go client (internal/client): JSON request
+// envelopes, and a binary grid format whose cell payloads are the exact
+// codec frames the on-disk store persists — a cell crosses the network
+// in the same bytes it lives on disk in, so remote and local results
+// cannot drift.
+//
+// Grid format (little-endian, varint-based, after tracefile/store):
+//
+//	magic "DLGRID1\n"
+//	uvarint row count
+//	rows:   uvarint benchLen, bench, uvarint policyLen, policy,
+//	        uvarint TUs, uvarint frameLen, frame (a codec frame of
+//	        the cell's spec.Metrics)
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dynloop/internal/codec"
+	"dynloop/internal/expt"
+	"dynloop/internal/spec"
+)
+
+const gridMagic = "DLGRID1\n"
+
+// maxGridRows bounds a single grid allocation when decoding untrusted
+// responses.
+const maxGridRows = 1 << 22
+
+// ErrCorrupt reports a malformed grid payload.
+var ErrCorrupt = errors.New("wire: corrupt grid payload")
+
+// SweepRequest asks the daemon for one benchmark × policy × TUs grid.
+// Zero values select the same defaults as the local CLI path (all
+// benchmarks, the paper's five policies, 2–16 TUs, DefaultBudget,
+// seed 1), so a remote sweep reproduces `dynloop sweep` byte for byte.
+type SweepRequest struct {
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Policies   []string `json:"policies,omitempty"`
+	TUs        []int    `json:"tus,omitempty"`
+	Budget     uint64   `json:"budget,omitempty"`
+	Seed       uint64   `json:"seed,omitempty"`
+	BatchSize  int      `json:"batch_size,omitempty"`
+}
+
+// Event mirrors runner.Event for the SSE progress stream.
+type Event struct {
+	Kind      string `json:"kind"`
+	Key       string `json:"key,omitempty"`
+	Label     string `json:"label,omitempty"`
+	Err       string `json:"err,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
+	Completed uint64 `json:"completed"`
+}
+
+// RunnerStats mirrors runner.Stats for the stats endpoint.
+type RunnerStats struct {
+	Submitted  uint64 `json:"submitted"`
+	Executed   uint64 `json:"executed"`
+	CacheHits  uint64 `json:"cache_hits"`
+	Coalesced  uint64 `json:"coalesced"`
+	Failures   uint64 `json:"failures"`
+	GroupRuns  uint64 `json:"group_runs"`
+	DiskHits   uint64 `json:"disk_hits"`
+	DiskPuts   uint64 `json:"disk_puts"`
+	TierErrors uint64 `json:"tier_errors"`
+}
+
+// StoreStats mirrors store.Stats for the stats endpoint.
+type StoreStats struct {
+	Records       int    `json:"records"`
+	Segments      int    `json:"segments"`
+	Bytes         int64  `json:"bytes"`
+	Puts          uint64 `json:"puts"`
+	Gets          uint64 `json:"gets"`
+	Hits          uint64 `json:"hits"`
+	TruncatedTail int64  `json:"truncated_tail"`
+}
+
+// Stats is the daemon's stats response.
+type Stats struct {
+	Workers    uint64      `json:"workers"`
+	Traversals uint64      `json:"traversals"`
+	Runner     RunnerStats `json:"runner"`
+	Store      *StoreStats `json:"store,omitempty"`
+}
+
+// AppendGrid encodes sweep rows onto b in the grid format.
+func AppendGrid(b []byte, rows []expt.SweepRow) ([]byte, error) {
+	b = append(b, gridMagic...)
+	b = binary.AppendUvarint(b, uint64(len(rows)))
+	for i := range rows {
+		r := &rows[i]
+		b = binary.AppendUvarint(b, uint64(len(r.Bench)))
+		b = append(b, r.Bench...)
+		b = binary.AppendUvarint(b, uint64(len(r.Policy)))
+		b = append(b, r.Policy...)
+		b = binary.AppendUvarint(b, uint64(r.TUs))
+		frame, err := codec.Encode(r.M)
+		if err != nil {
+			return nil, fmt.Errorf("wire: row %d: %w", i, err)
+		}
+		b = binary.AppendUvarint(b, uint64(len(frame)))
+		b = append(b, frame...)
+	}
+	return b, nil
+}
+
+// DecodeGrid parses a grid payload occupying all of b.
+func DecodeGrid(b []byte) ([]expt.SweepRow, error) {
+	if len(b) < len(gridMagic) || string(b[:len(gridMagic)]) != gridMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	pos := len(gridMagic)
+	uv := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(b[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: bad %s at %d", ErrCorrupt, what, pos)
+		}
+		pos += n
+		return v, nil
+	}
+	str := func(what string) (string, error) {
+		n, err := uv(what + " length")
+		if err != nil {
+			return "", err
+		}
+		if n > uint64(len(b)-pos) {
+			return "", fmt.Errorf("%w: %s length %d exceeds payload", ErrCorrupt, what, n)
+		}
+		s := string(b[pos : pos+int(n)])
+		pos += int(n)
+		return s, nil
+	}
+	count, err := uv("row count")
+	if err != nil {
+		return nil, err
+	}
+	if count > maxGridRows {
+		return nil, fmt.Errorf("%w: row count %d", ErrCorrupt, count)
+	}
+	rows := make([]expt.SweepRow, 0, count)
+	for i := uint64(0); i < count; i++ {
+		bench, err := str("bench")
+		if err != nil {
+			return nil, err
+		}
+		policy, err := str("policy")
+		if err != nil {
+			return nil, err
+		}
+		tus, err := uv("TUs")
+		if err != nil {
+			return nil, err
+		}
+		frame, err := str("frame")
+		if err != nil {
+			return nil, err
+		}
+		v, err := codec.Decode([]byte(frame))
+		if err != nil {
+			return nil, fmt.Errorf("wire: row %d: %w", i, err)
+		}
+		m, ok := v.(spec.Metrics)
+		if !ok {
+			return nil, fmt.Errorf("%w: row %d carries %T, not spec.Metrics", ErrCorrupt, i, v)
+		}
+		rows = append(rows, expt.SweepRow{Bench: bench, Policy: policy, TUs: int(tus), M: m})
+	}
+	if pos != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-pos)
+	}
+	return rows, nil
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test for the grid-serving daemon.
+#
+# Builds the CLI, starts `dynloop serve` with a persistent store, runs
+# the same small sweep locally and remotely (twice, so the second hits
+# the daemon's cache), asserts all three outputs are byte-identical,
+# restarts the daemon over the warm store and asserts the sweep is
+# served purely from disk (zero traversals), then SIGINTs the daemon
+# and asserts a graceful zero exit. CI runs this; it is also handy
+# locally: scripts/serve_smoke.sh
+set -euo pipefail
+
+ADDR="127.0.0.1:${SMOKE_PORT:-19095}"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+BIN="$WORK/dynloop"
+STORE="$WORK/store"
+SWEEP_ARGS=(-bench swim,compress -policy str,str3 -tus 2,4 -n 200000)
+SERVE_PID=""
+
+cleanup() {
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -9 "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  fail "daemon at $BASE never became healthy"
+}
+
+start_daemon() {
+  "$BIN" serve -addr "$ADDR" -store "$STORE" -parallel 4 2>"$WORK/serve-$1.log" &
+  SERVE_PID=$!
+  wait_healthy
+}
+
+stop_daemon_gracefully() {
+  kill -INT "$SERVE_PID"
+  local code=0
+  wait "$SERVE_PID" || code=$?
+  SERVE_PID=""
+  [ "$code" -eq 0 ] || fail "daemon exited $code after SIGINT (want graceful 0)"
+}
+
+echo "serve_smoke: building"
+go build -o "$BIN" ./cmd/dynloop
+
+echo "serve_smoke: local reference sweep"
+"$BIN" sweep "${SWEEP_ARGS[@]}" -parallel 1 >"$WORK/local.txt"
+
+echo "serve_smoke: daemon round trip"
+start_daemon cold
+"$BIN" sweep "${SWEEP_ARGS[@]}" -remote "$BASE" >"$WORK/remote1.txt"
+"$BIN" sweep "${SWEEP_ARGS[@]}" -remote "$BASE" >"$WORK/remote2.txt"
+cmp "$WORK/local.txt" "$WORK/remote1.txt" || fail "remote sweep differs from local run"
+cmp "$WORK/remote1.txt" "$WORK/remote2.txt" || fail "repeat remote sweep not stable"
+stop_daemon_gracefully
+
+echo "serve_smoke: warm-store restart"
+start_daemon warm
+"$BIN" sweep "${SWEEP_ARGS[@]}" -remote "$BASE" >"$WORK/remote3.txt"
+cmp "$WORK/local.txt" "$WORK/remote3.txt" || fail "warm-store sweep differs from local run"
+STATS="$(curl -sf "$BASE/v1/stats")"
+echo "serve_smoke: warm stats: $STATS"
+case "$STATS" in
+  *'"traversals":0'*) ;;
+  *) fail "warm-store daemon re-ran traversals: $STATS" ;;
+esac
+case "$STATS" in
+  *'"executed":0'*) ;;
+  *) fail "warm-store daemon re-executed cells: $STATS" ;;
+esac
+stop_daemon_gracefully
+
+echo "serve_smoke: PASS"
