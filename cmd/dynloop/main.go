@@ -15,11 +15,15 @@
 //	                   [-store DIR]
 //	dynloop sweep      [-bench a,b] [-policy str,str3] [-tus 2,4,8] [-parallel N]
 //	                   [-store DIR] [-remote URL]
+//	dynloop grid       -spec FILE | -name NAME | -list [-remote URL] [-store DIR]
+//	                   [-bench a,b] [-n N] [-seed N] [-parallel N] [-format table|csv|json]
 //	dynloop serve      [-addr 127.0.0.1:9090] [-store DIR] [-parallel N]
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -69,6 +73,10 @@ func main() {
 		err = cmdExperiment(ctx, os.Args[2:])
 	case "sweep":
 		err = cmdSweep(ctx, os.Args[2:])
+	case "grid":
+		err = cmdGrid(ctx, os.Args[2:])
+	case "grids":
+		err = cmdGrid(ctx, append([]string{"-list"}, os.Args[2:]...))
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
 	case "trace":
@@ -110,6 +118,15 @@ commands:
                                      run an arbitrary benchmark × policy × TUs
                                      grid through the parallel orchestrator,
                                      locally or on a dynloop serve daemon
+  grid   -spec FILE | -name NAME | -list
+         [-bench a,b,...] [-n N] [-seed N] [-parallel N] [-progress]
+         [-store DIR] [-remote URL] [-format table|csv|json]
+                                     execute a declarative grid spec — a JSON
+                                     file sweeping any axes (benchmarks,
+                                     budgets, seeds, CLS, TUs, policies,
+                                     ablation knobs) or a registered spec
+                                     (table1, fig7, ablation/cls, ...; -list
+                                     shows them) — locally or on a daemon
   serve  [-addr HOST:PORT] [-store DIR] [-parallel N] [-max-inflight N]
                                      run the grid-serving HTTP daemon: clients
                                      share one worker pool, one result cache
@@ -464,14 +481,20 @@ func progressPrinter() func(runner.Event) {
 }
 
 // printRunnerStats reports what the orchestrator did, when -progress is
-// on.
-func printRunnerStats(r *runner.Runner, progress bool) {
+// on. seed, when non-zero, is the run's default workload input seed (a
+// spec may additionally sweep explicit seeds); the daemon passes 0 — it
+// serves many seeds, none of them "the" seed of the process.
+func printRunnerStats(r *runner.Runner, progress bool, seed uint64) {
 	if !progress {
 		return
 	}
 	s := r.Stats()
-	fmt.Fprintf(os.Stderr, "runner: %d jobs, %d executed, %d fused group runs on %d workers, %d cache hits, %d coalesced, %d disk hits, %d disk puts\n",
-		s.Submitted, s.Executed, s.GroupRuns, r.Workers(), s.CacheHits, s.Coalesced, s.DiskHits, s.DiskPuts)
+	seedNote := ""
+	if seed != 0 {
+		seedNote = fmt.Sprintf(", seed %d", seed)
+	}
+	fmt.Fprintf(os.Stderr, "runner: %d jobs, %d executed, %d fused group runs on %d workers, %d cache hits, %d coalesced, %d disk hits, %d disk puts%s\n",
+		s.Submitted, s.Executed, s.GroupRuns, r.Workers(), s.CacheHits, s.Coalesced, s.DiskHits, s.DiskPuts, seedNote)
 	if s.TierErrors > 0 {
 		fmt.Fprintf(os.Stderr, "runner: %d store-tier errors (treated as misses)\n", s.TierErrors)
 	}
@@ -547,7 +570,7 @@ func cmdExperiment(ctx context.Context, args []string) error {
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")
 	}
-	defer func() { printRunnerStats(cfg.Runner, *progress) }()
+	defer func() { printRunnerStats(cfg.Runner, *progress, *seed) }()
 	defer func() {
 		if err := stopProfile(); err != nil {
 			fmt.Fprintln(os.Stderr, "dynloop: profile:", err)
@@ -718,7 +741,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	}
 	defer closeStore()
 	cfg := expt.Config{Budget: *n, Seed: *seed, BatchSize: *batch, Benchmarks: benchList, Runner: r}
-	defer func() { printRunnerStats(cfg.Runner, *progress) }()
+	defer func() { printRunnerStats(cfg.Runner, *progress, *seed) }()
 	defer func() {
 		if err := stopProfile(); err != nil {
 			fmt.Fprintln(os.Stderr, "dynloop: profile:", err)
@@ -795,6 +818,172 @@ func remoteSweep(ctx context.Context, base string, req wire.SweepRequest, progre
 	return nil
 }
 
+// cmdGrid executes a declarative grid spec — a user-authored JSON file
+// or a registered name — locally or on a serve daemon. Both paths
+// render through the same spec-driven renderer, so the bytes match.
+func cmdGrid(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("grid", flag.ExitOnError)
+	specFile := fs.String("spec", "", "JSON grid spec file to execute")
+	name := fs.String("name", "", "registered grid to execute (see -list)")
+	list := fs.Bool("list", false, "list the registered grids and exit")
+	n := fs.Uint64("n", expt.DefaultBudget, "default per-benchmark instruction budget (a spec may sweep explicit budgets)")
+	seed := fs.Uint64("seed", 1, "default workload input seed (a spec may sweep explicit seeds)")
+	benches := fs.String("bench", "", "comma-separated benchmark subset (when the spec names none)")
+	batch := fs.Int("batch", 0, "event-batch size (0 = default 1024; output is identical at any size)")
+	format := fs.String("format", "", "override the render layout: table, csv or json")
+	remote := fs.String("remote", "", "execute the grid on a dynloop serve daemon at this base URL")
+	progress, mkRunner := parallelFlags(fs)
+	profile := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var benchList []string
+	if *benches != "" {
+		benchList = strings.Split(*benches, ",")
+	}
+	cfg := expt.Config{Budget: *n, Seed: *seed, BatchSize: *batch, Benchmarks: benchList}
+
+	if *list {
+		return listGrids(ctx, *remote, cfg)
+	}
+
+	var gs dynloop.GridSpec
+	switch {
+	case *specFile != "" && *name != "":
+		return fmt.Errorf("pass either -spec FILE or -name NAME, not both")
+	case *specFile != "":
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			return err
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&gs); err != nil {
+			return fmt.Errorf("parsing %s: %w", *specFile, err)
+		}
+		if err := gs.Validate(); err != nil {
+			return err
+		}
+	case *name != "":
+		e, ok := dynloop.GridByName(*name)
+		if !ok {
+			return fmt.Errorf("no registered grid %q (try: dynloop grid -list)", *name)
+		}
+		gs = e.Spec
+	default:
+		return fmt.Errorf("missing -spec FILE or -name NAME (or -list)")
+	}
+	if *format != "" {
+		gs.Render.Format = *format
+	}
+
+	if *remote != "" {
+		return remoteGrid(ctx, *remote, cfg, gs, *name, *progress)
+	}
+
+	stopProfile, err := profile()
+	if err != nil {
+		return err
+	}
+	r, closeStore, err := mkRunner()
+	if err != nil {
+		return err
+	}
+	defer closeStore()
+	cfg.Runner = r
+	defer func() { printRunnerStats(cfg.Runner, *progress, *seed) }()
+	defer func() {
+		if err := stopProfile(); err != nil {
+			fmt.Fprintln(os.Stderr, "dynloop: profile:", err)
+		}
+	}()
+	res, err := dynloop.RunGrid(ctx, cfg, gs)
+	if err != nil {
+		return err
+	}
+	out, err := dynloop.RenderGrid(res)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+// listGrids prints the grid registry — the local one, or the daemon's
+// when -remote is given.
+func listGrids(ctx context.Context, remote string, cfg expt.Config) error {
+	t := report.NewTable("Registered grids (dynloop grid -name NAME; axes default per spec)",
+		"name", "kind", "cells", "title")
+	if remote != "" {
+		c := client.New(remote, nil)
+		infos, err := c.Grids(ctx)
+		if err != nil {
+			return err
+		}
+		for _, gi := range infos {
+			t.AddRow(gi.Name, gi.Kind, gi.Cells, gi.Title)
+		}
+	} else {
+		for _, name := range dynloop.GridNames() {
+			e, ok := dynloop.GridByName(name)
+			if !ok {
+				continue
+			}
+			cells, err := e.Spec.Size(cfg)
+			if err != nil {
+				cells = 0
+			}
+			t.AddRow(name, e.Spec.Kind, cells, e.Spec.Title)
+		}
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+// remoteGrid runs the spec on a daemon and renders the returned cell
+// values through the same renderer as the local path — byte-identical
+// output. Named grids go up by name (the daemon resolves its canonical
+// spec — identical to ours); ad-hoc specs go up inline.
+func remoteGrid(ctx context.Context, base string, cfg expt.Config, gs dynloop.GridSpec, name string, progress bool) error {
+	c := client.New(base, nil)
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("daemon at %s: %w", base, err)
+	}
+	req := wire.GridRequest{
+		Benchmarks: cfg.Benchmarks,
+		Budget:     cfg.Budget,
+		Seed:       cfg.Seed,
+		BatchSize:  cfg.BatchSize,
+	}
+	if name != "" && gs.Render.Format == "" {
+		req.Name = name
+	} else {
+		req.Spec = &gs
+	}
+	values, err := c.Grid(ctx, req)
+	if err != nil {
+		return err
+	}
+	res, err := dynloop.GridResultFrom(cfg, gs, values)
+	if err != nil {
+		return err
+	}
+	out, err := dynloop.RenderGrid(res)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	if progress {
+		st, err := c.Stats(ctx)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "daemon: %d jobs, %d executed, %d fused group runs on %d workers, %d cache hits, %d coalesced, %d disk hits, %d disk puts\n",
+				st.Runner.Submitted, st.Runner.Executed, st.Runner.GroupRuns, st.Workers,
+				st.Runner.CacheHits, st.Runner.Coalesced, st.Runner.DiskHits, st.Runner.DiskPuts)
+		}
+	}
+	return nil
+}
+
 // cmdServe runs the grid-serving daemon until interrupted; Ctrl-C (or
 // SIGINT from a supervisor) shuts it down gracefully.
 func cmdServe(ctx context.Context, args []string) error {
@@ -838,7 +1027,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	}()
 	err := srv.ListenAndServe(ctx, *addr, ready, *grace)
 	fmt.Fprintln(os.Stderr, "dynloop: daemon stopped")
-	printRunnerStats(srv.Runner(), true)
+	printRunnerStats(srv.Runner(), true, 0)
 	return err
 }
 

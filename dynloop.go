@@ -34,7 +34,12 @@
 //     plugs in behind the orchestrator's cache (OpenStore,
 //     NewStoreCache), and an HTTP daemon + client (NewServer,
 //     NewClient, `dynloop serve`) that serve precomputed grids to
-//     remote sweeps byte-identically to local runs.
+//     remote sweeps byte-identically to local runs; and
+//   - a declarative grid layer (GridSpec, RunGrid, GridNames): every
+//     paper section is a registered spec, and a user-authored JSON
+//     spec sweeping any axes — benchmarks, budgets, seeds, CLS
+//     capacities, TU counts, policies, ablation knobs — executes
+//     through the same fusion/cache/store/serving machinery.
 //
 // Quick start:
 //
@@ -58,6 +63,7 @@ import (
 	"dynloop/internal/client"
 	"dynloop/internal/datapred"
 	"dynloop/internal/expt"
+	"dynloop/internal/grid"
 	"dynloop/internal/harness"
 	"dynloop/internal/loopdet"
 	"dynloop/internal/loopstats"
@@ -147,6 +153,57 @@ type (
 	// SweepRow is one cell of a RunSweep grid.
 	SweepRow = expt.SweepRow
 )
+
+// The declarative grid layer: every experiment is a grid.Spec — axes
+// (benchmarks, budgets, seeds, CLS capacities, TU counts, policies,
+// ablation knobs), a metric selection and a render layout — compiled
+// onto the cell/fusion/cache/store machinery. The paper's tables,
+// figures, baselines and ablations are registered specs (GridNames);
+// user-authored specs execute through the identical path.
+type (
+	// GridSpec declares an experiment grid (see internal/grid.Spec for
+	// the axes and their JSON forms).
+	GridSpec = grid.Spec
+	// GridEntry is one registered grid: its canonical spec plus the
+	// section renderer.
+	GridEntry = grid.Entry
+	// GridResult is an executed grid: resolved spec, cells, one value
+	// per cell.
+	GridResult = grid.Result
+	// GridExclusion is one point of a GridSpec's exclusion-table axis.
+	GridExclusion = grid.ExclusionSpec
+	// GridRequest asks a Server to execute a grid (by registered name
+	// or inline spec).
+	GridRequest = wire.GridRequest
+)
+
+// RunGrid executes a declarative grid spec: axes compile to versioned
+// cells, cached cells are served from memory or the disk store, and
+// missing cells fuse per (benchmark, budget, seed) group into single
+// traversals. Values return in canonical cell order, byte-identical at
+// any worker count.
+func RunGrid(ctx context.Context, cfg ExperimentConfig, s GridSpec) (*GridResult, error) {
+	return grid.Run(ctx, cfg, s)
+}
+
+// GridNames lists the registered grids (the paper's sections plus the
+// sweep), sorted.
+func GridNames() []string { return grid.Names() }
+
+// GridByName resolves a registered grid.
+func GridByName(name string) (GridEntry, bool) { return grid.Lookup(name) }
+
+// GridResultFrom rebuilds a GridResult from a value stream computed
+// elsewhere (e.g. a daemon's /v1/grid response), re-validating shape
+// and types against the spec's deterministic expansion.
+func GridResultFrom(cfg ExperimentConfig, s GridSpec, values []any) (*GridResult, error) {
+	return grid.ResultFrom(cfg, s, values)
+}
+
+// RenderGrid formats a grid result: registered specs render their paper
+// section, ad-hoc specs render through the generic table/CSV/JSON
+// layout.
+func RenderGrid(res *GridResult) (string, error) { return grid.RenderResult(res) }
 
 // NewRunner returns a parallel experiment orchestrator to share across
 // experiment drivers: the worker bound pools and identical cells are

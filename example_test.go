@@ -124,3 +124,31 @@ func ExampleRunAll() {
 	// has Figure 7: true
 	// has ablations: true
 }
+
+// ExampleRunGrid executes a declarative grid spec — here a seed sweep
+// at a machine size the paper never ran — through the same fusion,
+// caching and rendering machinery the registered paper sections use.
+func ExampleRunGrid() {
+	spec := dynloop.GridSpec{
+		Kind:       "spec",
+		Benchmarks: []string{"swim"},
+		Seeds:      []uint64{1, 2},
+		TUs:        []int{6},
+		Policies:   []string{"str"},
+	}
+	res, err := dynloop.RunGrid(context.Background(), dynloop.ExperimentConfig{Budget: 50_000, Parallel: 4}, spec)
+	if err != nil {
+		panic(err)
+	}
+	out, err := dynloop.RenderGrid(res)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cells:", len(res.Values))
+	fmt.Println("has seed column:", strings.Contains(out, "seed"))
+	fmt.Println("registered sections:", len(dynloop.GridNames()) > 10)
+	// Output:
+	// cells: 2
+	// has seed column: true
+	// registered sections: true
+}

@@ -83,6 +83,57 @@ func (c *Client) Sweep(ctx context.Context, req wire.SweepRequest) ([]expt.Sweep
 	return wire.DecodeGrid(grid)
 }
 
+// Grid submits a declarative grid request (a registered name or an
+// inline spec) and decodes the resulting cell values, one per cell in
+// the grid's canonical cell order — pair them with the deterministic
+// spec expansion via grid.ResultFrom to render exactly what a local
+// run renders.
+func (c *Client) Grid(ctx context.Context, req wire.GridRequest) ([]any, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/grid", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeCells(payload)
+}
+
+// Grids lists the daemon's registered grids with their canonical specs.
+func (c *Client) Grids(ctx context.Context) ([]wire.GridInfo, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/grids", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var out []wire.GridInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Cell fetches one persisted cell result by its full configuration key
 // and decodes it through the codec registry. The returned value's
 // concrete type is whatever the key's cell produces (e.g.

@@ -2,16 +2,9 @@ package expt
 
 import (
 	"context"
-	"fmt"
 
-	"dynloop/internal/harness"
-	"dynloop/internal/loopstats"
-	"dynloop/internal/looptab"
+	"dynloop/internal/grid"
 	"dynloop/internal/report"
-	"dynloop/internal/runner"
-	"dynloop/internal/spec"
-	"dynloop/internal/trace"
-	"dynloop/internal/workload"
 )
 
 // CLSSizeRow is one CLS-capacity point of the AblationCLSSize sweep.
@@ -25,63 +18,35 @@ type CLSSizeRow struct {
 	AvgTPC float64
 }
 
-// clsCell is one benchmark's result at one CLS capacity.
-type clsCell struct {
-	Evictions uint64
-	AtCap     bool
-	TPC       float64
-}
-
 // AblationCLSSize sweeps the CLS capacity (the paper fixes 16 and argues
 // it never overflows on SPEC95: "the maximum nesting level is lower than
-// 16"). The sweep shows where detection starts degrading. The grid is
-// one capacity × benchmark cell each — and because every cell's pass
-// owns a private detector, all capacities of a benchmark still fuse into
-// one traversal.
+// 16"). The sweep shows where detection starts degrading — the
+// registered "ablation/cls" grid; because every cell's pass owns a
+// private detector, all capacities of a benchmark still fuse into one
+// traversal.
 func AblationCLSSize(ctx context.Context, cfg Config, capacities []int) ([]CLSSizeRow, error) {
-	if len(capacities) == 0 {
-		capacities = []int{2, 4, 8, 16}
-	}
-	bms, err := cfg.benchmarks()
-	if err != nil {
-		return nil, err
-	}
-	var cells []passCell[clsCell]
-	for _, capEntries := range capacities {
-		runCfg := cfg
-		runCfg.CLSCapacity = capEntries
-		for _, bm := range bms {
-			cells = append(cells, passCell[clsCell]{
-				key:   runCfg.cellKey("clssize", bm.Name),
-				label: fmt.Sprintf("cls %s/%d entries", bm.Name, capEntries),
-				bench: bm,
-				cfg:   runCfg,
-				mk: func() (trace.Pass, func() (clsCell, error)) {
-					ls := loopstats.NewCollector()
-					e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)})
-					det := harness.NewObserverPass(capEntries, ls, e)
-					return det, func() (clsCell, error) {
-						ds := det.Stats()
-						return clsCell{
-							Evictions: ds.Evictions,
-							AtCap:     ds.MaxDepth >= capEntries,
-							TPC:       e.Metrics().TPC(),
-						}, nil
-					}
-				},
-			})
+	res, err := runNamed(ctx, cfg, "ablation/cls", func(s *grid.Spec) {
+		if len(capacities) > 0 {
+			s.CLS = capacities
 		}
-	}
-	res, err := mapCells(ctx, cfg, cells)
+	})
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]CLSSizeRow, 0, len(capacities))
-	for ci, capEntries := range capacities {
+	return clsSizeFromResult(res)
+}
+
+func clsSizeFromResult(res *grid.Result) ([]CLSSizeRow, error) {
+	bms, caps := res.Spec.Benchmarks, res.Spec.CLS
+	if err := shape(res, len(bms)*len(caps), "ablation/cls"); err != nil {
+		return nil, err
+	}
+	rows := make([]CLSSizeRow, 0, len(caps))
+	for ci, capEntries := range caps {
 		row := CLSSizeRow{Capacity: capEntries}
 		var tpcSum float64
 		for bi := range bms {
-			c := res[ci*len(bms)+bi]
+			c := res.Values[bi*len(caps)+ci].(grid.CLSCell)
 			row.Evictions += c.Evictions
 			if c.AtCap {
 				row.MaxDepthHits++
@@ -113,31 +78,31 @@ type LETCapacityRow struct {
 
 // AblationLETCapacity sweeps the speculation engine's iteration-count
 // LET size (the paper leaves it open; the Figure 4 experiment suggests
-// 16 entries suffice for history hits) — capacity × benchmark spec
-// cells, fused per benchmark.
+// 16 entries suffice for history hits) — the registered "ablation/let"
+// grid, capacity × benchmark spec cells fused per benchmark.
 func AblationLETCapacity(ctx context.Context, cfg Config, capacities []int) ([]LETCapacityRow, error) {
-	if len(capacities) == 0 {
-		capacities = []int{2, 4, 8, 16, 0}
-	}
-	bms, err := cfg.benchmarks()
-	if err != nil {
-		return nil, err
-	}
-	var cells []passCell[spec.Metrics]
-	for _, capEntries := range capacities {
-		for _, bm := range bms {
-			cells = append(cells, specCell(cfg, bm, spec.Config{TUs: 4, Policy: spec.STRn(3), LETCapacity: capEntries}))
+	res, err := runNamed(ctx, cfg, "ablation/let", func(s *grid.Spec) {
+		if len(capacities) > 0 {
+			s.LETCaps = capacities
 		}
-	}
-	ms, err := mapCells(ctx, cfg, cells)
+	})
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]LETCapacityRow, 0, len(capacities))
-	for ci, capEntries := range capacities {
+	return letCapacityFromResult(res)
+}
+
+func letCapacityFromResult(res *grid.Result) ([]LETCapacityRow, error) {
+	bms, caps := res.Spec.Benchmarks, res.Spec.LETCaps
+	if err := shape(res, len(bms)*len(caps), "ablation/let"); err != nil {
+		return nil, err
+	}
+	ms := metrics(res)
+	rows := make([]LETCapacityRow, 0, len(caps))
+	for ci, capEntries := range caps {
 		var tpcSum, hitSum float64
 		for bi := range bms {
-			m := ms[ci*len(bms)+bi]
+			m := ms[bi*len(caps)+ci]
 			tpcSum += m.TPC()
 			hitSum += m.HitRatio()
 		}
@@ -170,67 +135,33 @@ type ReplacementRow struct {
 	Inhibited uint64
 }
 
-// replCell is one benchmark's tracker result under one replacement
-// policy at one size.
-type replCell struct {
-	LET, LIT  float64
-	Inhibited uint64
-}
-
-// replacementCell declares one LET/LIT tracker cell.
-func replacementCell(cfg Config, bm workload.Benchmark, size int, nestingAware bool) passCell[replCell] {
-	mode := "lru"
-	if nestingAware {
-		mode = "nest"
-	}
-	return passCell[replCell]{
-		key:   cfg.cellKey("replacement", bm.Name, size, mode),
-		label: fmt.Sprintf("replacement %s/%d/%s", bm.Name, size, mode),
-		bench: bm,
-		cfg:   cfg,
-		mk: func() (trace.Pass, func() (replCell, error)) {
-			tr := looptab.NewTracker(size, size)
-			if nestingAware {
-				tr.EnableNestingAware()
-			}
-			return harness.NewObserverPass(cfg.CLSCapacity, tr),
-				func() (replCell, error) {
-					let, _ := tr.LET.HitRatio()
-					lit, _ := tr.LIT.HitRatio()
-					return replCell{LET: let, LIT: lit, Inhibited: tr.LET.Inhibited() + tr.LIT.Inhibited()}, nil
-				}
-		},
-	}
-}
-
 // AblationReplacement reproduces the paper's §2.3.2 finding: the
 // nesting-aware insertion-inhibit policy improves on LRU only
-// negligibly. The grid is size × benchmark × {LRU, nesting-aware}, fused
-// per benchmark.
+// negligibly — the registered "ablation/replacement" grid (size ×
+// benchmark × {LRU, nesting-aware}), fused per benchmark.
 func AblationReplacement(ctx context.Context, cfg Config, sizes []int) ([]ReplacementRow, error) {
-	if len(sizes) == 0 {
-		sizes = []int{2, 4, 8}
-	}
-	bms, err := cfg.benchmarks()
+	res, err := runNamed(ctx, cfg, "ablation/replacement", func(s *grid.Spec) {
+		if len(sizes) > 0 {
+			s.TableSizes = sizes
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	var cells []passCell[replCell]
-	for _, size := range sizes {
-		for _, bm := range bms {
-			cells = append(cells, replacementCell(cfg, bm, size, false), replacementCell(cfg, bm, size, true))
-		}
-	}
-	res, err := mapCells(ctx, cfg, cells)
-	if err != nil {
+	return replacementFromResult(res)
+}
+
+func replacementFromResult(res *grid.Result) ([]ReplacementRow, error) {
+	bms, sizes, modes := res.Spec.Benchmarks, res.Spec.TableSizes, res.Spec.Modes
+	if err := shape(res, len(bms)*len(sizes)*len(modes), "ablation/replacement"); err != nil {
 		return nil, err
 	}
 	rows := make([]ReplacementRow, 0, len(sizes))
 	for si, size := range sizes {
 		row := ReplacementRow{Entries: size}
 		for bi := range bms {
-			lru := res[(si*len(bms)+bi)*2]
-			nest := res[(si*len(bms)+bi)*2+1]
+			lru := res.Values[(bi*len(sizes)+si)*2].(grid.ReplCell)
+			nest := res.Values[(bi*len(sizes)+si)*2+1].(grid.ReplCell)
 			row.LRULet += lru.LET
 			row.LRULit += lru.LIT
 			row.NestLet += nest.LET
@@ -257,47 +188,21 @@ func RenderReplacement(rows []ReplacementRow) string {
 	return t.String()
 }
 
-// OneShotRow compares Table-1 statistics with and without counting
-// single-iteration executions.
-type OneShotRow struct {
-	Bench                  string
-	WithIPE, WithoutIPE    float64 // iterations per execution
-	WithExecs, WithoutExec uint64
-}
-
 // AblationOneShots quantifies the effect of counting one-iteration
 // executions in the Table 1 statistics (the paper's definition detects
 // them but does not say whether they are included; we default to
-// counting them). One pass per benchmark; both collectors share a single
-// detector.
+// counting them) — the registered "ablation/oneshots" grid. One pass
+// per benchmark; both collectors share a single detector.
 func AblationOneShots(ctx context.Context, cfg Config) ([]OneShotRow, error) {
-	bms, err := cfg.benchmarks()
+	res, err := runNamed(ctx, cfg, "ablation/oneshots", nil)
 	if err != nil {
 		return nil, err
 	}
-	cells := make([]passCell[OneShotRow], len(bms))
-	for i, bm := range bms {
-		cells[i] = passCell[OneShotRow]{
-			key:   cfg.cellKey("oneshots", bm.Name),
-			label: "oneshots " + bm.Name,
-			bench: bm,
-			cfg:   cfg,
-			mk: func() (trace.Pass, func() (OneShotRow, error)) {
-				with := loopstats.NewCollector()
-				without := loopstats.NewCollector()
-				without.CountOneShots = false
-				return harness.NewObserverPass(cfg.CLSCapacity, with, without),
-					func() (OneShotRow, error) {
-						w, wo := with.Summary(), without.Summary()
-						return OneShotRow{
-							Bench: bm.Name, WithIPE: w.ItersPerExec, WithoutIPE: wo.ItersPerExec,
-							WithExecs: w.Execs, WithoutExec: wo.Execs,
-						}, nil
-					}
-			},
-		}
-	}
-	return mapCells(ctx, cfg, cells)
+	return oneShotsFromResult(res)
+}
+
+func oneShotsFromResult(res *grid.Result) ([]OneShotRow, error) {
+	return rowsAs[OneShotRow](res, "ablation/oneshots")
 }
 
 // RenderOneShots formats the one-shot ablation.
@@ -321,41 +226,35 @@ type NestRuleRow struct {
 
 // AblationNestRule compares the starvation-based STR(i) reading (our
 // default; consistent with the paper's Table 2) against the literal
-// structural reading (see spec.NestRule and DESIGN.md). The grid is
-// policy × machine size × benchmark × rule, in spec cells fused per
-// benchmark.
+// structural reading (see spec.NestRule and DESIGN.md) — the registered
+// "ablation/nestrule" grid (policy × machine size × benchmark × rule),
+// in spec cells fused per benchmark.
 func AblationNestRule(ctx context.Context, cfg Config, tus []int) ([]NestRuleRow, error) {
-	if len(tus) == 0 {
-		tus = []int{4, 8}
-	}
-	bms, err := cfg.benchmarks()
-	if err != nil {
-		return nil, err
-	}
-	nests := []int{1, 3}
-	var cells []passCell[spec.Metrics]
-	for _, i := range nests {
-		for _, k := range tus {
-			for _, bm := range bms {
-				cells = append(cells,
-					specCell(cfg, bm, spec.Config{TUs: k, Policy: spec.STRn(i)}),
-					specCell(cfg, bm, spec.Config{TUs: k, Policy: spec.STRn(i), NestRule: spec.NestRuleStatic}))
-			}
+	res, err := runNamed(ctx, cfg, "ablation/nestrule", func(s *grid.Spec) {
+		if len(tus) > 0 {
+			s.TUs = tus
 		}
-	}
-	ms, err := mapCells(ctx, cfg, cells)
+	})
 	if err != nil {
 		return nil, err
 	}
+	return nestRuleFromResult(res)
+}
+
+func nestRuleFromResult(res *grid.Result) ([]NestRuleRow, error) {
+	bms, pols, tus, rules := res.Spec.Benchmarks, res.Spec.Policies, res.Spec.TUs, res.Spec.NestRules
+	if err := shape(res, len(bms)*len(pols)*len(tus)*len(rules), "ablation/nestrule"); err != nil {
+		return nil, err
+	}
+	ms := metrics(res)
 	var rows []NestRuleRow
-	idx := 0
-	for _, i := range nests {
-		for _, k := range tus {
-			row := NestRuleRow{Policy: spec.STRn(i).String(), TUs: k}
-			for range bms {
-				row.StarvationTPC += ms[idx].TPC()
-				row.StaticTPC += ms[idx+1].TPC()
-				idx += 2
+	for pi, pol := range pols {
+		for ti, k := range tus {
+			row := NestRuleRow{Policy: pol, TUs: k}
+			for bi := range bms {
+				base := ((bi*len(pols)+pi)*len(tus) + ti) * len(rules)
+				row.StarvationTPC += ms[base].TPC()
+				row.StaticTPC += ms[base+1].TPC()
 			}
 			n := float64(len(bms))
 			row.StarvationTPC /= n
@@ -389,35 +288,32 @@ type ExclusionRow struct {
 // AblationExclusion measures the §2.3.2 exclusion table ("those loops
 // with a poor prediction rate may be good candidates to store in this
 // table"): loops whose predicted threads resolve below the threshold are
-// denied further speculation. Two spec cells per benchmark, fused; the
-// exclusion-off cell is Table 2's and deduplicates against it on a
-// shared Runner.
+// denied further speculation — the registered "ablation/exclusion" grid,
+// two spec cells per benchmark, fused; the exclusion-off cell is
+// Table 2's and deduplicates against it on a shared Runner.
 func AblationExclusion(ctx context.Context, cfg Config, threshold float64) ([]ExclusionRow, error) {
-	if threshold == 0 {
-		threshold = 0.85
-	}
-	bms, err := cfg.benchmarks()
+	res, err := runNamed(ctx, cfg, "ablation/exclusion", func(s *grid.Spec) {
+		if threshold != 0 {
+			s.Exclusion = []grid.ExclusionSpec{{}, {Enabled: true, Threshold: threshold}}
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	cells := make([]passCell[spec.Metrics], 0, 2*len(bms))
-	for _, bm := range bms {
-		cells = append(cells,
-			specCell(cfg, bm, spec.Config{TUs: 4, Policy: spec.STRn(3)}),
-			specCell(cfg, bm, spec.Config{
-				TUs: 4, Policy: spec.STRn(3),
-				Exclude: true, ExcludeThreshold: threshold,
-			}))
-	}
-	ms, err := mapCells(ctx, cfg, cells)
-	if err != nil {
+	return exclusionFromResult(res)
+}
+
+func exclusionFromResult(res *grid.Result) ([]ExclusionRow, error) {
+	bms := res.Spec.Benchmarks
+	if err := shape(res, 2*len(bms), "ablation/exclusion"); err != nil {
 		return nil, err
 	}
+	ms := metrics(res)
 	rows := make([]ExclusionRow, 0, len(bms))
-	for i, bm := range bms {
+	for i, name := range bms {
 		mOff, mOn := ms[2*i], ms[2*i+1]
 		rows = append(rows, ExclusionRow{
-			Bench:  bm.Name,
+			Bench:  name,
 			OffHit: mOff.HitRatio(), OnHit: mOn.HitRatio(),
 			OffTPC: mOff.TPC(), OnTPC: mOn.TPC(),
 			Denied: mOn.DeniedSpawns, Excluded: mOn.ExcludedLoops,
@@ -436,58 +332,23 @@ func RenderExclusion(rows []ExclusionRow) string {
 	return t.String()
 }
 
-// OracleRow compares the STR policy against speculation with perfect
-// iteration-count knowledge.
-type OracleRow struct {
-	Bench             string
-	STRTPC, OracleTPC float64
-	STRHit, OracleHit float64
-}
-
 // AblationOracle bounds the cost of iteration-count misprediction: a
 // first traversal records every execution's true count, a second
 // speculates with it. The gap between the STR and oracle columns is all
-// the TPC that better iteration-count prediction could ever recover.
-// Each benchmark is one composite job (the oracle run depends on the
-// recorder pass, so it cannot be a flat cell): traversal one runs the
-// recorder, traversal two runs the blind-STR and oracle engines fused.
+// the TPC that better iteration-count prediction could ever recover —
+// the registered "ablation/oracle" grid, whose cells are composite jobs
+// owning two traversals each (the oracle run depends on the recorder
+// pass, so it cannot fuse).
 func AblationOracle(ctx context.Context, cfg Config) ([]OracleRow, error) {
-	bms, err := cfg.benchmarks()
+	res, err := runNamed(ctx, cfg, "ablation/oracle", nil)
 	if err != nil {
 		return nil, err
 	}
-	mc := harness.MultiConfig{Budget: cfg.budget(), BatchSize: cfg.BatchSize}
-	jobs := make([]runner.Job[OracleRow], len(bms))
-	for i, bm := range bms {
-		jobs[i] = runner.Job[OracleRow]{
-			Key:   cfg.cellKey("oracle", bm.Name),
-			Label: "oracle " + bm.Name,
-			Run: func(ctx context.Context) (OracleRow, error) {
-				u, err := bm.Build(cfg.seed())
-				if err != nil {
-					return OracleRow{}, fmt.Errorf("expt: build %s: %w", bm.Name, err)
-				}
-				rec := spec.NewOracleRecorder()
-				if _, err := harness.MultiRun(u, mc, harness.NewObserverPass(cfg.CLSCapacity, rec)); err != nil {
-					return OracleRow{}, err
-				}
-				str := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STR()})
-				oracle := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STR(), OracleIters: rec.Counts()})
-				if _, err := harness.MultiRun(u, mc,
-					harness.NewObserverPass(cfg.CLSCapacity, str),
-					harness.NewObserverPass(cfg.CLSCapacity, oracle)); err != nil {
-					return OracleRow{}, err
-				}
-				mS, mO := str.Metrics(), oracle.Metrics()
-				return OracleRow{
-					Bench:  bm.Name,
-					STRTPC: mS.TPC(), OracleTPC: mO.TPC(),
-					STRHit: mS.HitRatio(), OracleHit: mO.HitRatio(),
-				}, nil
-			},
-		}
-	}
-	return runner.Map(ctx, cfg.pool(), jobs)
+	return oracleFromResult(res)
+}
+
+func oracleFromResult(res *grid.Result) ([]OracleRow, error) {
+	return rowsAs[OracleRow](res, "ablation/oracle")
 }
 
 // RenderOracle formats the oracle ablation.

@@ -3,50 +3,22 @@ package expt
 import (
 	"context"
 
-	"dynloop/internal/branchpred"
-	"dynloop/internal/harness"
 	"dynloop/internal/report"
-	"dynloop/internal/spec"
-	"dynloop/internal/taskpred"
-	"dynloop/internal/trace"
 )
 
-// BaselineRow is one benchmark's conventional branch-prediction
-// accuracies — the intra-thread control-speculation baseline the paper
-// positions itself against (§1).
-type BaselineRow struct {
-	Bench string
-	// Results holds one entry per predictor (BTFN, bimodal, gshare).
-	Results []branchpred.Result
-}
-
-// BaselineBranchPred measures the classic predictors on every workload,
-// one pass per benchmark (the suite is a raw-stream pass and needs no
-// loop detector, so it fuses with any other cell of the benchmark). The
-// column to look at is the backward-branch accuracy: the paper's premise
-// is that loop closing branches are highly predictable, which is exactly
-// what the whole-iteration speculation exploits.
+// BaselineBranchPred measures the classic predictors on every workload —
+// the registered "baseline/branch" grid, one pass per benchmark (the
+// suite is a raw-stream pass and needs no loop detector, so it fuses
+// with any other cell of the benchmark). The column to look at is the
+// backward-branch accuracy: the paper's premise is that loop closing
+// branches are highly predictable, which is exactly what the
+// whole-iteration speculation exploits.
 func BaselineBranchPred(ctx context.Context, cfg Config) ([]BaselineRow, error) {
-	bms, err := cfg.benchmarks()
+	res, err := runNamed(ctx, cfg, "baseline/branch", nil)
 	if err != nil {
 		return nil, err
 	}
-	cells := make([]passCell[BaselineRow], len(bms))
-	for i, bm := range bms {
-		cells[i] = passCell[BaselineRow]{
-			key:   cfg.cellKey("branchpred", bm.Name),
-			label: "branchpred " + bm.Name,
-			bench: bm,
-			cfg:   cfg,
-			mk: func() (trace.Pass, func() (BaselineRow, error)) {
-				suite := branchpred.DefaultSuite()
-				return suite, func() (BaselineRow, error) {
-					return BaselineRow{Bench: bm.Name, Results: suite.Results()}, nil
-				}
-			},
-		}
-	}
-	return mapCells(ctx, cfg, cells)
+	return baselineRows(res)
 }
 
 // RenderBaseline formats the branch-prediction baseline.
@@ -71,54 +43,17 @@ func RenderBaseline(rows []BaselineRow) string {
 	return t.String()
 }
 
-// TaskPredRow compares the two thread-selection questions on one
-// benchmark: "which loop executes next?" (multiscalar-style next-task
-// prediction, Jacobson et al., the paper's §3 comparator) vs "how many
-// iterations will this loop run?" (the paper's LET, measured as the
-// STR(3)/4TU speculation hit ratio).
-type TaskPredRow struct {
-	Bench string
-	// NextTaskPct is the next-execution-target accuracy; Scored is the
-	// number of predictions it is based on.
-	NextTaskPct float64
-	Scored      uint64
-	// IterHitPct is the engine's speculation hit ratio on the same run
-	// configuration (the paper's Table 2 quantity).
-	IterHitPct float64
-}
-
 // BaselineTaskPred measures the multiscalar-style next-task predictor
-// against the paper's iteration-count speculation on every workload. One
-// composite pass per benchmark: both observers share a single detector.
+// (Jacobson et al., the paper's §3 comparator) against the paper's
+// iteration-count speculation on every workload — the registered
+// "baseline/task" grid. One composite pass per benchmark: both
+// observers share a single detector.
 func BaselineTaskPred(ctx context.Context, cfg Config) ([]TaskPredRow, error) {
-	bms, err := cfg.benchmarks()
+	res, err := runNamed(ctx, cfg, "baseline/task", nil)
 	if err != nil {
 		return nil, err
 	}
-	cells := make([]passCell[TaskPredRow], len(bms))
-	for i, bm := range bms {
-		cells[i] = passCell[TaskPredRow]{
-			key:   cfg.cellKey("taskpred", bm.Name),
-			label: "taskpred " + bm.Name,
-			bench: bm,
-			cfg:   cfg,
-			mk: func() (trace.Pass, func() (TaskPredRow, error)) {
-				tp := taskpred.New(taskpred.Config{})
-				e := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)})
-				return harness.NewObserverPass(cfg.CLSCapacity, tp, e),
-					func() (TaskPredRow, error) {
-						acc, n := tp.Accuracy()
-						return TaskPredRow{
-							Bench:       bm.Name,
-							NextTaskPct: acc,
-							Scored:      n,
-							IterHitPct:  e.Metrics().HitRatio(),
-						}, nil
-					}
-			},
-		}
-	}
-	return mapCells(ctx, cfg, cells)
+	return taskPredRows(res)
 }
 
 // RenderTaskPred formats the next-task baseline.

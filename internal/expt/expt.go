@@ -3,226 +3,108 @@
 // DESIGN.md. The CLI (cmd/dynloop), the examples and the root benchmark
 // harness all run experiments through this package.
 //
-// Every driver decomposes its table or figure into independent cells
-// (benchmark × policy × table-capacity × ablation) and declares each
-// cell as an analysis pass over its benchmark's instruction stream. The
-// internal/runner pool coalesces the cells of each (benchmark, budget)
-// group into one fused execution — a single interpreter traversal feeds
-// every pass of the group through harness.MultiRun — so a whole sweep
-// costs O(benchmarks) traversals instead of O(cells), parallelises
-// across GOMAXPROCS, and still produces byte-identical output at any
-// worker count. Cells are cached and deduplicated individually: share
-// one Runner across drivers (as All and the CLI do) and overlapping
-// cells — Figure 7's STR column is Figure 6, its STR(3)/4TU cells are
+// Every driver is a thin layer over internal/grid: it names a canonical
+// registered grid.Spec (Table 1 is the "table1" grid, Figure 7 the
+// "fig7" grid, the CLS ablation "ablation/cls", ...), optionally
+// overrides an axis from its parameters, executes the spec through
+// grid.Run — which compiles the axes to versioned cells, serves cached
+// cells from memory or the optional disk store, and fuses the missing
+// cells of each (benchmark, budget, seed) group into one interpreter
+// traversal — and aggregates the cell values into the section's rows.
+// The renderers then format the rows exactly as the paper lays them
+// out. Cells are cached and deduplicated individually: share one Runner
+// across drivers (as All and the CLI do) and overlapping cells —
+// Figure 7's STR column is Figure 6, its STR(3)/4TU cells are
 // Table 2's — are computed once.
 package expt
 
 import (
 	"context"
 	"fmt"
-	"strings"
 
-	"dynloop/internal/harness"
-	"dynloop/internal/runner"
+	"dynloop/internal/grid"
 	"dynloop/internal/spec"
-	"dynloop/internal/trace"
-	"dynloop/internal/workload"
 )
 
-// Config parametrises an experiment run.
-type Config struct {
-	// Budget is the per-benchmark dynamic instruction budget. 0 selects
-	// DefaultBudget. (The paper ran the first 10^9 instructions; all our
-	// statistics stabilise far below that on the synthetic workloads —
-	// see DESIGN.md.)
-	Budget uint64
-	// Seed decorrelates workload input sequences; 0 selects 1.
-	Seed uint64
-	// Benchmarks restricts the run to a subset (nil = all 18).
-	Benchmarks []string
-	// CLSCapacity overrides the CLS size (0 = the paper's 16).
-	CLSCapacity int
-	// BatchSize overrides the interpreter's event-batch size
-	// (0 = interp.DefaultBatchSize). Results are byte-identical at any
-	// setting; the determinism tests sweep it.
-	BatchSize int
-	// Parallel bounds the worker goroutines when the driver builds its
-	// own runner (0 = GOMAXPROCS); 1 reproduces the sequential schedule.
-	// Ignored when Runner is set.
-	Parallel int
-	// Runner, when non-nil, executes the driver's jobs. Share one across
-	// drivers to deduplicate repeated cells and pool the worker bound;
-	// leave nil and each driver call runs on a private runner.
-	Runner *runner.Runner
-	// OnEvent streams per-job progress when the driver builds its own
-	// runner. Ignored when Runner is set (configure it there instead).
-	OnEvent func(runner.Event)
-	// NoFuse disables traversal fusion: every cell runs its own private
-	// interpreter traversal, as the pre-fusion drivers did. Results are
-	// identical either way (each cell's pass owns its detector and
-	// tables, so fusion shares only the read-only event stream); the
-	// flag exists for the byte-identity regression tests and for A/B
-	// benchmarking the fusion win.
-	NoFuse bool
-}
+// Config parametrises an experiment run; it is the grid layer's
+// execution config (see grid.Config for the field semantics and the
+// Runner sharing contract).
+type Config = grid.Config
 
 // DefaultBudget is the per-benchmark instruction budget experiments use
 // unless configured otherwise.
-const DefaultBudget = 4_000_000
+const DefaultBudget = grid.DefaultBudget
 
-func (c Config) budget() uint64 {
-	if c.Budget == 0 {
-		return DefaultBudget
+// The cell result types live in internal/grid (they are the
+// codec-registered values the store and the wire carry); the historical
+// expt names remain as aliases.
+type (
+	// Table1Row is one benchmark's loop statistics next to the paper's.
+	Table1Row = grid.Table1Row
+	// Fig8Row is one benchmark's data-speculation statistics.
+	Fig8Row = grid.Fig8Row
+	// OneShotRow compares Table-1 statistics with and without counting
+	// single-iteration executions.
+	OneShotRow = grid.OneShotRow
+	// BaselineRow is one benchmark's conventional branch-prediction
+	// accuracies.
+	BaselineRow = grid.BaselineRow
+	// TaskPredRow compares next-task prediction against iteration-count
+	// speculation on one benchmark.
+	TaskPredRow = grid.TaskPredRow
+	// OracleRow compares the STR policy against speculation with
+	// perfect iteration-count knowledge.
+	OracleRow = grid.OracleRow
+)
+
+// runNamed executes the named registered grid under cfg, with mod (when
+// non-nil) applied to a copy of its canonical spec — how the drivers
+// override one axis from their parameters.
+func runNamed(ctx context.Context, cfg Config, name string, mod func(*grid.Spec)) (*grid.Result, error) {
+	e, ok := grid.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("expt: grid %q not registered", name)
 	}
-	return c.Budget
+	s := e.Spec
+	if mod != nil {
+		mod(&s)
+	}
+	return grid.Run(ctx, cfg, s)
 }
 
-func (c Config) seed() uint64 {
-	if c.Seed == 0 {
-		return 1
+// metrics reads the result's values as engine metrics (kind "spec"
+// grids); grid.Run has already type-checked them.
+func metrics(res *grid.Result) []spec.Metrics {
+	out := make([]spec.Metrics, len(res.Values))
+	for i, v := range res.Values {
+		out[i] = v.(spec.Metrics)
 	}
-	return c.Seed
+	return out
 }
 
-// pool resolves the runner the driver submits its jobs to.
-func (c Config) pool() *runner.Runner {
-	if c.Runner != nil {
-		return c.Runner
+// shape guards a from-result conversion: the value count must match the
+// aggregation's index arithmetic.
+func shape(res *grid.Result, want int, what string) error {
+	if len(res.Values) != want {
+		return fmt.Errorf("expt: %s grid has %d cells, want %d", what, len(res.Values), want)
 	}
-	return runner.New(runner.Config{Workers: c.Parallel, OnEvent: c.OnEvent})
+	return nil
 }
 
-// benchmarks resolves the configured subset.
-func (c Config) benchmarks() ([]workload.Benchmark, error) {
-	if len(c.Benchmarks) == 0 {
-		return workload.All(), nil
+// rowsAs reads a one-cell-per-benchmark grid result as its row type —
+// the common shape of Table 1, Figure 8, the baselines and the
+// per-benchmark ablations.
+func rowsAs[T any](res *grid.Result, what string) ([]T, error) {
+	if err := shape(res, len(res.Spec.Benchmarks), what); err != nil {
+		return nil, err
 	}
-	out := make([]workload.Benchmark, 0, len(c.Benchmarks))
-	for _, name := range c.Benchmarks {
-		bm, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
+	rows := make([]T, len(res.Values))
+	for i, v := range res.Values {
+		r, ok := v.(T)
+		if !ok {
+			return nil, fmt.Errorf("expt: %s cell %d holds %T, not the grid's row type", what, i, v)
 		}
-		out = append(out, bm)
+		rows[i] = r
 	}
-	return out, nil
-}
-
-// cellSchemaVersion stamps every cell key. Because keys address the
-// persistent result store (and the serving layer's wire queries), a
-// change to what a cell MEANS — detector semantics, metric definitions,
-// workload generation — must bump this version: the new keys then miss
-// every previously persisted result instead of serving stale ones.
-// Purely additive changes (new cell types, new key parts) don't need a
-// bump; the new keys cannot collide with old ones.
-//
-// It is a variable only so the self-invalidation regression test can
-// bump it; treat it as a constant everywhere else.
-var cellSchemaVersion = 1
-
-// cellKey builds a runner cache key: the schema version, the Config
-// fields every run depends on, then the cell's own coordinates. Keys
-// must determine the result (and its Go type) completely — see
-// runner.Job. Each part is length-prefixed so adjacent parts cannot
-// blur into a colliding key ("a","bc" vs "ab","c", or a part containing
-// the delimiter).
-func (c Config) cellKey(parts ...any) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "v%d|b%d|s%d|cls%d|ba%d", cellSchemaVersion, c.budget(), c.seed(), c.CLSCapacity, c.BatchSize)
-	for _, p := range parts {
-		s := fmt.Sprint(p)
-		fmt.Fprintf(&b, "|%d:%s", len(s), s)
-	}
-	return b.String()
-}
-
-// groupKey names a fusion group: everything that determines the
-// instruction stream a cell's pass observes — the benchmark, the
-// traversal budget, the input seed and the batch size. Cells of one
-// driver call sharing a group key execute in one fused traversal; the
-// per-pass knobs (policy, TU count, table capacities, even the CLS
-// capacity) deliberately stay out.
-func (c Config) groupKey(bench string, budget uint64) string {
-	return fmt.Sprintf("g|%d:%s|b%d|s%d|ba%d", len(bench), bench, budget, c.seed(), c.BatchSize)
-}
-
-// passCell is one experiment cell declared as an analysis pass: mk
-// constructs the pass that will observe the benchmark's stream plus a
-// finish hook extracting the cell's result once the traversal is
-// finalised. key/label follow runner.Job semantics. cfg is the cell's
-// own Config — normally the driver's, but a driver may vary it per cell
-// (Fig5 runs a reduced budget); the traversal is built from it, so
-// whatever the cell's key recorded is what actually runs.
-type passCell[T any] struct {
-	key   string
-	label string
-	bench workload.Benchmark
-	cfg   Config
-	mk    func() (trace.Pass, func() (T, error))
-}
-
-// mapCells resolves every cell through the runner — cached cells are
-// served individually, missing cells execute fused per (benchmark,
-// budget) group: one unit build, one harness.MultiRun traversal feeding
-// all of the group's passes, then each cell's finish hook. Results
-// return in cell order, byte-identical at any worker count and with
-// fusion on or off.
-func mapCells[T any](ctx context.Context, cfg Config, cells []passCell[T]) ([]T, error) {
-	jobs := make([]runner.GroupJob[T], len(cells))
-	for i, c := range cells {
-		group := c.cfg.groupKey(c.bench.Name, c.cfg.budget())
-		if cfg.NoFuse {
-			group = fmt.Sprintf("%s|cell%d", group, i)
-		}
-		jobs[i] = runner.GroupJob[T]{Key: c.key, Group: group, Label: c.label}
-	}
-	exec := func(ctx context.Context, group string, idx []int) ([]T, error) {
-		lead := cells[idx[0]]
-		u, err := lead.bench.Build(lead.cfg.seed())
-		if err != nil {
-			return nil, fmt.Errorf("expt: build %s: %w", lead.bench.Name, err)
-		}
-		passes := make([]trace.Pass, len(idx))
-		finish := make([]func() (T, error), len(idx))
-		for j, i := range idx {
-			passes[j], finish[j] = cells[i].mk()
-		}
-		mc := harness.MultiConfig{Budget: lead.cfg.budget(), BatchSize: lead.cfg.BatchSize}
-		if _, err := harness.MultiRun(u, mc, passes...); err != nil {
-			return nil, err
-		}
-		out := make([]T, len(idx))
-		for j, f := range finish {
-			if out[j], err = f(); err != nil {
-				return nil, err
-			}
-		}
-		return out, nil
-	}
-	return runner.MapGroups(ctx, cfg.pool(), jobs, exec)
-}
-
-// specCell is the shared benchmark × engine-configuration cell that
-// Table 2, Figures 5–7, the sweep command and several ablations are all
-// built from; the cache key covers every spec.Config field so distinct
-// configurations never collide, while identical cells submitted by
-// different drivers on a shared Runner are computed once. ec.OracleIters
-// must be nil (a slice cannot be keyed); oracle runs use dedicated
-// composite jobs instead.
-func specCell(cfg Config, bm workload.Benchmark, ec spec.Config) passCell[spec.Metrics] {
-	if ec.OracleIters != nil {
-		panic("expt: specCell cannot key an oracle run")
-	}
-	return passCell[spec.Metrics]{
-		key: cfg.cellKey("spec", bm.Name, ec.TUs, ec.Policy, ec.LETCapacity, ec.NestRule,
-			ec.Exclude, ec.ExcludeThreshold, ec.ExcludeMinResolved, ec.ExcludeCapacity),
-		label: fmt.Sprintf("%s %s/%d TUs", bm.Name, ec.Policy, ec.TUs),
-		bench: bm,
-		cfg:   cfg,
-		mk: func() (trace.Pass, func() (spec.Metrics, error)) {
-			e := spec.NewEngine(ec)
-			return harness.NewObserverPass(cfg.CLSCapacity, e),
-				func() (spec.Metrics, error) { return e.Metrics(), nil }
-		},
-	}
+	return rows, nil
 }

@@ -10,82 +10,8 @@ import (
 	"dynloop/internal/spec"
 )
 
-// TestConfigDefaults covers budget/seed defaulting and subset
-// resolution.
-func TestConfigDefaults(t *testing.T) {
-	c := Config{}
-	if c.budget() != DefaultBudget || c.seed() != 1 {
-		t.Fatalf("defaults: budget=%d seed=%d", c.budget(), c.seed())
-	}
-	c = Config{Budget: 5, Seed: 9}
-	if c.budget() != 5 || c.seed() != 9 {
-		t.Fatalf("overrides ignored")
-	}
-	bms, err := Config{}.benchmarks()
-	if err != nil || len(bms) != 18 {
-		t.Fatalf("all benchmarks: %d %v", len(bms), err)
-	}
-	bms, err = Config{Benchmarks: []string{"swim", "perl"}}.benchmarks()
-	if err != nil || len(bms) != 2 || bms[0].Name != "swim" {
-		t.Fatalf("subset: %v %v", bms, err)
-	}
-	if _, err := (Config{Benchmarks: []string{"nope"}}).benchmarks(); err == nil {
-		t.Fatal("unknown benchmark accepted")
-	}
-}
-
-// TestCellKeyCoversConfig: cells that must not collide don't.
-func TestCellKeyCoversConfig(t *testing.T) {
-	a := Config{Budget: 100}.cellKey("spec", "swim", 4)
-	variants := []string{
-		Config{Budget: 200}.cellKey("spec", "swim", 4),
-		Config{Budget: 100, Seed: 2}.cellKey("spec", "swim", 4),
-		Config{Budget: 100, CLSCapacity: 8}.cellKey("spec", "swim", 4),
-		Config{Budget: 100}.cellKey("spec", "swim", 8),
-		Config{Budget: 100}.cellKey("spec", "gcc", 4),
-		Config{Budget: 100}.cellKey("table1", "swim", 4),
-	}
-	for i, v := range variants {
-		if v == a {
-			t.Fatalf("variant %d collides with base key %q", i, a)
-		}
-	}
-	// Parallelism must NOT change the key: the result is the same cell.
-	if b := (Config{Budget: 100, Parallel: 8}).cellKey("spec", "swim", 4); b != a {
-		t.Fatalf("worker count leaked into the cell key: %q vs %q", b, a)
-	}
-	// Fusion must NOT change the key either: fused and per-cell runs
-	// compute the same cell.
-	if b := (Config{Budget: 100, NoFuse: true}).cellKey("spec", "swim", 4); b != a {
-		t.Fatalf("NoFuse leaked into the cell key: %q vs %q", b, a)
-	}
-}
-
-// TestCellKeyDelimiterCollisions: the length-prefixed encoding keeps
-// adjacent parts from blurring into each other — "a","bc" and "ab","c"
-// concatenate identically under a naive delimiter scheme, as do parts
-// that contain the delimiter itself.
-func TestCellKeyDelimiterCollisions(t *testing.T) {
-	cfg := Config{Budget: 100}
-	pairs := [][2][]any{
-		{{"a", "bc"}, {"ab", "c"}},
-		{{"a|b"}, {"a", "b"}},
-		{{"a|", "b"}, {"a", "|b"}},
-		{{"x", ""}, {"x"}},
-		{{1, 23}, {12, 3}},
-		{{"spec", "swim", "41"}, {"spec", "swim4", "1"}},
-		{{"2:ab"}, {"ab"}},
-	}
-	for _, p := range pairs {
-		if a, b := cfg.cellKey(p[0]...), cfg.cellKey(p[1]...); a == b {
-			t.Errorf("cellKey(%v) == cellKey(%v) == %q", p[0], p[1], a)
-		}
-	}
-	// And equal parts still key equal.
-	if cfg.cellKey("spec", "swim", 4) != cfg.cellKey("spec", "swim", 4) {
-		t.Fatal("identical parts produced different keys")
-	}
-}
+// The Config-default and cell-key tests live with the machinery in
+// internal/grid now (grid_test.go); this file covers the drivers.
 
 // TestFusionByteIdenticalAndFewerTraversals is the acceptance property
 // of the fused pass pipeline: the full rendered report under fused

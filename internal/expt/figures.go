@@ -2,15 +2,12 @@ package expt
 
 import (
 	"context"
-	"fmt"
 	"strings"
 
 	"dynloop/internal/datapred"
-	"dynloop/internal/harness"
-	"dynloop/internal/looptab"
+	"dynloop/internal/grid"
 	"dynloop/internal/report"
 	"dynloop/internal/spec"
-	"dynloop/internal/trace"
 )
 
 // Fig4Point is the average LET/LIT hit ratio at one table size.
@@ -24,50 +21,29 @@ type Fig4Point struct {
 // Fig4Sizes are the table sizes the paper sweeps.
 var Fig4Sizes = []int{2, 4, 8, 16}
 
-// fig4Cell is one benchmark's hit ratios at one table size.
-type fig4Cell struct {
-	LET, LIT float64
-}
-
 // Fig4 reproduces Figure 4: LET and LIT hit ratios for 2–16 entries,
-// averaged over the suite (CLS fixed at 16 entries as in §2.3.1). The
-// grid is one size × benchmark cell per point; all four table sizes of a
-// benchmark fuse into one traversal.
+// averaged over the suite (CLS fixed at 16 entries as in §2.3.1) — the
+// registered "fig4" grid; all four table sizes of a benchmark fuse into
+// one traversal.
 func Fig4(ctx context.Context, cfg Config) ([]Fig4Point, error) {
-	bms, err := cfg.benchmarks()
+	res, err := runNamed(ctx, cfg, "fig4", nil)
 	if err != nil {
 		return nil, err
 	}
-	cells := make([]passCell[fig4Cell], 0, len(Fig4Sizes)*len(bms))
-	for _, size := range Fig4Sizes {
-		for _, bm := range bms {
-			cells = append(cells, passCell[fig4Cell]{
-				key:   cfg.cellKey("fig4", size, bm.Name),
-				label: fmt.Sprintf("fig4 %s/%d entries", bm.Name, size),
-				bench: bm,
-				cfg:   cfg,
-				mk: func() (trace.Pass, func() (fig4Cell, error)) {
-					tr := looptab.NewTracker(size, size)
-					return harness.NewObserverPass(cfg.CLSCapacity, tr),
-						func() (fig4Cell, error) {
-							let, _ := tr.LET.HitRatio()
-							lit, _ := tr.LIT.HitRatio()
-							return fig4Cell{LET: let, LIT: lit}, nil
-						}
-				},
-			})
-		}
-	}
-	cells2, err := mapCells(ctx, cfg, cells)
-	if err != nil {
+	return fig4FromResult(res)
+}
+
+func fig4FromResult(res *grid.Result) ([]Fig4Point, error) {
+	bms, sizes := res.Spec.Benchmarks, res.Spec.TableSizes
+	if err := shape(res, len(bms)*len(sizes), "fig4"); err != nil {
 		return nil, err
 	}
 	n := float64(len(bms))
-	points := make([]Fig4Point, 0, len(Fig4Sizes))
-	for si, size := range Fig4Sizes {
+	points := make([]Fig4Point, 0, len(sizes))
+	for si, size := range sizes {
 		var letSum, litSum float64
 		for bi := range bms {
-			c := cells2[si*len(bms)+bi]
+			c := res.Values[bi*len(sizes)+si].(grid.Fig4Cell)
 			letSum += c.LET
 			litSum += c.LIT
 		}
@@ -103,31 +79,29 @@ type Fig5Row struct {
 }
 
 // Fig5 reproduces Figure 5: TPC for a machine with unlimited thread
-// units, full vs reduced instruction window — two spec cells per
+// units, full vs reduced instruction window — the registered "fig5"
+// grid, whose budget-divisor axis [1, 4] puts two spec cells on each
 // benchmark (the budget is part of the cell key, and of the fusion
 // group: different budgets mean different streams, so these cells never
 // fuse with each other).
 func Fig5(ctx context.Context, cfg Config) ([]Fig5Row, error) {
-	bms, err := cfg.benchmarks()
+	res, err := runNamed(ctx, cfg, "fig5", nil)
 	if err != nil {
 		return nil, err
 	}
-	reducedCfg := cfg
-	reducedCfg.Budget = cfg.budget() / 4
-	cells := make([]passCell[spec.Metrics], 0, 2*len(bms))
-	for _, bm := range bms {
-		cells = append(cells,
-			specCell(cfg, bm, spec.Config{TUs: 0}),
-			specCell(reducedCfg, bm, spec.Config{TUs: 0}))
-	}
-	ms, err := mapCells(ctx, cfg, cells)
-	if err != nil {
+	return fig5FromResult(res)
+}
+
+func fig5FromResult(res *grid.Result) ([]Fig5Row, error) {
+	bms := res.Spec.Benchmarks
+	if err := shape(res, 2*len(bms), "fig5"); err != nil {
 		return nil, err
 	}
+	ms := metrics(res)
 	rows := make([]Fig5Row, len(bms))
-	for i, bm := range bms {
+	for i, name := range bms {
 		rows[i] = Fig5Row{
-			Bench:      bm.Name,
+			Bench:      name,
 			TPCFull:    ms[2*i].TPC(),
 			TPCReduced: ms[2*i+1].TPC(),
 		}
@@ -163,28 +137,27 @@ type Fig6Row struct {
 }
 
 // Fig6 reproduces Figure 6: per-program TPC under the STR policy for
-// 2–16 TUs — a benchmark × machine-size cell grid, all four machine
-// sizes of a benchmark fused into one traversal.
+// 2–16 TUs — the registered "fig6" grid, all four machine sizes of a
+// benchmark fused into one traversal.
 func Fig6(ctx context.Context, cfg Config) ([]Fig6Row, error) {
-	bms, err := cfg.benchmarks()
+	res, err := runNamed(ctx, cfg, "fig6", nil)
 	if err != nil {
 		return nil, err
 	}
-	cells := make([]passCell[spec.Metrics], 0, len(bms)*len(Fig6TUs))
-	for _, bm := range bms {
-		for _, tus := range Fig6TUs {
-			cells = append(cells, specCell(cfg, bm, spec.Config{TUs: tus, Policy: spec.STR()}))
-		}
-	}
-	ms, err := mapCells(ctx, cfg, cells)
-	if err != nil {
+	return fig6FromResult(res)
+}
+
+func fig6FromResult(res *grid.Result) ([]Fig6Row, error) {
+	bms, tus := res.Spec.Benchmarks, res.Spec.TUs
+	if err := shape(res, len(bms)*len(tus), "fig6"); err != nil {
 		return nil, err
 	}
+	ms := metrics(res)
 	rows := make([]Fig6Row, len(bms))
-	for i, bm := range bms {
-		row := Fig6Row{Bench: bm.Name, TPC: make(map[int]float64, len(Fig6TUs))}
-		for j, tus := range Fig6TUs {
-			row.TPC[tus] = ms[i*len(Fig6TUs)+j].TPC()
+	for i, name := range bms {
+		row := Fig6Row{Bench: name, TPC: make(map[int]float64, len(tus))}
+		for j, k := range tus {
+			row.TPC[k] = ms[i*len(tus)+j].TPC()
 		}
 		rows[i] = row
 	}
@@ -225,36 +198,32 @@ type Fig7Cell struct {
 }
 
 // Fig7 reproduces Figure 7: average TPC for IDLE, STR and STR(1..3)
-// across 2–16 TUs. The benchmark × policy × TUs grid is one flat cell
-// list: each benchmark's twenty cells fuse into a single traversal, and
-// on a shared Runner its STR column deduplicates against Figure 6 and
-// its STR(3)/4TU cells against Table 2.
+// across 2–16 TUs — the registered "fig7" grid. Each benchmark's twenty
+// cells fuse into a single traversal, and on a shared Runner its STR
+// column deduplicates against Figure 6 and its STR(3)/4TU cells against
+// Table 2.
 func Fig7(ctx context.Context, cfg Config) ([]Fig7Cell, error) {
-	bms, err := cfg.benchmarks()
+	res, err := runNamed(ctx, cfg, "fig7", nil)
 	if err != nil {
 		return nil, err
 	}
-	pols := Fig7Policies()
-	cells := make([]passCell[spec.Metrics], 0, len(bms)*len(pols)*len(Fig6TUs))
-	for _, bm := range bms {
-		for _, pol := range pols {
-			for _, tus := range Fig6TUs {
-				cells = append(cells, specCell(cfg, bm, spec.Config{TUs: tus, Policy: pol}))
-			}
-		}
-	}
-	ms, err := mapCells(ctx, cfg, cells)
-	if err != nil {
+	return fig7FromResult(res)
+}
+
+func fig7FromResult(res *grid.Result) ([]Fig7Cell, error) {
+	bms, pols, tus := res.Spec.Benchmarks, res.Spec.Policies, res.Spec.TUs
+	if err := shape(res, len(bms)*len(pols)*len(tus), "fig7"); err != nil {
 		return nil, err
 	}
-	out := make([]Fig7Cell, 0, len(pols)*len(Fig6TUs))
+	ms := metrics(res)
+	out := make([]Fig7Cell, 0, len(pols)*len(tus))
 	for pi, pol := range pols {
-		for ti, tus := range Fig6TUs {
+		for ti, k := range tus {
 			var sum float64
 			for bi := range bms {
-				sum += ms[(bi*len(pols)+pi)*len(Fig6TUs)+ti].TPC()
+				sum += ms[(bi*len(pols)+pi)*len(tus)+ti].TPC()
 			}
-			out = append(out, Fig7Cell{Policy: pol.String(), TUs: tus, AvgTPC: sum / float64(len(bms))})
+			out = append(out, Fig7Cell{Policy: pol, TUs: k, AvgTPC: sum / float64(len(bms))})
 		}
 	}
 	return out, nil
@@ -282,36 +251,19 @@ func RenderFig7(cells []Fig7Cell) string {
 	return t.String()
 }
 
-// Fig8Row is one benchmark's data-speculation statistics.
-type Fig8Row struct {
-	Bench string
-	S     datapred.Summary
-}
-
 // Fig8 reproduces Figure 8: path regularity and live-in predictability
-// (LIT/LET unbounded, as the paper assumes) — one pass per benchmark.
+// (LIT/LET unbounded, as the paper assumes) — the registered "fig8"
+// grid, one pass per benchmark, plus the suite-average row.
 func Fig8(ctx context.Context, cfg Config) ([]Fig8Row, Fig8Row, error) {
-	bms, err := cfg.benchmarks()
+	res, err := runNamed(ctx, cfg, "fig8", nil)
 	if err != nil {
 		return nil, Fig8Row{}, err
 	}
-	cells := make([]passCell[Fig8Row], len(bms))
-	for i, bm := range bms {
-		cells[i] = passCell[Fig8Row]{
-			key:   cfg.cellKey("fig8", bm.Name),
-			label: "fig8 " + bm.Name,
-			bench: bm,
-			cfg:   cfg,
-			mk: func() (trace.Pass, func() (Fig8Row, error)) {
-				c := datapred.NewCollector(datapred.Config{})
-				return harness.NewObserverPass(cfg.CLSCapacity, c),
-					func() (Fig8Row, error) {
-						return Fig8Row{Bench: bm.Name, S: c.Summary()}, nil
-					}
-			},
-		}
-	}
-	rows, err := mapCells(ctx, cfg, cells)
+	return fig8FromResult(res)
+}
+
+func fig8FromResult(res *grid.Result) ([]Fig8Row, Fig8Row, error) {
+	rows, err := rowsAs[Fig8Row](res, "fig8")
 	if err != nil {
 		return nil, Fig8Row{}, err
 	}
@@ -329,7 +281,7 @@ func Fig8(ctx context.Context, cfg Config) ([]Fig8Row, Fig8Row, error) {
 		agg.Iters += s.Iters
 		agg.Loops += s.Loops
 	}
-	n := float64(len(bms))
+	n := float64(len(rows))
 	agg.SamePathPct /= n
 	agg.LrPredPct /= n
 	agg.LmPredPct /= n

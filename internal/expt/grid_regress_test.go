@@ -1,0 +1,234 @@
+package expt
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"dynloop/internal/grid"
+	"dynloop/internal/runner"
+)
+
+// driverRender reproduces each section of the report through the public
+// driver functions — the "legacy" surface the registry specs must match
+// byte for byte.
+func driverRender(t *testing.T, ctx context.Context, cfg Config, name string) string {
+	t.Helper()
+	fail := func(err error) string {
+		if err != nil {
+			t.Fatalf("%s driver: %v", name, err)
+		}
+		return ""
+	}
+	switch name {
+	case "table1":
+		rows, err := Table1(ctx, cfg)
+		fail(err)
+		return RenderTable1(rows)
+	case "fig4":
+		pts, err := Fig4(ctx, cfg)
+		fail(err)
+		return RenderFig4(pts)
+	case "fig5":
+		rows, err := Fig5(ctx, cfg)
+		fail(err)
+		return RenderFig5(rows)
+	case "fig6":
+		rows, err := Fig6(ctx, cfg)
+		fail(err)
+		return RenderFig6(rows)
+	case "fig7":
+		cells, err := Fig7(ctx, cfg)
+		fail(err)
+		return RenderFig7(cells)
+	case "table2":
+		rows, err := Table2(ctx, cfg)
+		fail(err)
+		return RenderTable2(rows)
+	case "fig8":
+		rows, avg, err := Fig8(ctx, cfg)
+		fail(err)
+		return RenderFig8(rows, avg)
+	case "baseline/branch":
+		rows, err := BaselineBranchPred(ctx, cfg)
+		fail(err)
+		return RenderBaseline(rows)
+	case "baseline/task":
+		rows, err := BaselineTaskPred(ctx, cfg)
+		fail(err)
+		return RenderTaskPred(rows)
+	case "ablation/cls":
+		rows, err := AblationCLSSize(ctx, cfg, nil)
+		fail(err)
+		return RenderCLSSize(rows)
+	case "ablation/let":
+		rows, err := AblationLETCapacity(ctx, cfg, nil)
+		fail(err)
+		return RenderLETCapacity(rows)
+	case "ablation/replacement":
+		rows, err := AblationReplacement(ctx, cfg, nil)
+		fail(err)
+		return RenderReplacement(rows)
+	case "ablation/oneshots":
+		rows, err := AblationOneShots(ctx, cfg)
+		fail(err)
+		return RenderOneShots(rows)
+	case "ablation/nestrule":
+		rows, err := AblationNestRule(ctx, cfg, nil)
+		fail(err)
+		return RenderNestRule(rows)
+	case "ablation/exclusion":
+		rows, err := AblationExclusion(ctx, cfg, 0)
+		fail(err)
+		return RenderExclusion(rows)
+	case "ablation/oracle":
+		rows, err := AblationOracle(ctx, cfg)
+		fail(err)
+		return RenderOracle(rows)
+	case "sweep":
+		rows, err := Sweep(ctx, cfg, SweepSpec{})
+		fail(err)
+		return RenderSweep(rows)
+	default:
+		t.Fatalf("no driver mapping for registered grid %q", name)
+		return ""
+	}
+}
+
+// TestRegistryMatchesDrivers is the refactor's acceptance regression:
+// every registered grid spec, executed through the registry path
+// (grid.Lookup → grid.Run → Entry.Render — exactly what All, the grid
+// CLI and POST /v1/grid do), renders byte-identically to its driver
+// function, at 1 worker and at 8.
+func TestRegistryMatchesDrivers(t *testing.T) {
+	ctx := context.Background()
+	base := Config{Budget: 50_000, Benchmarks: []string{"m88ksim", "perl"}}
+	for _, parallel := range []int{1, 8} {
+		cfg := base
+		cfg.Runner = runner.New(runner.Config{Workers: parallel})
+		for _, name := range grid.Names() {
+			e, ok := grid.Lookup(name)
+			if !ok {
+				t.Fatalf("grid %q vanished from the registry", name)
+			}
+			res, err := grid.Run(ctx, cfg, e.Spec)
+			if err != nil {
+				t.Fatalf("%s (parallel=%d): %v", name, parallel, err)
+			}
+			got, err := e.Render(res)
+			if err != nil {
+				t.Fatalf("%s render: %v", name, err)
+			}
+			want := driverRender(t, ctx, cfg, name)
+			if got != want {
+				t.Errorf("%s (parallel=%d): registry render differs from driver:\n--- registry ---\n%s\n--- driver ---\n%s",
+					name, parallel, got, want)
+			}
+		}
+	}
+}
+
+// TestAllComposedOfRegistrySections pins All's section structure: the
+// full report is exactly the registered sections rendered in paper
+// order with the historical separators, at 1 and 8 workers.
+func TestAllComposedOfRegistrySections(t *testing.T) {
+	ctx := context.Background()
+	base := Config{Budget: 50_000, Benchmarks: []string{"m88ksim", "perl"}}
+	sections := [][]string{
+		{"table1"}, {"fig4"}, {"fig5"}, {"fig6"}, {"fig7"}, {"table2"}, {"fig8"},
+		{"baseline/branch", "baseline/task"},
+		{"ablation/cls", "ablation/let", "ablation/replacement", "ablation/oneshots",
+			"ablation/nestrule", "ablation/exclusion", "ablation/oracle"},
+	}
+	for _, parallel := range []int{1, 8} {
+		cfg := base
+		cfg.Runner = runner.New(runner.Config{Workers: parallel})
+		var want strings.Builder
+		for _, sec := range sections {
+			parts := make([]string, 0, len(sec))
+			for _, name := range sec {
+				parts = append(parts, driverRender(t, ctx, cfg, name))
+			}
+			sep := ""
+			if len(sec) == 2 { // the baseline section joins with a blank line
+				sep = "\n"
+			}
+			want.WriteString(strings.Join(parts, sep))
+			want.WriteByte('\n')
+		}
+		got, err := All(ctx, cfg)
+		if err != nil {
+			t.Fatalf("All (parallel=%d): %v", parallel, err)
+		}
+		if got != want.String() {
+			t.Errorf("All (parallel=%d) is not the concatenation of its registry sections:\n--- All ---\n%s\n--- sections ---\n%s",
+				parallel, got, want.String())
+		}
+	}
+}
+
+// TestRegistryRoundTrip is the listing round trip: every name in the
+// registry resolves, validates, sizes, executes and renders — and a
+// spec fetched from the listing executes to the same bytes as the named
+// path (what a client fetching GET /v1/grids and POSTing the spec back
+// inline gets).
+func TestRegistryRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{Budget: 50_000, Benchmarks: []string{"swim"},
+		Runner: runner.New(runner.Config{Workers: 4})}
+	for _, name := range grid.Names() {
+		e, _ := grid.Lookup(name)
+		if err := e.Spec.Validate(); err != nil {
+			t.Fatalf("%s: canonical spec invalid: %v", name, err)
+		}
+		if n, err := e.Spec.Size(cfg); err != nil || n <= 0 {
+			t.Fatalf("%s: size %d, %v", name, n, err)
+		}
+		named, err := grid.Run(ctx, cfg, e.Spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		nb, err := grid.RenderResult(named)
+		if err != nil || nb == "" {
+			t.Fatalf("%s: render: %v", name, err)
+		}
+		// Round trip: rebuild from the raw values (the wire path) and
+		// render the fetched spec as an inline resubmission.
+		re, err := grid.ResultFrom(cfg, e.Spec, named.Values)
+		if err != nil {
+			t.Fatalf("%s: ResultFrom: %v", name, err)
+		}
+		rb, err := grid.RenderResult(re)
+		if err != nil || rb != nb {
+			t.Fatalf("%s: round-trip render differs (%v):\n%s\nvs\n%s", name, err, rb, nb)
+		}
+	}
+}
+
+// TestRenderResultKindMismatch: an ad-hoc spec that reuses a registered
+// name with a different kind must NOT be routed to the registered
+// section renderer (whose row types would not match) — it renders
+// through the generic layout instead of panicking.
+func TestRenderResultKindMismatch(t *testing.T) {
+	cfg := Config{Budget: 50_000, Parallel: 2}
+	res, err := grid.Run(context.Background(), cfg, grid.Spec{
+		Name:       "table1", // reuses a registered name...
+		Kind:       "spec",   // ...with a different kind
+		Benchmarks: []string{"swim"},
+		TUs:        []int{4},
+		Policies:   []string{"str"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := grid.RenderResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "paper's value in parentheses") {
+		t.Fatalf("kind-mismatched spec rendered through the table1 section renderer:\n%s", out)
+	}
+	if !strings.Contains(out, "tpc") {
+		t.Fatalf("expected the generic layout render:\n%s", out)
+	}
+}

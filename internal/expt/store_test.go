@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"dynloop/internal/grid"
 	"dynloop/internal/harness"
 	"dynloop/internal/runner"
 	"dynloop/internal/store"
@@ -120,8 +121,8 @@ func TestCellSchemaVersionInvalidatesStore(t *testing.T) {
 	}
 
 	// Bumped version: every cell misses and recomputes.
-	cellSchemaVersion++
-	defer func() { cellSchemaVersion-- }()
+	grid.CellSchemaVersion++
+	defer func() { grid.CellSchemaVersion-- }()
 	bumped := base
 	bumped.Runner = storeRunner(t, dir, 2)
 	if _, err := Sweep(ctx, bumped, sw); err != nil {
@@ -132,17 +133,5 @@ func TestCellSchemaVersionInvalidatesStore(t *testing.T) {
 	}
 }
 
-// TestCellKeyVersionPrefix pins the stamp's position: the version leads
-// the key, so no legacy (unstamped) key can ever equal a stamped one.
-func TestCellKeyVersionPrefix(t *testing.T) {
-	key := Config{Budget: 100}.cellKey("spec", "swim", 4)
-	if key[0] != 'v' {
-		t.Fatalf("cell key %q does not lead with the schema version", key)
-	}
-	cellSchemaVersion++
-	bumped := Config{Budget: 100}.cellKey("spec", "swim", 4)
-	cellSchemaVersion--
-	if bumped == key {
-		t.Fatal("bumping cellSchemaVersion did not change the key")
-	}
-}
+// The cell-key version-prefix pin lives with the key machinery in
+// internal/grid (grid_test.go).

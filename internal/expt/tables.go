@@ -4,45 +4,24 @@ import (
 	"context"
 	"fmt"
 
-	"dynloop/internal/harness"
-	"dynloop/internal/loopstats"
+	"dynloop/internal/grid"
 	"dynloop/internal/report"
 	"dynloop/internal/spec"
-	"dynloop/internal/trace"
 	"dynloop/internal/workload"
 )
 
-// Table1Row is one benchmark's loop statistics next to the paper's.
-type Table1Row struct {
-	Bench string
-	S     loopstats.Summary
-	Paper workload.PaperRow
-}
-
 // Table1 reproduces the paper's Table 1 (loop statistics per program),
-// one pass per benchmark.
+// one pass per benchmark — the registered "table1" grid.
 func Table1(ctx context.Context, cfg Config) ([]Table1Row, error) {
-	bms, err := cfg.benchmarks()
+	res, err := runNamed(ctx, cfg, "table1", nil)
 	if err != nil {
 		return nil, err
 	}
-	cells := make([]passCell[Table1Row], len(bms))
-	for i, bm := range bms {
-		cells[i] = passCell[Table1Row]{
-			key:   cfg.cellKey("table1", bm.Name),
-			label: "table1 " + bm.Name,
-			bench: bm,
-			cfg:   cfg,
-			mk: func() (trace.Pass, func() (Table1Row, error)) {
-				c := loopstats.NewCollector()
-				return harness.NewObserverPass(cfg.CLSCapacity, c),
-					func() (Table1Row, error) {
-						return Table1Row{Bench: bm.Name, S: c.Summary(), Paper: bm.Paper}, nil
-					}
-			},
-		}
-	}
-	return mapCells(ctx, cfg, cells)
+	return table1FromResult(res)
+}
+
+func table1FromResult(res *grid.Result) ([]Table1Row, error) {
+	return rowsAs[Table1Row](res, "table1")
 }
 
 // RenderTable1 formats Table 1 with the paper's values alongside.
@@ -69,24 +48,29 @@ type Table2Row struct {
 }
 
 // Table2 reproduces the paper's Table 2: control speculation statistics
-// under STR(3) with 4 TUs — one spec cell per benchmark, shared with
-// Figure 7's STR(3) column when the Runner is.
+// under STR(3) with 4 TUs — the registered "table2" grid, one spec cell
+// per benchmark, shared with Figure 7's STR(3) column when the Runner
+// is.
 func Table2(ctx context.Context, cfg Config) ([]Table2Row, error) {
-	bms, err := cfg.benchmarks()
+	res, err := runNamed(ctx, cfg, "table2", nil)
 	if err != nil {
 		return nil, err
 	}
-	cells := make([]passCell[spec.Metrics], len(bms))
-	for i, bm := range bms {
-		cells[i] = specCell(cfg, bm, spec.Config{TUs: 4, Policy: spec.STRn(3)})
-	}
-	ms, err := mapCells(ctx, cfg, cells)
-	if err != nil {
+	return table2FromResult(res)
+}
+
+func table2FromResult(res *grid.Result) ([]Table2Row, error) {
+	if err := shape(res, len(res.Spec.Benchmarks), "table2"); err != nil {
 		return nil, err
 	}
-	rows := make([]Table2Row, len(bms))
-	for i, bm := range bms {
-		rows[i] = Table2Row{Bench: bm.Name, M: ms[i], Paper: bm.Paper}
+	ms := metrics(res)
+	rows := make([]Table2Row, len(ms))
+	for i, name := range res.Spec.Benchmarks {
+		bm, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = Table2Row{Bench: name, M: ms[i], Paper: bm.Paper}
 	}
 	return rows, nil
 }

@@ -1,4 +1,4 @@
-package expt
+package grid
 
 import (
 	"dynloop/internal/branchpred"
@@ -9,10 +9,10 @@ import (
 	"dynloop/internal/workload"
 )
 
-// Codec registrations give every experiment cell result a stable binary
-// form, which is what lets a result leave the process: the on-disk
-// store persists these exact bytes under the cell's versioned key, and
-// the serving wire format streams them to remote clients.
+// Codec registrations give every grid cell result a stable binary form,
+// which is what lets a result leave the process: the on-disk store
+// persists these exact bytes under the cell's versioned key, and the
+// serving wire format streams them to remote clients.
 //
 // The rules:
 //
@@ -21,7 +21,7 @@ import (
 //     the kind's version; old frames then read as ErrVersionSkew, which
 //     the cache tier treats as a miss (self-invalidation).
 //   - A semantic change that keeps the shape (same fields, new meaning)
-//     must ALSO bump cellSchemaVersion in expt.go, because frames of
+//     must ALSO bump CellSchemaVersion in grid.go, because frames of
 //     the old meaning would otherwise still decode cleanly.
 //
 // The golden tests in codecs_test.go pin these bytes.
@@ -41,11 +41,11 @@ const (
 func init() {
 	codec.Register(kindSpecMetrics, 1, "spec-metrics", appendSpecMetrics, decodeSpecMetrics)
 
-	codec.Register(kindFig4Cell, 1, "fig4-cell", func(e *codec.Enc, v fig4Cell) {
+	codec.Register(kindFig4Cell, 1, "fig4-cell", func(e *codec.Enc, v Fig4Cell) {
 		e.F64(v.LET)
 		e.F64(v.LIT)
-	}, func(d *codec.Dec) fig4Cell {
-		return fig4Cell{LET: d.F64(), LIT: d.F64()}
+	}, func(d *codec.Dec) Fig4Cell {
+		return Fig4Cell{LET: d.F64(), LIT: d.F64()}
 	})
 
 	codec.Register(kindTable1Row, 1, "table1-row", func(e *codec.Enc, v Table1Row) {
@@ -63,20 +63,20 @@ func init() {
 		return Fig8Row{Bench: d.Str(), S: decodeDataSummary(d)}
 	})
 
-	codec.Register(kindCLSCell, 1, "cls-cell", func(e *codec.Enc, v clsCell) {
+	codec.Register(kindCLSCell, 1, "cls-cell", func(e *codec.Enc, v CLSCell) {
 		e.U64(v.Evictions)
 		e.Bool(v.AtCap)
 		e.F64(v.TPC)
-	}, func(d *codec.Dec) clsCell {
-		return clsCell{Evictions: d.U64(), AtCap: d.Bool(), TPC: d.F64()}
+	}, func(d *codec.Dec) CLSCell {
+		return CLSCell{Evictions: d.U64(), AtCap: d.Bool(), TPC: d.F64()}
 	})
 
-	codec.Register(kindReplCell, 1, "replacement-cell", func(e *codec.Enc, v replCell) {
+	codec.Register(kindReplCell, 1, "replacement-cell", func(e *codec.Enc, v ReplCell) {
 		e.F64(v.LET)
 		e.F64(v.LIT)
 		e.U64(v.Inhibited)
-	}, func(d *codec.Dec) replCell {
-		return replCell{LET: d.F64(), LIT: d.F64(), Inhibited: d.U64()}
+	}, func(d *codec.Dec) ReplCell {
+		return ReplCell{LET: d.F64(), LIT: d.F64(), Inhibited: d.U64()}
 	})
 
 	codec.Register(kindOneShotRow, 1, "oneshot-row", func(e *codec.Enc, v OneShotRow) {

@@ -1,4 +1,4 @@
-package expt
+package grid
 
 import (
 	"encoding/hex"
@@ -24,7 +24,7 @@ func sampleCells() []any {
 			OutstandingSum: 19, VerifDistSum: 950, ResolvedThreads: 20,
 			DeniedSpawns: 2, ExcludedLoops: 1, Anomalies: 0,
 		},
-		fig4Cell{LET: 0.75, LIT: 0.5},
+		Fig4Cell{LET: 0.75, LIT: 0.5},
 		Table1Row{
 			Bench: "swim",
 			S: loopstats.Summary{
@@ -45,8 +45,8 @@ func sampleCells() []any {
 				AllDataPct: 30.125, LrLastPct: 20.5, LmLastPct: 10.25, MemOverflow: 2,
 			},
 		},
-		clsCell{Evictions: 12, AtCap: true, TPC: 1.75},
-		replCell{LET: 0.25, LIT: 0.625, Inhibited: 9},
+		CLSCell{Evictions: 12, AtCap: true, TPC: 1.75},
+		ReplCell{LET: 0.25, LIT: 0.625, Inhibited: 9},
 		OneShotRow{Bench: "perl", WithIPE: 6.5, WithoutIPE: 8.25, WithExecs: 30, WithoutExec: 24},
 		BaselineRow{Bench: "gcc", Results: []branchpred.Result{
 			{Name: "btfn", Branches: 100, Hits: 80, BackwardBranches: 40, BackwardHits: 38},
@@ -61,18 +61,18 @@ func sampleCells() []any {
 // These bytes are a persistence format: the on-disk store and the
 // serving wire format both carry them. If this test fails because you
 // changed an encoding, bump that type's registered version (and, for
-// semantic changes, cellSchemaVersion) — do not just update the hex.
+// semantic changes, CellSchemaVersion) — do not just update the hex.
 var golden = map[string]string{
 	"spec.Metrics":     "0101e8079003071511030113b60714020200",
-	"expt.fig4Cell":    "0201000000000000e83f000000000000e03f",
-	"expt.Table1Row":   "0301047377696df4030c28c80100000000000014400000000000000440000000000000f43f06000000000000ec3f1000000000000012400000000000000c40000000000000f83f0800000000000002400000000000a05640",
-	"expt.Fig8Row":     "0401026c69063c000000000060554000000000009051400000000000104e40000000000040494000000000002044400000000000203e400000000000803440000000000080244002",
-	"expt.clsCell":     "05010c01000000000000fc3f",
-	"expt.replCell":    "0601000000000000d03f000000000000e43f09",
-	"expt.OneShotRow":  "0701047065726c0000000000001a4000000000008020401e18",
-	"expt.BaselineRow": "08010367636304046274666e6450282606677368617265645f2827",
-	"expt.TaskPredRow": "090102676f00000000006053407b0000000000105640",
-	"expt.OracleRow":   "0a010461707369000000000000f83f00000000000004400000000000e052400000000000e05840",
+	"grid.Fig4Cell":    "0201000000000000e83f000000000000e03f",
+	"grid.Table1Row":   "0301047377696df4030c28c80100000000000014400000000000000440000000000000f43f06000000000000ec3f1000000000000012400000000000000c40000000000000f83f0800000000000002400000000000a05640",
+	"grid.Fig8Row":     "0401026c69063c000000000060554000000000009051400000000000104e40000000000040494000000000002044400000000000203e400000000000803440000000000080244002",
+	"grid.CLSCell":     "05010c01000000000000fc3f",
+	"grid.ReplCell":    "0601000000000000d03f000000000000e43f09",
+	"grid.OneShotRow":  "0701047065726c0000000000001a4000000000008020401e18",
+	"grid.BaselineRow": "08010367636304046274666e6450282606677368617265645f2827",
+	"grid.TaskPredRow": "090102676f00000000006053407b0000000000105640",
+	"grid.OracleRow":   "0a010461707369000000000000f83f00000000000004400000000000e052400000000000e05840",
 }
 
 func typeName(v any) string { return reflect.TypeOf(v).String() }

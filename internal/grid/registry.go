@@ -1,0 +1,76 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Entry is one registered grid: a canonical Spec plus, optionally, the
+// section renderer that formats its result the way the paper (or the
+// legacy driver) did. A nil Render falls back to the generic layout
+// renderer. The canonical Spec leaves Benchmarks empty so a Config
+// subset applies; drivers overriding an axis copy the Spec first.
+type Entry struct {
+	Spec   Spec
+	Render func(*Result) (string, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Entry{}
+)
+
+// Register adds a named grid. It panics on an empty or duplicate name
+// or an invalid spec: registrations are init-time wiring (internal/expt
+// registers every paper section), not runtime input.
+func Register(e Entry) {
+	if e.Spec.Name == "" {
+		panic("grid: registered spec needs a name")
+	}
+	if err := e.Spec.Validate(); err != nil {
+		panic(fmt.Sprintf("grid: registering %q: %v", e.Spec.Name, err))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[e.Spec.Name]; ok {
+		panic(fmt.Sprintf("grid: name %q already registered", e.Spec.Name))
+	}
+	registry[e.Spec.Name] = e
+}
+
+// Lookup resolves a registered grid by name.
+func Lookup(name string) (Entry, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names lists the registered grids, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RenderResult formats a result: a registered spec renders through its
+// section renderer unless the spec asks for an explicit format; ad-hoc
+// specs render through the generic layout renderer. A spec that merely
+// reuses a registered name with a different kind is NOT the registered
+// grid — its values carry the ad-hoc kind's result type, which the
+// section renderer cannot read — so it falls through to the generic
+// renderer instead.
+func RenderResult(res *Result) (string, error) {
+	if res.Spec.Render.Format == "" && res.Spec.Name != "" {
+		if e, ok := Lookup(res.Spec.Name); ok && e.Render != nil && e.Spec.kind() == res.Spec.kind() {
+			return e.Render(res)
+		}
+	}
+	return RenderLayout(res)
+}

@@ -1,0 +1,271 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"dynloop/internal/report"
+	"dynloop/internal/spec"
+)
+
+// metric is one named value column the generic renderer can extract
+// from a cell result.
+type metric struct {
+	name string
+	get  func(any) any
+}
+
+// kindMetrics catalogues the value columns of each kind, in display
+// order. The leading entries double as the kind's default selection
+// (see defaultMetricCount).
+func kindMetrics(kind string) []metric {
+	switch kind {
+	case "spec":
+		return []metric{
+			{"tpc", func(v any) any { return v.(spec.Metrics).TPC() }},
+			{"hit_pct", func(v any) any { return v.(spec.Metrics).HitRatio() }},
+			{"spec_events", func(v any) any { return v.(spec.Metrics).SpecEvents }},
+			{"threads_per_spec", func(v any) any { return v.(spec.Metrics).ThreadsPerSpec() }},
+			{"instr_to_verif", func(v any) any { return v.(spec.Metrics).InstrToVerif() }},
+			{"cycles", func(v any) any { return v.(spec.Metrics).Cycles }},
+			{"instrs", func(v any) any { return v.(spec.Metrics).Instrs }},
+			{"threads_spawned", func(v any) any { return v.(spec.Metrics).ThreadsSpawned }},
+			{"threads_promoted", func(v any) any { return v.(spec.Metrics).ThreadsPromoted }},
+			{"threads_squashed", func(v any) any { return v.(spec.Metrics).ThreadsSquashed }},
+		}
+	case "table1":
+		return []metric{
+			{"static_loops", func(v any) any { return v.(Table1Row).S.StaticLoops }},
+			{"iters_per_exec", func(v any) any { return v.(Table1Row).S.ItersPerExec }},
+			{"instr_per_iter", func(v any) any { return v.(Table1Row).S.InstrPerIter }},
+			{"avg_nesting", func(v any) any { return v.(Table1Row).S.AvgNesting }},
+			{"max_nesting", func(v any) any { return v.(Table1Row).S.MaxNesting }},
+			{"instrs", func(v any) any { return v.(Table1Row).S.Instrs }},
+			{"execs", func(v any) any { return v.(Table1Row).S.Execs }},
+			{"iters", func(v any) any { return v.(Table1Row).S.Iters }},
+			{"in_loop_frac", func(v any) any { return v.(Table1Row).S.InLoopFrac }},
+		}
+	case "fig4":
+		return []metric{
+			{"let_hit_pct", func(v any) any { return 100 * v.(Fig4Cell).LET }},
+			{"lit_hit_pct", func(v any) any { return 100 * v.(Fig4Cell).LIT }},
+		}
+	case "fig8":
+		return []metric{
+			{"same_path_pct", func(v any) any { return v.(Fig8Row).S.SamePathPct }},
+			{"lr_pred_pct", func(v any) any { return v.(Fig8Row).S.LrPredPct }},
+			{"lm_pred_pct", func(v any) any { return v.(Fig8Row).S.LmPredPct }},
+			{"all_lr_pct", func(v any) any { return v.(Fig8Row).S.AllLrPct }},
+			{"all_lm_pct", func(v any) any { return v.(Fig8Row).S.AllLmPct }},
+			{"all_data_pct", func(v any) any { return v.(Fig8Row).S.AllDataPct }},
+			{"lr_last_pct", func(v any) any { return v.(Fig8Row).S.LrLastPct }},
+			{"lm_last_pct", func(v any) any { return v.(Fig8Row).S.LmLastPct }},
+			{"loops", func(v any) any { return v.(Fig8Row).S.Loops }},
+			{"iters", func(v any) any { return v.(Fig8Row).S.Iters }},
+		}
+	case "clssize":
+		return []metric{
+			{"evictions", func(v any) any { return v.(CLSCell).Evictions }},
+			{"at_cap", func(v any) any { return v.(CLSCell).AtCap }},
+			{"tpc", func(v any) any { return v.(CLSCell).TPC }},
+		}
+	case "replacement":
+		return []metric{
+			{"let_hit_pct", func(v any) any { return 100 * v.(ReplCell).LET }},
+			{"lit_hit_pct", func(v any) any { return 100 * v.(ReplCell).LIT }},
+			{"inhibited", func(v any) any { return v.(ReplCell).Inhibited }},
+		}
+	case "oneshots":
+		return []metric{
+			{"with_ipe", func(v any) any { return v.(OneShotRow).WithIPE }},
+			{"without_ipe", func(v any) any { return v.(OneShotRow).WithoutIPE }},
+			{"with_execs", func(v any) any { return v.(OneShotRow).WithExecs }},
+			{"without_execs", func(v any) any { return v.(OneShotRow).WithoutExec }},
+		}
+	case "branchpred":
+		pred := func(name string, backward bool) func(any) any {
+			return func(v any) any {
+				for _, r := range v.(BaselineRow).Results {
+					if r.Name == name {
+						if backward {
+							return r.BackwardAccuracy()
+						}
+						return r.Accuracy()
+					}
+				}
+				return 0.0
+			}
+		}
+		return []metric{
+			{"btfn", pred("BTFN", false)}, {"btfn_bwd", pred("BTFN", true)},
+			{"bimodal", pred("bimodal", false)}, {"bimodal_bwd", pred("bimodal", true)},
+			{"gshare", pred("gshare", false)}, {"gshare_bwd", pred("gshare", true)},
+		}
+	case "taskpred":
+		return []metric{
+			{"next_task_pct", func(v any) any { return v.(TaskPredRow).NextTaskPct }},
+			{"scored", func(v any) any { return v.(TaskPredRow).Scored }},
+			{"iter_hit_pct", func(v any) any { return v.(TaskPredRow).IterHitPct }},
+		}
+	case "oracle":
+		return []metric{
+			{"str_tpc", func(v any) any { return v.(OracleRow).STRTPC }},
+			{"oracle_tpc", func(v any) any { return v.(OracleRow).OracleTPC }},
+			{"str_hit_pct", func(v any) any { return v.(OracleRow).STRHit }},
+			{"oracle_hit_pct", func(v any) any { return v.(OracleRow).OracleHit }},
+		}
+	default:
+		return nil
+	}
+}
+
+// defaultMetricCount is how many leading catalogue entries a nil
+// Layout.Metrics selects per kind.
+func defaultMetricCount(kind string) int {
+	switch kind {
+	case "spec":
+		return 4 // tpc, hit_pct, spec_events, threads_per_spec
+	case "table1":
+		return 5
+	case "fig8":
+		return 6
+	default:
+		return len(kindMetrics(kind))
+	}
+}
+
+// kindMetricNames is the validation view of the catalogue.
+func kindMetricNames(kind string) map[string]bool {
+	out := map[string]bool{}
+	for _, m := range kindMetrics(kind) {
+		out[m.name] = true
+	}
+	return out
+}
+
+// selectMetrics resolves a layout's metric selection for a kind.
+func selectMetrics(kind string, names []string) ([]metric, error) {
+	catalogue := kindMetrics(kind)
+	if len(names) == 0 {
+		return catalogue[:defaultMetricCount(kind)], nil
+	}
+	byName := map[string]metric{}
+	for _, m := range catalogue {
+		byName[m.name] = m
+	}
+	out := make([]metric, 0, len(names))
+	for _, n := range names {
+		m, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("grid: kind %q has no metric %q", kind, n)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// coordColumn is one coordinate column the renderer shows: the bench
+// always, plus every axis the spec actually sweeps.
+type coordColumn struct {
+	name string
+	get  func(Coord) any
+}
+
+func coordColumns(s Spec) []coordColumn {
+	cols := []coordColumn{{"bench", func(c Coord) any { return c.Bench }}}
+	add := func(cond bool, name string, get func(Coord) any) {
+		if cond {
+			cols = append(cols, coordColumn{name, get})
+		}
+	}
+	add(len(s.Budgets) > 1 || len(s.BudgetDivs) > 1, "budget", func(c Coord) any { return c.Budget })
+	add(len(s.Seeds) > 1, "seed", func(c Coord) any { return c.Seed })
+	add(len(s.CLS) > 1, "cls", func(c Coord) any { return c.CLS })
+	add(len(s.TableSizes) > 1, "entries", func(c Coord) any { return c.TableSize })
+	add(len(s.Modes) > 1, "mode", func(c Coord) any { return c.Mode })
+	add(len(s.Policies) > 1, "policy", func(c Coord) any { return c.Policy })
+	add(len(s.TUs) > 1, "TUs", func(c Coord) any { return c.TUs })
+	add(len(s.LETCaps) > 1, "LET cap", func(c Coord) any { return c.LETCap })
+	add(len(s.NestRules) > 1, "nest rule", func(c Coord) any { return c.NestRule })
+	add(len(s.Exclusion) > 1, "exclusion", func(c Coord) any { return exclusionLabel(c.Exclusion) })
+	return cols
+}
+
+func exclusionLabel(ex ExclusionSpec) string {
+	if !ex.Enabled {
+		return "off"
+	}
+	return fmt.Sprintf("on(%v)", ex.Threshold)
+}
+
+// title derives the rendered heading.
+func (s Spec) title() string {
+	if s.Title != "" {
+		return s.Title
+	}
+	if s.Name != "" {
+		return fmt.Sprintf("Grid %s (%s)", s.Name, s.Kind)
+	}
+	return fmt.Sprintf("Grid: %s cells", s.Kind)
+}
+
+// RenderLayout formats a result through the generic layout renderer:
+// one row per cell (coordinate columns for every swept axis, then the
+// selected metric columns) as an aligned table, CSV, or JSON. The
+// output is a pure function of the result, so local and remote runs of
+// the same spec render byte-identically.
+func RenderLayout(res *Result) (string, error) {
+	s := res.Spec
+	metrics, err := selectMetrics(s.Kind, s.Render.Metrics)
+	if err != nil {
+		return "", err
+	}
+	coords := coordColumns(s)
+	switch s.Render.Format {
+	case "json":
+		rows := make([]map[string]any, len(res.Cells))
+		for i, c := range res.Cells {
+			row := map[string]any{}
+			for _, cc := range coords {
+				row[strings.ReplaceAll(cc.name, " ", "_")] = cc.get(c.Coord)
+			}
+			for _, m := range metrics {
+				row[m.name] = m.get(res.Values[i])
+			}
+			rows[i] = row
+		}
+		out, err := json.MarshalIndent(map[string]any{
+			"name": s.Name, "title": s.title(), "kind": s.Kind, "cells": rows,
+		}, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		return string(out) + "\n", nil
+	default: // "", "table", "csv"
+		headers := make([]string, 0, len(coords)+len(metrics))
+		for _, cc := range coords {
+			headers = append(headers, cc.name)
+		}
+		for _, m := range metrics {
+			headers = append(headers, m.name)
+		}
+		t := report.NewTable(s.title(), headers...)
+		for i, c := range res.Cells {
+			row := make([]any, 0, len(headers))
+			for _, cc := range coords {
+				row = append(row, cc.get(c.Coord))
+			}
+			for _, m := range metrics {
+				row = append(row, m.get(res.Values[i]))
+			}
+			t.AddRow(row...)
+		}
+		if s.Render.Format == "csv" {
+			var b strings.Builder
+			t.CSV(&b)
+			return b.String(), nil
+		}
+		return t.String(), nil
+	}
+}

@@ -9,6 +9,9 @@
 // Endpoints:
 //
 //	POST /v1/sweep   JSON wire.SweepRequest → binary wire grid
+//	POST /v1/grid    JSON wire.GridRequest (named or inline grid.Spec)
+//	                 → binary wire cells payload, in canonical cell order
+//	GET  /v1/grids   JSON listing of the registered grid specs
 //	GET  /v1/cell    ?key= → the cell's stored codec frame (octet-stream)
 //	GET  /v1/events  Server-Sent Events stream of runner progress
 //	GET  /v1/stats   JSON wire.Stats (runner, store, traversal counters)
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"dynloop/internal/expt"
+	"dynloop/internal/grid"
 	"dynloop/internal/harness"
 	"dynloop/internal/runner"
 	"dynloop/internal/store"
@@ -104,6 +108,8 @@ func (s *Server) Runner() *runner.Runner { return s.runner }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/grid", s.handleGrid)
+	mux.HandleFunc("GET /v1/grids", s.handleGrids)
 	mux.HandleFunc("GET /v1/cell", s.handleCell)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -244,6 +250,102 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Dynloop-Cells", fmt.Sprint(len(rows)))
 	w.Write(body)
+}
+
+// handleGrid executes one declarative grid — a registered spec by name
+// or an inline ad-hoc spec — on the shared runner and streams the cell
+// values back as codec frames in canonical cell order. The client
+// rebuilds the cells from the same deterministic spec expansion, so a
+// remote grid renders byte-identically to a local run.
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var req wire.GridRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var gs grid.Spec
+	switch {
+	case req.Name != "":
+		e, ok := grid.Lookup(req.Name)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no registered grid %q (see GET /v1/grids)", req.Name)
+			return
+		}
+		gs = e.Spec
+	case req.Spec != nil:
+		gs = *req.Spec
+	default:
+		httpError(w, http.StatusBadRequest, "grid request needs a name or an inline spec")
+		return
+	}
+	cfg := expt.Config{
+		Budget:     req.Budget,
+		Seed:       req.Seed,
+		Benchmarks: req.Benchmarks,
+		BatchSize:  req.BatchSize,
+		Runner:     s.runner,
+	}
+	if err := gs.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cells, err := gs.Size(cfg)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if cells > s.maxCells {
+		httpError(w, http.StatusUnprocessableEntity, "grid of %d cells exceeds the daemon's limit of %d", cells, s.maxCells)
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		return // client went away while queued
+	}
+	defer func() { <-s.inflight }()
+	res, err := grid.Run(r.Context(), cfg, gs)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			httpError(w, http.StatusServiceUnavailable, "grid canceled: %v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "grid failed: %v", err)
+		return
+	}
+	body, err := wire.AppendCells(nil, res.Values)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding cells: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Dynloop-Cells", fmt.Sprint(len(res.Values)))
+	w.Write(body)
+}
+
+// handleGrids lists the registered grids with their canonical specs, so
+// clients can discover, fetch, tweak and resubmit them.
+func (s *Server) handleGrids(w http.ResponseWriter, r *http.Request) {
+	names := grid.Names()
+	out := make([]wire.GridInfo, 0, len(names))
+	for _, name := range names {
+		e, ok := grid.Lookup(name)
+		if !ok {
+			continue
+		}
+		cells, err := e.Spec.Size(expt.Config{})
+		if err != nil {
+			cells = 0
+		}
+		out = append(out, wire.GridInfo{
+			Name:  name,
+			Title: e.Spec.Title,
+			Kind:  e.Spec.Kind,
+			Cells: cells,
+			Spec:  e.Spec,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
 }
 
 func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,7 @@ import (
 
 	"dynloop/internal/client"
 	"dynloop/internal/expt"
+	"dynloop/internal/grid"
 	"dynloop/internal/spec"
 	"dynloop/internal/store"
 	"dynloop/internal/wire"
@@ -272,6 +273,142 @@ func TestSweepValidation(t *testing.T) {
 	}
 	for i, req := range cases {
 		if _, err := c.Sweep(ctx, req); err == nil {
+			t.Errorf("case %d accepted: %+v", i, req)
+		}
+	}
+}
+
+// TestRemoteGridByteIdentical: a grid executed remotely — by registered
+// name AND as an inline ad-hoc spec — renders byte-identically to the
+// local path, at 1 and 8 workers.
+func TestRemoteGridByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	cfg := expt.Config{Budget: 60_000, Benchmarks: []string{"swim", "compress"}, Parallel: 1}
+
+	adhoc := grid.Spec{
+		Kind:     "spec",
+		Seeds:    []uint64{1, 2},
+		TUs:      []int{2, 4},
+		Policies: []string{"str"},
+	}
+	localRes, err := grid.Run(ctx, cfg, adhoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAdhoc, err := grid.RenderResult(localRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	namedEntry, ok := grid.Lookup("table2")
+	if !ok {
+		t.Fatal("table2 not registered")
+	}
+	namedRes, err := grid.Run(ctx, cfg, namedEntry.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNamed, err := grid.RenderResult(namedRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		_, c := newTestDaemon(t, Config{Workers: workers})
+		req := wire.GridRequest{Spec: &adhoc, Budget: cfg.Budget, Benchmarks: cfg.Benchmarks}
+		values, err := c.Grid(ctx, req)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		res, err := grid.ResultFrom(cfg, adhoc, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := grid.RenderResult(res)
+		if err != nil || got != wantAdhoc {
+			t.Fatalf("workers=%d: remote ad-hoc grid differs (%v):\n%s\nwant:\n%s", workers, err, got, wantAdhoc)
+		}
+
+		values, err = c.Grid(ctx, wire.GridRequest{Name: "table2", Budget: cfg.Budget, Benchmarks: cfg.Benchmarks})
+		if err != nil {
+			t.Fatalf("workers=%d named: %v", workers, err)
+		}
+		res, err = grid.ResultFrom(cfg, namedEntry.Spec, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = grid.RenderResult(res)
+		if err != nil || got != wantNamed {
+			t.Fatalf("workers=%d: remote named grid differs (%v):\n%s\nwant:\n%s", workers, err, got, wantNamed)
+		}
+	}
+}
+
+// TestGridsListingRoundTrip: the daemon's listing carries every
+// registered spec, and a spec fetched from it resubmits inline to the
+// same bytes as the named request — the full discover → fetch →
+// execute loop.
+func TestGridsListingRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestDaemon(t, Config{Workers: 4})
+	infos, err := c.Grids(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(grid.Names()) {
+		t.Fatalf("listing has %d grids, registry %d", len(infos), len(grid.Names()))
+	}
+	byName := map[string]wire.GridInfo{}
+	for _, gi := range infos {
+		byName[gi.Name] = gi
+		if gi.Kind == "" || gi.Cells <= 0 {
+			t.Fatalf("listing entry %+v incomplete", gi)
+		}
+	}
+	gi, ok := byName["table1"]
+	if !ok {
+		t.Fatal("table1 missing from listing")
+	}
+	cfg := expt.Config{Budget: 60_000, Benchmarks: []string{"swim"}}
+	named, err := c.Grid(ctx, wire.GridRequest{Name: "table1", Budget: cfg.Budget, Benchmarks: cfg.Benchmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetched := gi.Spec
+	inline, err := c.Grid(ctx, wire.GridRequest{Spec: &fetched, Budget: cfg.Budget, Benchmarks: cfg.Benchmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := grid.ResultFrom(cfg, gi.Spec, named)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := grid.ResultFrom(cfg, fetched, inline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, errA := grid.RenderResult(resA)
+	b, errB := grid.RenderResult(resB)
+	if errA != nil || errB != nil || a != b || a == "" {
+		t.Fatalf("listing round trip differs (%v %v):\n%s\nvs\n%s", errA, errB, a, b)
+	}
+}
+
+// TestGridValidation: the daemon rejects malformed, oversized and
+// unknown grid requests with errors, never panics.
+func TestGridValidation(t *testing.T) {
+	ctx := context.Background()
+	_, c := newTestDaemon(t, Config{Workers: 1, MaxCells: 4})
+	bad := []wire.GridRequest{
+		{}, // neither name nor spec
+		{Name: "nope"},
+		{Spec: &grid.Spec{Kind: "bogus"}},
+		{Spec: &grid.Spec{TUs: []int{-1}}},
+		{Spec: &grid.Spec{Kind: "table1", Policies: []string{"str"}}},
+		{Spec: &grid.Spec{}, Benchmarks: []string{"nope"}},
+		{Name: "sweep", Budget: 1000}, // 360 cells > MaxCells=4
+	}
+	for i, req := range bad {
+		if _, err := c.Grid(ctx, req); err == nil {
 			t.Errorf("case %d accepted: %+v", i, req)
 		}
 	}

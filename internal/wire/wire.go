@@ -12,6 +12,15 @@
 //	rows:   uvarint benchLen, bench, uvarint policyLen, policy,
 //	        uvarint TUs, uvarint frameLen, frame (a codec frame of
 //	        the cell's spec.Metrics)
+//
+// Cells format (the POST /v1/grid response — one codec frame per cell
+// of a declarative grid, in the spec's canonical cell order; the
+// coordinates never cross the wire because the spec expansion is
+// deterministic on both ends):
+//
+//	magic "DLCELL1\n"
+//	uvarint cell count
+//	cells:  uvarint frameLen, frame
 package wire
 
 import (
@@ -21,10 +30,14 @@ import (
 
 	"dynloop/internal/codec"
 	"dynloop/internal/expt"
+	"dynloop/internal/grid"
 	"dynloop/internal/spec"
 )
 
-const gridMagic = "DLGRID1\n"
+const (
+	gridMagic  = "DLGRID1\n"
+	cellsMagic = "DLCELL1\n"
+)
 
 // maxGridRows bounds a single grid allocation when decoding untrusted
 // responses.
@@ -32,6 +45,88 @@ const maxGridRows = 1 << 22
 
 // ErrCorrupt reports a malformed grid payload.
 var ErrCorrupt = errors.New("wire: corrupt grid payload")
+
+// GridRequest asks the daemon to execute one declarative grid: either a
+// registered spec by name ("table1", "fig7", "ablation/cls", ...) or an
+// inline ad-hoc grid.Spec. Budget, Seed, Benchmarks and BatchSize are
+// the config-level defaults the spec's zero-valued axes resolve to —
+// the same knobs the local CLI passes — so a remote grid reproduces
+// `dynloop grid` byte for byte.
+type GridRequest struct {
+	Name       string     `json:"name,omitempty"`
+	Spec       *grid.Spec `json:"spec,omitempty"`
+	Benchmarks []string   `json:"benchmarks,omitempty"`
+	Budget     uint64     `json:"budget,omitempty"`
+	Seed       uint64     `json:"seed,omitempty"`
+	BatchSize  int        `json:"batch_size,omitempty"`
+}
+
+// GridInfo is one registry entry in the daemon's GET /v1/grids listing.
+// The full canonical Spec rides along so a client can fetch it, modify
+// an axis, and POST it back as an ad-hoc grid.
+type GridInfo struct {
+	Name  string    `json:"name"`
+	Title string    `json:"title,omitempty"`
+	Kind  string    `json:"kind"`
+	Cells int       `json:"cells"`
+	Spec  grid.Spec `json:"spec"`
+}
+
+// AppendCells encodes grid cell values onto b in the cells format:
+// magic, a count, then one codec frame per cell in the grid's canonical
+// cell order. The spec itself does not cross the wire — its expansion
+// is deterministic, so the receiver rebuilds the cells locally
+// (grid.ResultFrom) and pairs them with these values.
+func AppendCells(b []byte, values []any) ([]byte, error) {
+	b = append(b, cellsMagic...)
+	b = binary.AppendUvarint(b, uint64(len(values)))
+	for i, v := range values {
+		frame, err := codec.Encode(v)
+		if err != nil {
+			return nil, fmt.Errorf("wire: cell %d: %w", i, err)
+		}
+		b = binary.AppendUvarint(b, uint64(len(frame)))
+		b = append(b, frame...)
+	}
+	return b, nil
+}
+
+// DecodeCells parses a cells payload occupying all of b.
+func DecodeCells(b []byte) ([]any, error) {
+	if len(b) < len(cellsMagic) || string(b[:len(cellsMagic)]) != cellsMagic {
+		return nil, fmt.Errorf("%w: bad cells magic", ErrCorrupt)
+	}
+	pos := len(cellsMagic)
+	count, n := binary.Uvarint(b[pos:])
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad cell count", ErrCorrupt)
+	}
+	pos += n
+	if count > maxGridRows {
+		return nil, fmt.Errorf("%w: cell count %d", ErrCorrupt, count)
+	}
+	values := make([]any, 0, count)
+	for i := uint64(0); i < count; i++ {
+		flen, n := binary.Uvarint(b[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad frame length at cell %d", ErrCorrupt, i)
+		}
+		pos += n
+		if flen > uint64(len(b)-pos) {
+			return nil, fmt.Errorf("%w: frame length %d exceeds payload at cell %d", ErrCorrupt, flen, i)
+		}
+		v, err := codec.Decode(b[pos : pos+int(flen)])
+		if err != nil {
+			return nil, fmt.Errorf("wire: cell %d: %w", i, err)
+		}
+		pos += int(flen)
+		values = append(values, v)
+	}
+	if pos != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-pos)
+	}
+	return values, nil
+}
 
 // SweepRequest asks the daemon for one benchmark × policy × TUs grid.
 // Zero values select the same defaults as the local CLI path (all

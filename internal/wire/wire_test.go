@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dynloop/internal/expt"
+	"dynloop/internal/grid"
 	"dynloop/internal/spec"
 )
 
@@ -69,5 +70,59 @@ func TestGridCorrupt(t *testing.T) {
 func TestGridErrorsWrapErrCorrupt(t *testing.T) {
 	if _, err := DecodeGrid([]byte("DLGRID1\n\xff")); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("got %v", err)
+	}
+}
+
+func sampleValues() []any {
+	return []any{
+		spec.Metrics{Instrs: 100, Cycles: 50, SpecEvents: 3},
+		grid.Table1Row{Bench: "swim"},
+		grid.Fig4Cell{LET: 0.5, LIT: 0.25},
+		grid.OracleRow{Bench: "perl", STRTPC: 1.5},
+	}
+}
+
+func TestCellsRoundTrip(t *testing.T) {
+	b, err := AppendCells(nil, sampleValues())
+	if err != nil {
+		t.Fatal(err)
+	}
+	values, err := DecodeCells(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(values, sampleValues()) {
+		t.Fatalf("round trip:\n got  %+v\n want %+v", values, sampleValues())
+	}
+	// Empty payloads round-trip too.
+	eb, err := AppendCells(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs, err := DecodeCells(eb); err != nil || len(vs) != 0 {
+		t.Fatalf("empty cells: %v %v", vs, err)
+	}
+}
+
+func TestCellsCorrupt(t *testing.T) {
+	b, err := AppendCells(nil, sampleValues())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncation at every byte must error, never return partial values.
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := DecodeCells(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+	if _, err := DecodeCells(append(append([]byte{}, b...), 7)); err == nil {
+		t.Fatal("trailing bytes decoded cleanly")
+	}
+	if _, err := DecodeCells([]byte("NOTCELLS\n")); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("bad magic accepted")
+	}
+	// An unencodable value fails the append, not the wire.
+	if _, err := AppendCells(nil, []any{struct{ X int }{1}}); err == nil {
+		t.Fatal("unregistered value encoded")
 	}
 }

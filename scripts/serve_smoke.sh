@@ -4,10 +4,12 @@
 # Builds the CLI, starts `dynloop serve` with a persistent store, runs
 # the same small sweep locally and remotely (twice, so the second hits
 # the daemon's cache), asserts all three outputs are byte-identical,
-# restarts the daemon over the warm store and asserts the sweep is
-# served purely from disk (zero traversals), then SIGINTs the daemon
-# and asserts a graceful zero exit. CI runs this; it is also handy
-# locally: scripts/serve_smoke.sh
+# does the same for a user-authored declarative grid spec (local run vs
+# POST /v1/grid, plus a registered grid by name, plus the /v1/grids
+# listing), restarts the daemon over the warm store and asserts the
+# sweep is served purely from disk (zero traversals), then SIGINTs the
+# daemon and asserts a graceful zero exit. CI runs this; it is also
+# handy locally: scripts/serve_smoke.sh
 set -euo pipefail
 
 ADDR="127.0.0.1:${SMOKE_PORT:-19095}"
@@ -56,12 +58,38 @@ go build -o "$BIN" ./cmd/dynloop
 echo "serve_smoke: local reference sweep"
 "$BIN" sweep "${SWEEP_ARGS[@]}" -parallel 1 >"$WORK/local.txt"
 
+echo "serve_smoke: local reference grids"
+cat >"$WORK/grid.json" <<'JSON'
+{
+  "title": "smoke: seed sweep at unpaper TU counts",
+  "kind": "spec",
+  "benchmarks": ["swim", "compress"],
+  "seeds": [1, 2],
+  "tus": [3, 5],
+  "policies": ["str"],
+  "budgets": [200000]
+}
+JSON
+"$BIN" grid -spec "$WORK/grid.json" -parallel 1 >"$WORK/grid-local.txt"
+"$BIN" grid -name table2 -bench swim,compress -n 200000 -parallel 1 >"$WORK/named-local.txt"
+
 echo "serve_smoke: daemon round trip"
 start_daemon cold
 "$BIN" sweep "${SWEEP_ARGS[@]}" -remote "$BASE" >"$WORK/remote1.txt"
 "$BIN" sweep "${SWEEP_ARGS[@]}" -remote "$BASE" >"$WORK/remote2.txt"
 cmp "$WORK/local.txt" "$WORK/remote1.txt" || fail "remote sweep differs from local run"
 cmp "$WORK/remote1.txt" "$WORK/remote2.txt" || fail "repeat remote sweep not stable"
+
+echo "serve_smoke: custom grid spec over POST /v1/grid"
+"$BIN" grid -spec "$WORK/grid.json" -remote "$BASE" >"$WORK/grid-remote.txt"
+cmp "$WORK/grid-local.txt" "$WORK/grid-remote.txt" || fail "remote custom grid differs from local run"
+"$BIN" grid -name table2 -bench swim,compress -n 200000 -remote "$BASE" >"$WORK/named-remote.txt"
+cmp "$WORK/named-local.txt" "$WORK/named-remote.txt" || fail "remote named grid differs from local run"
+GRIDS="$(curl -sf "$BASE/v1/grids")"
+case "$GRIDS" in
+  *'"table1"'*) ;;
+  *) fail "/v1/grids listing is missing table1: $GRIDS" ;;
+esac
 stop_daemon_gracefully
 
 echo "serve_smoke: warm-store restart"
