@@ -490,3 +490,119 @@ func BenchmarkRunnerOverhead(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTraceReplay is the replay tier's headline micro-benchmark:
+// delivering a recorded stream into a pass by decode-only replay vs
+// re-interpreting the program, same sink either way. time/op is
+// ns/instruction; the replay side must also hold 0 allocs/op (pinned by
+// TestReplayZeroAllocs).
+func BenchmarkTraceReplay(b *testing.B) {
+	bm, err := dynloop.BenchmarkByName("swim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := bm.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 200_000
+	a, err := dynloop.OpenTraceArchive(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := a.BeginRecord(bm.Name, 1, u.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu := u.NewCPU()
+	if _, err := cpu.Run(n, w); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Commit(cpu.Halted()); err != nil {
+		b.Fatal(err)
+	}
+	rec, ok := a.Lookup(bm.Name, 1)
+	if !ok {
+		b.Fatal("recording not installed")
+	}
+
+	b.Run("interpret", func(b *testing.B) {
+		h := trace.NewHash()
+		cpu := u.NewCPU()
+		b.ReportAllocs()
+		b.ResetTimer()
+		remaining := uint64(b.N)
+		for remaining > 0 {
+			nn, err := cpu.Run(remaining, h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if nn == 0 && !cpu.Halted() {
+				b.Fatal("no progress")
+			}
+			remaining -= nn
+			if cpu.Halted() {
+				cpu = u.NewCPU()
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+	})
+	b.Run("replay", func(b *testing.B) {
+		h := trace.NewHash()
+		d := &dynloop.TraceDecoder{}
+		if _, _, err := rec.Replay(n, d, h); err != nil { // warm the decoder
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		remaining := uint64(b.N)
+		for remaining > 0 {
+			chunk := remaining
+			if chunk > rec.Events() {
+				chunk = rec.Events()
+			}
+			nn, _, err := rec.Replay(chunk, d, h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			remaining -= nn
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+	})
+}
+
+// BenchmarkSweepReplay is the grid-level A/B the BENCH_replay.json
+// numbers come from: the full 360-cell sweep with a cold runner per
+// iteration, fed by interpretation vs by a warm trace archive. The
+// replay side re-runs the whole grid without a single interpreter
+// traversal.
+func BenchmarkSweepReplay(b *testing.B) {
+	ctx := context.Background()
+	base := expt.Config{Budget: benchBudget, Parallel: 1}
+	run := func(b *testing.B, cfg expt.Config) {
+		for i := 0; i < b.N; i++ {
+			if _, err := expt.Sweep(ctx, cfg, expt.SweepSpec{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("interpret", func(b *testing.B) { run(b, base) })
+	b.Run("replay", func(b *testing.B) {
+		a, err := dynloop.OpenTraceArchive(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := base
+		cfg.Traces = dynloop.NewTraces(a)
+		if _, err := expt.Sweep(ctx, cfg, expt.SweepSpec{}); err != nil { // record once
+			b.Fatal(err)
+		}
+		before := harness.Traversals()
+		b.ResetTimer()
+		run(b, cfg)
+		b.StopTimer()
+		b.ReportMetric(float64(harness.Traversals()-before)/float64(b.N), "traversals")
+	})
+}

@@ -37,6 +37,7 @@ import (
 	"dynloop"
 	"dynloop/internal/client"
 	"dynloop/internal/expt"
+	"dynloop/internal/harness"
 	"dynloop/internal/report"
 	"dynloop/internal/runner"
 	"dynloop/internal/server"
@@ -80,7 +81,7 @@ func main() {
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
 	case "trace":
-		err = cmdTrace(os.Args[2:])
+		err = cmdTrace(ctx, os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
 	case "-h", "--help", "help":
@@ -133,13 +134,19 @@ commands:
                                      and one persistent store (SIGINT shuts
                                      down gracefully)
   trace  -bench NAME -o FILE [-n N]  record an instruction trace to a file
+  trace  record -traces DIR [-bench a,b] [-n N] [-seed N]
+                                     warm a trace archive (one recording per
+                                     benchmark; covered benchmarks replay)
+  trace  ls|verify -traces DIR       list / fully verify a trace archive
   replay -i FILE [-tus K] [-policy P]
                                      drive the detector + engine from a trace
 
-experiment and sweep also take -store DIR to persist every computed cell
-in an on-disk result store and serve repeat cells from it; analyze,
-experiment and sweep take -cpuprofile FILE / -memprofile FILE to dump
-pprof profiles of the run.
+experiment, sweep, grid and serve also take -store DIR to persist every
+computed cell in an on-disk result store and serve repeat cells from it,
+and -traces DIR to record each (benchmark, seed) instruction stream once
+and replay it for every later cold group instead of re-interpreting;
+analyze, experiment and sweep take -cpuprofile FILE / -memprofile FILE
+to dump pprof profiles of the run.
 `)
 }
 
@@ -435,34 +442,54 @@ func cmdDisasm(args []string) error {
 	return nil
 }
 
-// parallelFlags adds the orchestrator flags shared by experiment and
-// sweep, returning the parsed progress flag and a resolver that builds
-// the shared Runner (with the progress stream, and the on-disk result
-// store when -store is given, attached). The returned cleanup closes
-// the store; call it when the command is done.
-func parallelFlags(fs *flag.FlagSet) (*bool, func() (*runner.Runner, func(), error)) {
+// orchestrator bundles what parallelFlags resolves: the shared Runner,
+// the optional replay tier over a trace archive, and the cleanup that
+// closes the store.
+type orchestrator struct {
+	runner *runner.Runner
+	traces *harness.Traces
+	close  func()
+}
+
+// parallelFlags adds the orchestrator flags shared by experiment, sweep
+// and grid, returning the parsed progress flag and a resolver that
+// builds the shared Runner (with the progress stream, the on-disk
+// result store when -store is given, and the trace-archive replay tier
+// when -traces is given, attached). Call the orchestrator's close when
+// the command is done.
+func parallelFlags(fs *flag.FlagSet) (*bool, func() (*orchestrator, error)) {
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	progress := fs.Bool("progress", false, "stream per-job progress to stderr")
 	storeDir := fs.String("store", "", "persist results in this on-disk store directory (warm runs skip computed cells)")
-	return progress, func() (*runner.Runner, func(), error) {
+	tracesDir := fs.String("traces", "", "record/replay instruction streams in this trace-archive directory (cold groups record once, later groups replay instead of interpreting)")
+	return progress, func() (*orchestrator, error) {
 		rc := runner.Config{Workers: *parallel}
 		if *progress {
 			rc.OnEvent = progressPrinter()
 		}
-		cleanup := func() {}
+		o := &orchestrator{close: func() {}}
 		if *storeDir != "" {
 			st, err := store.Open(*storeDir, store.Options{})
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			rc.Cache = store.NewCache(st)
-			cleanup = func() {
+			o.close = func() {
 				if err := st.Close(); err != nil {
 					fmt.Fprintln(os.Stderr, "dynloop: store:", err)
 				}
 			}
 		}
-		return runner.New(rc), cleanup, nil
+		if *tracesDir != "" {
+			arch, err := tracefile.OpenArchive(*tracesDir)
+			if err != nil {
+				o.close()
+				return nil, err
+			}
+			o.traces = harness.NewTraces(arch)
+		}
+		o.runner = runner.New(rc)
+		return o, nil
 	}
 }
 
@@ -493,8 +520,8 @@ func printRunnerStats(r *runner.Runner, progress bool, seed uint64) {
 	if seed != 0 {
 		seedNote = fmt.Sprintf(", seed %d", seed)
 	}
-	fmt.Fprintf(os.Stderr, "runner: %d jobs, %d executed, %d fused group runs on %d workers, %d cache hits, %d coalesced, %d disk hits, %d disk puts%s\n",
-		s.Submitted, s.Executed, s.GroupRuns, r.Workers(), s.CacheHits, s.Coalesced, s.DiskHits, s.DiskPuts, seedNote)
+	fmt.Fprintf(os.Stderr, "runner: %d jobs, %d executed, %d fused group runs on %d workers, %d cache hits, %d coalesced, %d disk hits, %d disk puts, %d trace replays, %d trace records%s\n",
+		s.Submitted, s.Executed, s.GroupRuns, r.Workers(), s.CacheHits, s.Coalesced, s.DiskHits, s.DiskPuts, s.ReplayRuns, s.RecordRuns, seedNote)
 	if s.TierErrors > 0 {
 		fmt.Fprintf(os.Stderr, "runner: %d store-tier errors (treated as misses)\n", s.TierErrors)
 	}
@@ -561,12 +588,12 @@ func cmdExperiment(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	r, closeStore, err := mkRunner()
+	o, err := mkRunner()
 	if err != nil {
 		return err
 	}
-	defer closeStore()
-	cfg := expt.Config{Budget: *n, Seed: *seed, BatchSize: *batch, Runner: r}
+	defer o.close()
+	cfg := expt.Config{Budget: *n, Seed: *seed, BatchSize: *batch, Runner: o.runner, Traces: o.traces}
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -735,12 +762,12 @@ func cmdSweep(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	r, closeStore, err := mkRunner()
+	o, err := mkRunner()
 	if err != nil {
 		return err
 	}
-	defer closeStore()
-	cfg := expt.Config{Budget: *n, Seed: *seed, BatchSize: *batch, Benchmarks: benchList, Runner: r}
+	defer o.close()
+	cfg := expt.Config{Budget: *n, Seed: *seed, BatchSize: *batch, Benchmarks: benchList, Runner: o.runner, Traces: o.traces}
 	defer func() { printRunnerStats(cfg.Runner, *progress, *seed) }()
 	defer func() {
 		if err := stopProfile(); err != nil {
@@ -810,9 +837,10 @@ func remoteSweep(ctx context.Context, base string, req wire.SweepRequest, progre
 	if progress {
 		st, err := c.Stats(ctx)
 		if err == nil {
-			fmt.Fprintf(os.Stderr, "daemon: %d jobs, %d executed, %d fused group runs on %d workers, %d cache hits, %d coalesced, %d disk hits, %d disk puts\n",
+			fmt.Fprintf(os.Stderr, "daemon: %d jobs, %d executed, %d fused group runs on %d workers, %d cache hits, %d coalesced, %d disk hits, %d disk puts, %d trace replays, %d trace records\n",
 				st.Runner.Submitted, st.Runner.Executed, st.Runner.GroupRuns, st.Workers,
-				st.Runner.CacheHits, st.Runner.Coalesced, st.Runner.DiskHits, st.Runner.DiskPuts)
+				st.Runner.CacheHits, st.Runner.Coalesced, st.Runner.DiskHits, st.Runner.DiskPuts,
+				st.Runner.ReplayRuns, st.Runner.RecordRuns)
 		}
 	}
 	return nil
@@ -885,12 +913,13 @@ func cmdGrid(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	r, closeStore, err := mkRunner()
+	o, err := mkRunner()
 	if err != nil {
 		return err
 	}
-	defer closeStore()
-	cfg.Runner = r
+	defer o.close()
+	cfg.Runner = o.runner
+	cfg.Traces = o.traces
 	defer func() { printRunnerStats(cfg.Runner, *progress, *seed) }()
 	defer func() {
 		if err := stopProfile(); err != nil {
@@ -976,9 +1005,10 @@ func remoteGrid(ctx context.Context, base string, cfg expt.Config, gs dynloop.Gr
 	if progress {
 		st, err := c.Stats(ctx)
 		if err == nil {
-			fmt.Fprintf(os.Stderr, "daemon: %d jobs, %d executed, %d fused group runs on %d workers, %d cache hits, %d coalesced, %d disk hits, %d disk puts\n",
+			fmt.Fprintf(os.Stderr, "daemon: %d jobs, %d executed, %d fused group runs on %d workers, %d cache hits, %d coalesced, %d disk hits, %d disk puts, %d trace replays, %d trace records\n",
 				st.Runner.Submitted, st.Runner.Executed, st.Runner.GroupRuns, st.Workers,
-				st.Runner.CacheHits, st.Runner.Coalesced, st.Runner.DiskHits, st.Runner.DiskPuts)
+				st.Runner.CacheHits, st.Runner.Coalesced, st.Runner.DiskHits, st.Runner.DiskPuts,
+				st.Runner.ReplayRuns, st.Runner.RecordRuns)
 		}
 	}
 	return nil
@@ -995,10 +1025,19 @@ func cmdServe(ctx context.Context, args []string) error {
 	maxCells := fs.Int("max-cells", 0, "largest accepted grid in cells (0 = 100000)")
 	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
 	progress := fs.Bool("progress", false, "stream per-job progress to stderr")
+	tracesDir := fs.String("traces", "", "trace-archive directory for the replay tier (cold cells replay recorded streams instead of interpreting)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := server.Config{Workers: *parallel, MaxInflight: *inflight, MaxCells: *maxCells}
+	if *tracesDir != "" {
+		arch, err := tracefile.OpenArchive(*tracesDir)
+		if err != nil {
+			return err
+		}
+		cfg.Traces = harness.NewTraces(arch)
+		fmt.Fprintf(os.Stderr, "dynloop: traces %s: %d recordings\n", *tracesDir, arch.Stats().Recordings)
+	}
 	if *progress {
 		cfg.OnEvent = progressPrinter()
 	}
@@ -1031,7 +1070,136 @@ func cmdServe(ctx context.Context, args []string) error {
 	return err
 }
 
-func cmdTrace(args []string) error {
+// cmdTrace dispatches the archive subcommands (record, ls, verify) and
+// falls through to the legacy single-file recorder for flag-style
+// invocations (dynloop trace -bench NAME -o FILE).
+func cmdTrace(ctx context.Context, args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "record":
+			return cmdTraceRecord(ctx, args[1:])
+		case "ls":
+			return cmdTraceLs(args[1:])
+		case "verify":
+			return cmdTraceVerify(args[1:])
+		}
+	}
+	return cmdTraceFile(args)
+}
+
+// cmdTraceRecord warms a trace archive: one recording per requested
+// benchmark, through the same replay tier the runner uses, so a
+// benchmark already covered replays (and reports so) instead of
+// re-interpreting.
+func cmdTraceRecord(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("trace record", flag.ExitOnError)
+	dir := fs.String("traces", "", "trace-archive directory")
+	benches := fs.String("bench", "", "comma-separated benchmarks to record (default: all 18)")
+	n := fs.Uint64("n", expt.DefaultBudget, "instruction budget to record (0 = run to halt; a recording serves every budget it covers)")
+	seed := fs.Uint64("seed", 1, "workload input seed")
+	batch := fs.Int("batch", 0, "event-batch size while recording (results identical at any size)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("missing -traces DIR")
+	}
+	arch, err := tracefile.OpenArchive(*dir)
+	if err != nil {
+		return err
+	}
+	tr := harness.NewTraces(arch)
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	} else {
+		for _, bm := range dynloop.Benchmarks() {
+			names = append(names, bm.Name)
+		}
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		bm, err := dynloop.BenchmarkByName(name)
+		if err != nil {
+			return err
+		}
+		build := func() (*dynloop.Unit, error) { return bm.Build(*seed) }
+		res, replayed, err := tr.MultiRun(ctx, bm.Name, *seed,
+			build, harness.MultiConfig{Budget: *n, BatchSize: *batch})
+		if err != nil {
+			return err
+		}
+		how := "recorded"
+		if replayed {
+			how = "already archived, replayed"
+		}
+		fmt.Printf("%s: %s %d instructions (halted=%v)\n", bm.Name, how, res.Executed, res.Halted)
+	}
+	return nil
+}
+
+// cmdTraceLs lists an archive's recordings.
+func cmdTraceLs(args []string) error {
+	fs := flag.NewFlagSet("trace ls", flag.ExitOnError)
+	dir := fs.String("traces", "", "trace-archive directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("missing -traces DIR")
+	}
+	arch, err := tracefile.OpenArchive(*dir)
+	if err != nil {
+		return err
+	}
+	recs := arch.Recordings()
+	t := report.NewTable(fmt.Sprintf("trace archive %s (%d recordings)", *dir, len(recs)),
+		"bench", "seed", "events", "halted", "blocks", "bytes")
+	for _, r := range recs {
+		t.AddRow(r.Bench(), r.Seed(), r.Events(), r.Halted(), r.Blocks(), r.Size())
+	}
+	fmt.Print(t.String())
+	if st := arch.Stats(); st.Invalidated > 0 || st.SchemaSkips > 0 || st.TruncatedTail > 0 {
+		fmt.Printf("recovery: %d invalid recordings skipped, %d schema skews skipped, %d torn-tail bytes truncated\n",
+			st.Invalidated, st.SchemaSkips, st.TruncatedTail)
+	}
+	return nil
+}
+
+// cmdTraceVerify fully decodes every recording in an archive (Open
+// already CRC- and decode-checks each block) and fails on any damage,
+// so CI and operators can assert an archive is servable.
+func cmdTraceVerify(args []string) error {
+	fs := flag.NewFlagSet("trace verify", flag.ExitOnError)
+	dir := fs.String("traces", "", "trace-archive directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("missing -traces DIR")
+	}
+	arch, err := tracefile.OpenArchive(*dir)
+	if err != nil {
+		return err
+	}
+	recs := arch.Recordings()
+	for _, r := range recs {
+		n, _, err := r.Replay(0, nil, nil)
+		if err != nil {
+			return fmt.Errorf("%s seed %d: %w", r.Bench(), r.Seed(), err)
+		}
+		if n != r.Events() {
+			return fmt.Errorf("%s seed %d: replayed %d of %d events", r.Bench(), r.Seed(), n, r.Events())
+		}
+	}
+	if st := arch.Stats(); st.Invalidated > 0 {
+		return fmt.Errorf("%d recordings failed verification (block CRC or decode damage)", st.Invalidated)
+	}
+	fmt.Printf("verified %d recordings: every block CRC-clean and decodable\n", len(recs))
+	return nil
+}
+
+func cmdTraceFile(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	bench, n, seed, batch := benchFlags(fs)
 	out := fs.String("o", "", "output trace file")

@@ -341,6 +341,36 @@ func NewTraceReader(r io.Reader) (*TraceReader, error) {
 	return tracefile.NewReader(r)
 }
 
+// The replay tier: a directory archive of CRC-framed recordings, one
+// per (benchmark, seed), and the record-or-replay orchestration that
+// serves MultiRun-shaped work from it. Set ExperimentConfig.Traces (or
+// pass -traces to the CLI) and cold groups record once while every
+// later group replays the file — a pure decode, byte-identical results,
+// no interpretation.
+type (
+	// TraceArchive is the on-disk recording archive with its in-memory
+	// validated index.
+	TraceArchive = tracefile.Archive
+	// TraceRecording is one loaded (benchmark, seed) recording.
+	TraceRecording = tracefile.Recording
+	// TraceDecoder is a reusable replay scratch buffer; a warmed decoder
+	// makes TraceRecording.Replay allocation-free.
+	TraceDecoder = tracefile.Decoder
+	// Traces is the replay tier over an archive; wire it into an
+	// ExperimentConfig.
+	Traces = harness.Traces
+)
+
+// OpenTraceArchive opens (creating if needed) a trace-archive
+// directory, validating every recording and repairing a torn tail on
+// the newest file.
+func OpenTraceArchive(dir string) (*TraceArchive, error) {
+	return tracefile.OpenArchive(dir)
+}
+
+// NewTraces wraps an opened archive in the replay tier.
+func NewTraces(a *TraceArchive) *Traces { return harness.NewTraces(a) }
+
 // The grid-serving subsystem: a persistent result store, the HTTP
 // daemon behind `dynloop serve`, and its Go client. Cell results cross
 // the store and the wire in the same versioned binary frames

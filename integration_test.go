@@ -2,15 +2,19 @@ package dynloop_test
 
 import (
 	"context"
+	"net/http/httptest"
 	"testing"
 	"testing/quick"
 
 	"dynloop"
 	"dynloop/internal/builder"
+	"dynloop/internal/client"
 	"dynloop/internal/expt"
 	"dynloop/internal/harness"
 	"dynloop/internal/loopdet"
+	"dynloop/internal/server"
 	"dynloop/internal/spec"
+	"dynloop/internal/wire"
 )
 
 // TestFullPipelineAllObservers runs every workload once with EVERY
@@ -267,5 +271,68 @@ func TestStaticNestRule(t *testing.T) {
 	if static.TPC() >= starve.TPC() {
 		t.Fatalf("static rule should cost TPC on fpppp: static=%.2f starvation=%.2f",
 			static.TPC(), starve.TPC())
+	}
+}
+
+// TestTracesLocalRemoteByteIdentical is the replay tier's integration
+// leg: the same sweep rendered (a) locally by the interpreter, (b)
+// locally replayed from a trace archive, and (c) remotely by a daemon
+// whose runner is backed by that archive, must be byte-identical — the
+// scripted counterpart is scripts/replay_smoke.sh.
+func TestTracesLocalRemoteByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	req := wire.SweepRequest{
+		Benchmarks: []string{"swim", "compress"},
+		Policies:   []string{"str", "str3"},
+		TUs:        []int{2, 4},
+		Budget:     50_000,
+	}
+	pols, err := expt.ParsePolicies(req.Policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepSpec := expt.SweepSpec{Policies: pols, TUs: req.TUs}
+
+	// (a) Interpreted reference.
+	cfg := expt.Config{Budget: req.Budget, Benchmarks: req.Benchmarks, Parallel: 2}
+	rows, err := expt.Sweep(ctx, cfg, sweepSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expt.RenderSweep(rows)
+
+	// (b) Locally traced: the first sweep records, the second replays;
+	// both render the reference bytes.
+	tr := newTraces(t)
+	cfg.Traces = tr
+	for pass := 0; pass < 2; pass++ {
+		rows, err := expt.Sweep(ctx, cfg, sweepSpec)
+		if err != nil {
+			t.Fatalf("traced pass %d: %v", pass, err)
+		}
+		if got := expt.RenderSweep(rows); got != want {
+			t.Fatalf("traced pass %d render differs:\n%s\nwant:\n%s", pass, got, want)
+		}
+	}
+	if st := tr.Stats(); st.Records == 0 || st.Replays == 0 {
+		t.Fatalf("local trace tier never engaged: %+v", st)
+	}
+
+	// (c) Remote: a daemon over the same (now warm) archive serves the
+	// sweep from replay alone and renders the reference bytes.
+	s := server.New(server.Config{Workers: 4, Traces: tr})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := client.New(hs.URL, hs.Client())
+	remoteRows, err := c.Sweep(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := expt.RenderSweep(remoteRows); got != want {
+		t.Fatalf("remote render differs:\n%s\nwant:\n%s", got, want)
+	}
+	st := s.Runner().Stats()
+	if st.ReplayRuns == 0 || st.RecordRuns != 0 {
+		t.Fatalf("daemon did not serve from replay alone: %+v", st)
 	}
 }

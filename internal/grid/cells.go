@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dynloop/internal/branchpred"
+	"dynloop/internal/builder"
 	"dynloop/internal/datapred"
 	"dynloop/internal/harness"
 	"dynloop/internal/loopstats"
@@ -401,17 +402,41 @@ func specEngineCell(cfg Config, bm workload.Benchmark, coord Coord, ec spec.Conf
 func oracleRun(cfg Config, bm workload.Benchmark) func(ctx context.Context) (any, error) {
 	mc := harness.MultiConfig{Budget: cfg.budget(), BatchSize: cfg.BatchSize}
 	return func(ctx context.Context) (any, error) {
-		u, err := bm.Build(cfg.seed())
-		if err != nil {
-			return OracleRow{}, fmt.Errorf("grid: build %s: %w", bm.Name, err)
+		// Both traversals route through the replay tier when configured:
+		// the first records the stream (or replays an existing
+		// recording), the second is then always a decode-only replay.
+		// The unit is built lazily, and at most once, so a covered
+		// archive serves the whole oracle cell without interpretation.
+		var u *builder.Unit
+		build := func() (*builder.Unit, error) {
+			if u != nil {
+				return u, nil
+			}
+			var err error
+			if u, err = bm.Build(cfg.seed()); err != nil {
+				return nil, fmt.Errorf("grid: build %s: %w", bm.Name, err)
+			}
+			return u, nil
+		}
+		multi := func(passes ...trace.Pass) error {
+			if cfg.Traces != nil {
+				_, _, err := cfg.Traces.MultiRun(ctx, bm.Name, cfg.seed(), build, mc, passes...)
+				return err
+			}
+			uu, err := build()
+			if err != nil {
+				return err
+			}
+			_, err = harness.MultiRun(uu, mc, passes...)
+			return err
 		}
 		rec := spec.NewOracleRecorder()
-		if _, err := harness.MultiRun(u, mc, harness.NewObserverPass(cfg.CLSCapacity, rec)); err != nil {
+		if err := multi(harness.NewObserverPass(cfg.CLSCapacity, rec)); err != nil {
 			return OracleRow{}, err
 		}
 		str := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STR()})
 		oracle := spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STR(), OracleIters: rec.Counts()})
-		if _, err := harness.MultiRun(u, mc,
+		if err := multi(
 			harness.NewObserverPass(cfg.CLSCapacity, str),
 			harness.NewObserverPass(cfg.CLSCapacity, oracle)); err != nil {
 			return OracleRow{}, err

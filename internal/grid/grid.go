@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"strings"
 
+	"dynloop/internal/harness"
 	"dynloop/internal/runner"
 	"dynloop/internal/workload"
 )
@@ -73,6 +74,15 @@ type Config struct {
 	// flag exists for the byte-identity regression tests and for A/B
 	// benchmarking the fusion win.
 	NoFuse bool
+	// Traces, when non-nil, is the replay tier: group executions that
+	// miss the memory cache and the disk store record their instruction
+	// stream into the trace archive on first interpretation, and every
+	// later group over the same (benchmark, seed) whose budget the
+	// recording covers replays the file instead of interpreting.
+	// Results are byte-identical either way (pinned by the
+	// replay-equivalence suite); like Runner, one Traces may be shared
+	// across any number of runs.
+	Traces *harness.Traces
 }
 
 // DefaultBudget is the per-benchmark instruction budget grids use

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"dynloop/internal/builder"
 	"dynloop/internal/harness"
 	"dynloop/internal/runner"
 	"dynloop/internal/spec"
@@ -76,18 +77,37 @@ func runCells(ctx context.Context, cfg Config, pool *runner.Runner, cells []Cell
 	}
 	exec := func(ctx context.Context, group string, idx []int) ([]any, error) {
 		lead := cells[idx[0]]
-		u, err := lead.bench.Build(lead.cfg.seed())
-		if err != nil {
-			return nil, fmt.Errorf("grid: build %s: %w", lead.bench.Name, err)
-		}
 		passes := make([]trace.Pass, len(idx))
 		finish := make([]func() (any, error), len(idx))
 		for j, i := range idx {
 			passes[j], finish[j] = cells[i].mk()
 		}
 		mc := harness.MultiConfig{Budget: lead.cfg.budget(), BatchSize: lead.cfg.BatchSize}
-		if _, err := harness.MultiRun(u, mc, passes...); err != nil {
-			return nil, err
+		var err error
+		if tr := cfg.Traces; tr != nil {
+			// Third tier: replay the group's recorded stream when the
+			// archive covers it; otherwise interpret once while recording.
+			// The unit is only built on the record path.
+			build := func() (*builder.Unit, error) {
+				u, err := lead.bench.Build(lead.cfg.seed())
+				if err != nil {
+					return nil, fmt.Errorf("grid: build %s: %w", lead.bench.Name, err)
+				}
+				return u, nil
+			}
+			var replayed bool
+			if _, replayed, err = tr.MultiRun(ctx, lead.bench.Name, lead.cfg.seed(), build, mc, passes...); err != nil {
+				return nil, err
+			}
+			pool.CountTraceRun(replayed)
+		} else {
+			u, err := lead.bench.Build(lead.cfg.seed())
+			if err != nil {
+				return nil, fmt.Errorf("grid: build %s: %w", lead.bench.Name, err)
+			}
+			if _, err := harness.MultiRun(u, mc, passes...); err != nil {
+				return nil, err
+			}
 		}
 		out := make([]any, len(idx))
 		for j, f := range finish {

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"dynloop/internal/builder"
+	"dynloop/internal/trace"
+	"dynloop/internal/tracefile"
+)
+
+func newTestTraces(t *testing.T) *Traces {
+	t.Helper()
+	a, err := tracefile.OpenArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTraces(a)
+}
+
+func buildUnit(t *testing.T) func() (*builder.Unit, error) {
+	t.Helper()
+	return func() (*builder.Unit, error) {
+		b := builder.New("h", 1)
+		b.CountedLoop(builder.TripImm(5), builder.LoopOpt{}, func() { b.Work(4) })
+		return b.Build()
+	}
+}
+
+// TestTracesMultiRunMatchesPlain: the first Traces.MultiRun interprets
+// (one traversal) and records; the second replays (zero traversals);
+// both deliver the exact stream a plain MultiRun delivers.
+func TestTracesMultiRunMatchesPlain(t *testing.T) {
+	var refHash trace.Hash
+	ref, err := MultiRun(unit(t), MultiConfig{}, trace.AsPass(&refHash))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := newTestTraces(t)
+	ctx := context.Background()
+	before := Traversals()
+
+	var h1 trace.Hash
+	res1, replayed1, err := tr.MultiRun(ctx, "h", 1, buildUnit(t), MultiConfig{}, trace.AsPass(&h1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed1 {
+		t.Fatal("cold archive replayed")
+	}
+	if got := Traversals() - before; got != 1 {
+		t.Fatalf("record path made %d traversals, want 1", got)
+	}
+
+	var h2 trace.Hash
+	res2, replayed2, err := tr.MultiRun(ctx, "h", 1, buildUnit(t), MultiConfig{}, trace.AsPass(&h2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed2 {
+		t.Fatal("warm archive did not replay")
+	}
+	if got := Traversals() - before; got != 1 {
+		t.Fatalf("replay made an interpreter traversal (%d total)", got)
+	}
+
+	for i, got := range []struct {
+		res  MultiResult
+		hash uint64
+	}{{res1, h1.Sum}, {res2, h2.Sum}} {
+		if got.res.Executed != ref.Executed || got.res.Halted != ref.Halted {
+			t.Fatalf("run %d: result %+v, want executed=%d halted=%v",
+				i, got.res, ref.Executed, ref.Halted)
+		}
+		if got.hash != refHash.Sum {
+			t.Fatalf("run %d: hash %x != reference %x", i, got.hash, refHash.Sum)
+		}
+	}
+	if st := tr.Stats(); st.Records != 1 || st.Replays != 1 {
+		t.Fatalf("stats = %+v, want 1 record + 1 replay", st)
+	}
+}
+
+// TestTracesConcurrentRecordOnce: two goroutines miss the same
+// (bench, seed) at once; the per-key lock makes exactly one record and
+// the other replay the fresh recording, with identical streams. Runs
+// under `go test -race` in CI.
+func TestTracesConcurrentRecordOnce(t *testing.T) {
+	tr := newTestTraces(t)
+	build := buildUnit(t)
+	ctx := context.Background()
+
+	const workers = 2
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	hashes := make([]uint64, workers)
+	execs := make([]uint64, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			var h trace.Hash
+			res, _, err := tr.MultiRun(ctx, "h", 1, build, MultiConfig{}, trace.AsPass(&h))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			hashes[i] = h.Sum
+			execs[i] = res.Executed
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if st := tr.Stats(); st.Records != 1 || st.Replays != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 record and 1 replay", st)
+	}
+	if st := tr.Archive().Stats(); st.Records != 1 || st.Recordings != 1 {
+		t.Fatalf("archive stats = %+v, want 1 commit, 1 recording", st)
+	}
+	if hashes[0] != hashes[1] || execs[0] != execs[1] {
+		t.Fatalf("concurrent runs diverged: hashes %x/%x, executed %d/%d",
+			hashes[0], hashes[1], execs[0], execs[1])
+	}
+}
+
+// TestTracesLongerBudgetReRecords: a budget-truncated recording cannot
+// serve a longer request — the tier re-interprets, re-records, and the
+// halted recording then serves every budget.
+func TestTracesLongerBudgetReRecords(t *testing.T) {
+	ref, err := MultiRun(unit(t), MultiConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Halted || ref.Executed < 4 {
+		t.Fatalf("reference run too small: %+v", ref)
+	}
+	half := ref.Executed / 2
+
+	tr := newTestTraces(t)
+	build := buildUnit(t)
+	ctx := context.Background()
+
+	res, replayed, err := tr.MultiRun(ctx, "h", 1, build, MultiConfig{Budget: half})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed || res.Executed != half || res.Halted {
+		t.Fatalf("truncated record run: %+v (replayed=%v)", res, replayed)
+	}
+
+	// Run-to-halt is NOT covered by the truncated recording.
+	var h trace.Hash
+	res, replayed, err = tr.MultiRun(ctx, "h", 1, build, MultiConfig{}, trace.AsPass(&h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed {
+		t.Fatal("truncated recording served a longer budget")
+	}
+	if res.Executed != ref.Executed || !res.Halted {
+		t.Fatalf("re-record run: %+v, want %+v", res, ref)
+	}
+	if st := tr.Stats(); st.Records != 2 {
+		t.Fatalf("stats = %+v, want 2 records", st)
+	}
+
+	// The halted re-recording now covers the original half budget too.
+	res, replayed, err = tr.MultiRun(ctx, "h", 1, build, MultiConfig{Budget: half})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed || res.Executed != half || res.Halted {
+		t.Fatalf("prefix replay after re-record: %+v (replayed=%v)", res, replayed)
+	}
+}

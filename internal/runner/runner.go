@@ -131,6 +131,13 @@ type Stats struct {
 	// TierErrors counts second-tier operations that failed (treated as
 	// misses on Get, dropped on Put).
 	TierErrors uint64
+	// ReplayRuns counts group executions served by the trace-archive
+	// third tier (decode-only replay, no interpretation); see
+	// CountTraceRun.
+	ReplayRuns uint64
+	// RecordRuns counts group executions that interpreted the stream and
+	// recorded it into the trace archive for later replays.
+	RecordRuns uint64
 }
 
 // Job is one independent experiment cell producing a T.
@@ -175,6 +182,8 @@ type Runner struct {
 	diskHits   atomic.Uint64
 	diskPuts   atomic.Uint64
 	tierErrors atomic.Uint64
+	replayRuns atomic.Uint64
+	recordRuns atomic.Uint64
 }
 
 // entry is one cache cell; done is closed once val/err are final.
@@ -213,6 +222,21 @@ func (r *Runner) Stats() Stats {
 		DiskHits:   r.diskHits.Load(),
 		DiskPuts:   r.diskPuts.Load(),
 		TierErrors: r.tierErrors.Load(),
+		ReplayRuns: r.replayRuns.Load(),
+		RecordRuns: r.recordRuns.Load(),
+	}
+}
+
+// CountTraceRun records the outcome of one trace-tier group execution:
+// replayed from the archive, or interpreted and recorded into it. The
+// runner does not drive the trace tier itself — the execution callback
+// does (see grid) — so the callback reports the outcome here to keep
+// all scheduling statistics in one place.
+func (r *Runner) CountTraceRun(replayed bool) {
+	if replayed {
+		r.replayRuns.Add(1)
+	} else {
+		r.recordRuns.Add(1)
 	}
 }
 

@@ -57,6 +57,11 @@ type Config struct {
 	// OnEvent, when non-nil, additionally receives every runner
 	// progress event in-process (SSE subscribers get them regardless).
 	OnEvent func(runner.Event)
+	// Traces, when non-nil, is the replay tier: cells that miss both
+	// the memory cache and the store replay the archived trace of their
+	// (benchmark, seed) group instead of interpreting, recording it on
+	// first contact. The server does not close it.
+	Traces *harness.Traces
 }
 
 // DefaultMaxCells bounds the grid size of one sweep request.
@@ -200,6 +205,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Benchmarks: req.Benchmarks,
 		BatchSize:  req.BatchSize,
 		Runner:     s.runner,
+		Traces:     s.cfg.Traces,
 	}
 	var sw expt.SweepSpec
 	if len(req.Policies) > 0 {
@@ -285,6 +291,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		Benchmarks: req.Benchmarks,
 		BatchSize:  req.BatchSize,
 		Runner:     s.runner,
+		Traces:     s.cfg.Traces,
 	}
 	if err := gs.Validate(); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -386,6 +393,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			DiskHits:   rs.DiskHits,
 			DiskPuts:   rs.DiskPuts,
 			TierErrors: rs.TierErrors,
+			ReplayRuns: rs.ReplayRuns,
+			RecordRuns: rs.RecordRuns,
 		},
 	}
 	if s.cfg.Store != nil {

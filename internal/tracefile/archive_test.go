@@ -1,0 +1,476 @@
+package tracefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dynloop/internal/builder"
+	"dynloop/internal/trace"
+)
+
+// buildArchUnit builds a nested-loop unit big enough to span several
+// 64 KiB trace blocks, so truncation and torn-tail tests exercise real
+// block boundaries.
+func buildArchUnit(t testing.TB, name string) *builder.Unit {
+	t.Helper()
+	b := builder.New(name, 5)
+	trip := b.UniformSeq(1, 7)
+	b.MovI(24, builder.HeapBase)
+	b.CountedLoop(builder.TripImm(2000), builder.LoopOpt{}, func() {
+		b.CountedLoop(builder.TripSeq(trip), builder.LoopOpt{}, func() {
+			b.WorkMem(6, 24, 8)
+		})
+	})
+	u, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// recordInto runs the unit into dir's archive under (name, seed 1) and
+// returns the archive, the event count, the live control-flow hash and
+// the halt flag.
+func recordInto(t testing.TB, dir, name string, budget uint64) (*Archive, uint64, uint64, bool) {
+	t.Helper()
+	u := buildArchUnit(t, name)
+	a, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := a.BeginRecord(name, 1, u.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := trace.NewHash()
+	cpu := u.NewCPU()
+	n, err := cpu.Run(budget, trace.Tee{rec, h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Commit(cpu.Halted()); err != nil {
+		t.Fatal(err)
+	}
+	return a, n, h.Sum, cpu.Halted()
+}
+
+// liveHash interprets the unit fresh at the given budget and returns
+// the control-flow hash and count — the reference replay must match.
+func liveHash(t testing.TB, name string, budget uint64) (uint64, uint64, bool) {
+	t.Helper()
+	u := buildArchUnit(t, name)
+	h := trace.NewHash()
+	cpu := u.NewCPU()
+	n, err := cpu.Run(budget, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h.Sum, n, cpu.Halted()
+}
+
+// archFile returns the single archive file in dir.
+func archFile(t testing.TB, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.dltrace"))
+	if err != nil || len(names) != 1 {
+		t.Fatalf("want exactly one archive file, got %v (%v)", names, err)
+	}
+	return names[0]
+}
+
+// TestArchiveRecordReplayRoundTrip: a committed recording must replay
+// the exact stream, both from the committing process's index and from a
+// cold re-open of the directory.
+func TestArchiveRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a, n, hash, halted := recordInto(t, dir, "arch", 0)
+	if !halted {
+		t.Fatal("workload did not halt")
+	}
+	check := func(a *Archive) {
+		t.Helper()
+		rec, ok := a.Lookup("arch", 1)
+		if !ok {
+			t.Fatal("recording not found")
+		}
+		if !rec.CanServe(0) || !rec.CanServe(n) {
+			t.Fatal("halted recording must serve any budget")
+		}
+		h := trace.NewHash()
+		got, gotHalted, err := rec.Replay(0, nil, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != n || !gotHalted {
+			t.Fatalf("replayed %d (halted=%v), want %d (halted=true)", got, gotHalted, n)
+		}
+		if h.Sum != hash {
+			t.Fatalf("replay hash %x != live hash %x", h.Sum, hash)
+		}
+	}
+	check(a)
+	cold, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(cold)
+	if st := cold.Stats(); st.Invalidated != 0 || st.SchemaSkips != 0 || st.TruncatedTail != 0 {
+		t.Fatalf("clean archive reported recovery: %+v", st)
+	}
+}
+
+// TestArchivePrefixTruncation: a recording at budget B serves every
+// B' ≤ B with the exact stream an interpreted run at B' produces —
+// the tentpole's budget-prefix property.
+func TestArchivePrefixTruncation(t *testing.T) {
+	dir := t.TempDir()
+	a, n, _, _ := recordInto(t, dir, "arch", 0)
+	rec, ok := a.Lookup("arch", 1)
+	if !ok {
+		t.Fatal("recording not found")
+	}
+	for _, budget := range []uint64{1, 100, n / 3, n / 2, n - 1, n} {
+		wantHash, wantN, wantHalted := liveHash(t, "arch", budget)
+		if !rec.CanServe(budget) {
+			t.Fatalf("budget %d: CanServe = false", budget)
+		}
+		h := trace.NewHash()
+		gotN, gotHalted, err := rec.Replay(budget, nil, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotN != wantN || gotHalted != wantHalted {
+			t.Fatalf("budget %d: replay (%d, halted=%v), interpret (%d, halted=%v)",
+				budget, gotN, gotHalted, wantN, wantHalted)
+		}
+		if h.Sum != wantHash {
+			t.Fatalf("budget %d: replay hash %x != live hash %x", budget, h.Sum, wantHash)
+		}
+	}
+}
+
+// TestArchiveNonHaltedCoverage: a recording cut at budget B serves
+// budgets ≤ B and refuses larger ones (and run-to-halt).
+func TestArchiveNonHaltedCoverage(t *testing.T) {
+	dir := t.TempDir()
+	_, full, _, _ := recordInto(t, t.TempDir(), "arch", 0)
+	budget := full / 2
+	a, n, _, halted := recordInto(t, dir, "arch", budget)
+	if halted || n != budget {
+		t.Fatalf("recorded %d halted=%v, want %d halted=false", n, halted, budget)
+	}
+	rec, _ := a.Lookup("arch", 1)
+	if !rec.CanServe(budget) || !rec.CanServe(1) {
+		t.Fatal("recording must serve its own prefix")
+	}
+	if rec.CanServe(budget+1) || rec.CanServe(0) {
+		t.Fatal("non-halted recording must not serve beyond its events")
+	}
+}
+
+// TestArchiveTornTailRecovers: a crash mid-append tears the newest
+// file; Open must repair it to the intact block prefix, which then
+// serves smaller budgets exactly.
+func TestArchiveTornTailRecovers(t *testing.T) {
+	for _, cutBack := range []int{3, 0} {
+		dir := t.TempDir()
+		_, n, _, _ := recordInto(t, dir, "arch", 0)
+		path := archFile(t, dir)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := len(data) - 3
+		if cutBack == 0 {
+			cut = len(data) / 2
+		}
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		a, err := OpenArchive(dir)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if st := a.Stats(); st.TruncatedTail == 0 {
+			t.Fatalf("cut %d: no torn tail counted: %+v", cut, st)
+		}
+		rec, ok := a.Lookup("arch", 1)
+		if !ok {
+			t.Fatalf("cut %d: prefix recording lost", cut)
+		}
+		if rec.Halted() {
+			t.Fatalf("cut %d: repaired recording claims halted", cut)
+		}
+		if rec.Events() == 0 || rec.Events() > n {
+			t.Fatalf("cut %d: repaired recording has %d events (full run %d)", cut, rec.Events(), n)
+		}
+		budget := rec.Events()
+		wantHash, wantN, _ := liveHash(t, "arch", budget)
+		h := trace.NewHash()
+		gotN, _, err := rec.Replay(budget, nil, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotN != wantN || h.Sum != wantHash {
+			t.Fatalf("cut %d: repaired prefix diverges from interpretation", cut)
+		}
+		// The repair rewrote the file: a second open must be clean.
+		again, err := OpenArchive(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := again.Stats(); st.TruncatedTail != 0 {
+			t.Fatalf("cut %d: repair did not stick: %+v", cut, st)
+		}
+		if r2, ok := again.Lookup("arch", 1); !ok || r2.Events() != rec.Events() {
+			t.Fatalf("cut %d: repaired file reload mismatch", cut)
+		}
+	}
+}
+
+// TestArchiveTornNonNewestErrors: a torn frame on anything but the
+// newest file is not a crash tail — it is corruption and must surface
+// as a typed error.
+func TestArchiveTornNonNewestErrors(t *testing.T) {
+	dir := t.TempDir()
+	recordInto(t, dir, "alpha", 0)
+	pathA := archFile(t, dir)
+	_, _, _, _ = recordInto(t, dir, "beta", 0)
+	data, err := os.ReadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(pathA, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Make the torn file unambiguously older (WriteFile refreshed its
+	// mtime, which would have made it the repairable newest file).
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(pathA, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenArchive(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// firstBlockPayloadOffset walks the header the same way the parser does
+// and returns the offset of the first block's first payload byte.
+func firstBlockPayloadOffset(t *testing.T, data []byte) int {
+	t.Helper()
+	br := bytes.NewReader(data[len(magicArch):])
+	if _, err := binary.ReadUvarint(br); err != nil { // version
+		t.Fatal(err)
+	}
+	bl, err := binary.ReadUvarint(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.CopyN(io.Discard, br, int64(bl)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := binary.ReadUvarint(br); err != nil { // seed
+		t.Fatal(err)
+	}
+	if _, err := readProgram(br); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := br.ReadByte(); err != nil || b != tagBlock {
+		t.Fatalf("expected a block frame, got %#x (%v)", b, err)
+	}
+	if _, err := binary.ReadUvarint(br); err != nil { // count
+		t.Fatal(err)
+	}
+	if _, err := binary.ReadUvarint(br); err != nil { // size
+		t.Fatal(err)
+	}
+	return len(data) - br.Len() + 4 // skip the CRC
+}
+
+// TestArchiveBlockCorruptionFallsBackAndReRecords: a bit flip inside a
+// CRC-framed block invalidates just that recording — Open succeeds, the
+// lookup misses (so the runner falls back to interpretation), and a
+// re-record atomically replaces the damaged file.
+func TestArchiveBlockCorruptionFallsBackAndReRecords(t *testing.T) {
+	dir := t.TempDir()
+	_, n, hash, _ := recordInto(t, dir, "arch", 0)
+	path := archFile(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[firstBlockPayloadOffset(t, data)] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatalf("block damage must not fail Open: %v", err)
+	}
+	if _, ok := a.Lookup("arch", 1); ok {
+		t.Fatal("damaged recording served")
+	}
+	if st := a.Stats(); st.Invalidated != 1 {
+		t.Fatalf("Invalidated = %d, want 1", st.Invalidated)
+	}
+	// Fallback path: the caller interprets again and re-records.
+	u := buildArchUnit(t, "arch")
+	rec, err := a.BeginRecord("arch", 1, u.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := u.NewCPU()
+	if _, err := cpu.Run(0, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Commit(cpu.Halted()); err != nil {
+		t.Fatal(err)
+	}
+	fresh, ok := a.Lookup("arch", 1)
+	if !ok {
+		t.Fatal("re-record did not install")
+	}
+	h := trace.NewHash()
+	got, _, err := fresh.Replay(0, nil, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n || h.Sum != hash {
+		t.Fatalf("re-recorded stream diverges: %d events hash %x, want %d hash %x", got, h.Sum, n, hash)
+	}
+	// And on disk: the damaged file was replaced by the clean one.
+	if again, err := OpenArchive(dir); err != nil {
+		t.Fatal(err)
+	} else if st := again.Stats(); st.Invalidated != 0 || st.Recordings != 1 {
+		t.Fatalf("re-record did not replace the damaged file: %+v", st)
+	}
+}
+
+// TestArchiveStructuralCorruptionErrors: damage outside the recoverable
+// cases (torn newest tail, block damage) is a typed error.
+func TestArchiveStructuralCorruptionErrors(t *testing.T) {
+	mutate := map[string]func([]byte) []byte{
+		"bad magic":      func(d []byte) []byte { d[2] ^= 0xFF; return d },
+		"trailing bytes": func(d []byte) []byte { return append(d, "junk!"...) },
+	}
+	for name, fn := range mutate {
+		dir := t.TempDir()
+		recordInto(t, dir, "arch", 0)
+		path := archFile(t, dir)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = fn(append([]byte(nil), data...))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenArchive(dir); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestArchiveSchemaBumpMisses: recordings written under a different
+// ArchiveSchemaVersion must miss cleanly — never replay a stale stream
+// (the parallel of the store's cellSchemaVersion bump test).
+func TestArchiveSchemaBumpMisses(t *testing.T) {
+	dir := t.TempDir()
+	recordInto(t, dir, "arch", 0)
+	orig := ArchiveSchemaVersion
+	defer func() { ArchiveSchemaVersion = orig }()
+	ArchiveSchemaVersion = orig + 1
+	a, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatalf("schema skew must be a clean miss, got %v", err)
+	}
+	if _, ok := a.Lookup("arch", 1); ok {
+		t.Fatal("stale-schema recording served")
+	}
+	if st := a.Stats(); st.SchemaSkips != 1 {
+		t.Fatalf("SchemaSkips = %d, want 1", st.SchemaSkips)
+	}
+	// Back on the original version the file serves again.
+	ArchiveSchemaVersion = orig
+	a2, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a2.Lookup("arch", 1); !ok {
+		t.Fatal("recording lost after restoring the schema version")
+	}
+}
+
+// TestReplayZeroAllocs pins the replay hot loop at zero allocations per
+// run once the decoder is warm — the property that makes replay a pure
+// decode.
+func TestReplayZeroAllocs(t *testing.T) {
+	dir := t.TempDir()
+	a, _, _, _ := recordInto(t, dir, "arch", 0)
+	rec, ok := a.Lookup("arch", 1)
+	if !ok {
+		t.Fatal("recording not found")
+	}
+	d := &Decoder{}
+	h := trace.NewHash()
+	if _, _, err := rec.Replay(0, d, h); err != nil { // warm the decoder
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := rec.Replay(0, d, h); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("replay hot loop allocates %v per run, want 0", allocs)
+	}
+}
+
+// FuzzReplayArchive mirrors the store's FuzzScanSegment: the archive
+// parser must classify ANY byte stream without panicking, and whatever
+// it accepts must replay exactly (full and prefix).
+func FuzzReplayArchive(f *testing.F) {
+	// Keep the seed archive small (but still multi-block) so each fuzz
+	// exec parses and replays in microseconds, not milliseconds.
+	dir := f.TempDir()
+	recordInto(f, dir, "arch", 10_000)
+	names, err := filepath.Glob(filepath.Join(dir, "*.dltrace"))
+	if err != nil || len(names) != 1 {
+		f.Fatalf("seed archive: %v (%v)", names, err)
+	}
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	f.Add(data[:len(magicArch)+3])
+	f.Add([]byte{})
+	f.Add([]byte(magicArch))
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, _, err := parseArchive(b)
+		if err != nil || rec == nil {
+			return
+		}
+		h := trace.NewHash()
+		n, _, err := rec.Replay(0, nil, h)
+		if err != nil {
+			t.Fatalf("validated recording failed replay: %v", err)
+		}
+		if n != rec.Events() {
+			t.Fatalf("replayed %d of %d events", n, rec.Events())
+		}
+		if _, _, err := rec.Replay(rec.Events()/2+1, nil, nil); err != nil {
+			t.Fatalf("prefix replay failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,508 @@
+package tracefile
+
+// Shared encode/decode primitives for the single-file trace format (v1/v2)
+// and the replay archive: the program image and the packed event records
+// are byte-identical across both containers, so the Writer/Reader pair and
+// the Archive share these helpers instead of each owning a copy.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+
+	"dynloop/internal/isa"
+	"dynloop/internal/program"
+	"dynloop/internal/trace"
+)
+
+// byteSource is the reader subset the header decoders need; both
+// bufio.Reader (streaming trace files) and bytes.Reader (in-memory
+// archives) satisfy it.
+type byteSource interface {
+	io.ByteReader
+	io.Reader
+}
+
+// maxInstrs bounds the embedded program size when reading untrusted
+// files.
+const maxInstrs = 64 << 20
+
+// appendProgram encodes the program image (name, entry, instruction
+// count, then each instruction's fields) onto buf.
+func appendProgram(buf []byte, p *program.Program) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(p.Name)))
+	buf = append(buf, p.Name...)
+	buf = binary.AppendUvarint(buf, uint64(p.Entry))
+	buf = binary.AppendUvarint(buf, uint64(len(p.Code)))
+	for i := range p.Code {
+		in := &p.Code[i]
+		buf = binary.AppendUvarint(buf, uint64(in.Kind))
+		buf = binary.AppendUvarint(buf, uint64(in.Op))
+		buf = binary.AppendUvarint(buf, uint64(in.Cond))
+		buf = binary.AppendUvarint(buf, uint64(in.Rd))
+		buf = binary.AppendUvarint(buf, uint64(in.Rs1))
+		buf = binary.AppendUvarint(buf, uint64(in.Rs2))
+		buf = binary.AppendVarint(buf, in.Imm)
+		buf = binary.AppendUvarint(buf, uint64(in.Target))
+	}
+	return buf
+}
+
+// readProgram decodes and validates a program image. Errors wrap both
+// ErrCorrupt and the underlying cause, so callers can distinguish a
+// truncated source (io.EOF / io.ErrUnexpectedEOF) from malformed bytes.
+func readProgram(br byteSource) (*program.Program, error) {
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: name: %w", ErrCorrupt, err)
+	}
+	if nameLen > maxBlockBytes {
+		return nil, fmt.Errorf("%w: name length %d", ErrCorrupt, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: name bytes: %w", ErrCorrupt, err)
+	}
+	entry, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: entry: %w", ErrCorrupt, err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: instruction count: %w", ErrCorrupt, err)
+	}
+	if count > maxInstrs {
+		return nil, fmt.Errorf("%w: program too large (%d instructions)", ErrCorrupt, count)
+	}
+	code := make([]isa.Instr, count)
+	for i := range code {
+		in := &code[i]
+		u := func() uint64 {
+			v, e := binary.ReadUvarint(br)
+			if e != nil && err == nil {
+				err = e
+			}
+			return v
+		}
+		v := func() int64 {
+			v, e := binary.ReadVarint(br)
+			if e != nil && err == nil {
+				err = e
+			}
+			return v
+		}
+		in.Kind = isa.Kind(u())
+		in.Op = isa.ALUOp(u())
+		in.Cond = isa.Cond(u())
+		in.Rd = isa.Reg(u())
+		in.Rs1 = isa.Reg(u())
+		in.Rs2 = isa.Reg(u())
+		in.Imm = v()
+		in.Target = isa.Addr(u())
+		if err != nil {
+			return nil, fmt.Errorf("%w: instruction %d: %w", ErrCorrupt, i, err)
+		}
+	}
+	p := &program.Program{Name: string(name), Code: code, Entry: isa.Addr(entry)}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: embedded program: %v", ErrCorrupt, err)
+	}
+	return p, nil
+}
+
+// appendEvent encodes one packed event record onto b: a tag byte (taken /
+// wroteReg / hasMem bits), the pc, then the optional fields the tag
+// announces. hasMem is derived from the instruction kind, exactly as the
+// decoder rederives it, so a decoded event is field-identical to the
+// interpreted one.
+func appendEvent(b []byte, ev *trace.Event) []byte {
+	var tag byte
+	if ev.Taken {
+		tag |= tagTaken
+	}
+	if ev.WroteReg {
+		tag |= tagWroteReg
+	}
+	hasMem := ev.Instr.Kind == isa.KindLoad || ev.Instr.Kind == isa.KindStore
+	if hasMem {
+		tag |= tagHasMem
+	}
+	b = append(b, tag)
+	b = binary.AppendUvarint(b, uint64(ev.PC))
+	if ev.Taken {
+		b = binary.AppendUvarint(b, uint64(ev.Target))
+	}
+	if ev.WroteReg {
+		b = binary.AppendUvarint(b, uint64(ev.WrittenReg))
+		b = binary.AppendVarint(b, ev.WrittenVal)
+	}
+	if hasMem {
+		b = binary.AppendUvarint(b, ev.MemAddr)
+		b = binary.AppendVarint(b, ev.MemVal)
+	}
+	return b
+}
+
+// contBits masks every byte's varint continuation bit in a 64-bit load.
+const contBits = 0x8080808080808080
+
+// keepBytes[k] masks a 64-bit load down to its first k+1 bytes.
+var keepBytes = [8]uint64{
+	0xff, 0xffff, 0xffffff, 0xffffffff,
+	0xffffffffff, 0xffffffffffff, 0xffffffffffffff, 0xffffffffffffffff,
+}
+
+// uvarintMultiAt handles multi-byte varints. Register values and heap
+// addresses make these common enough to matter, so varints of 2–8 bytes
+// decode branch-free from one 64-bit load: locate the terminating byte
+// with a bit scan, then compact the 7-bit groups.
+func uvarintMultiAt(b []byte, pos int) (uint64, int) {
+	if pos+8 <= len(b) {
+		x := binary.LittleEndian.Uint64(b[pos:])
+		if stops := ^x & contBits; stops != 0 {
+			k := bits.TrailingZeros64(stops) >> 3 // byte index of the final byte
+			x &= keepBytes[k&7]
+			x = x&0x7f | x>>1&(0x7f<<7) | x>>2&(0x7f<<14) | x>>3&(0x7f<<21) |
+				x>>4&(0x7f<<28) | x>>5&(0x7f<<35) | x>>6&(0x7f<<42) | x>>7&(0x7f<<49)
+			return x, pos + k + 1
+		}
+	}
+	v, k := binary.Uvarint(b[pos:])
+	if k <= 0 {
+		return 0, -1
+	}
+	return v, pos + k
+}
+
+// decodeEvents decodes len(evs) packed event records from blk into evs,
+// numbering them from base and resolving Instr pointers into code. When
+// full is set the records must consume blk exactly; a prefix decode
+// (budget truncation cutting a block mid-way) passes false and leaves the
+// remaining records unread.
+func decodeEvents(blk []byte, evs []trace.Event, base uint64, code []isa.Instr, full bool) error {
+	// The 1-byte varint fast path is hand-inlined at every field read:
+	// this loop is the replay tier's entire per-instruction cost, and a
+	// call per field is measurable at trace scale.
+	pos := 0
+	for i := range evs {
+		if uint(pos) >= uint(len(blk)) {
+			return fmt.Errorf("%w: block truncated at event %d", ErrCorrupt, i)
+		}
+		tag := blk[pos]
+		pos++
+		var pc uint64
+		if uint(pos) < uint(len(blk)) && blk[pos] < 0x80 {
+			pc, pos = uint64(blk[pos]), pos+1
+		} else if pc, pos = uvarintMultiAt(blk, pos); pos < 0 {
+			return fmt.Errorf("%w: pc at event %d", ErrCorrupt, i)
+		}
+		if pc >= uint64(len(code)) {
+			return fmt.Errorf("%w: pc at event %d", ErrCorrupt, i)
+		}
+		ev := &evs[i]
+		*ev = trace.Event{Index: base + uint64(i), PC: isa.Addr(pc), Instr: &code[pc]}
+		if tag&tagTaken != 0 {
+			var t uint64
+			if uint(pos) < uint(len(blk)) && blk[pos] < 0x80 {
+				t, pos = uint64(blk[pos]), pos+1
+			} else if t, pos = uvarintMultiAt(blk, pos); pos < 0 {
+				return fmt.Errorf("%w: target at event %d", ErrCorrupt, i)
+			}
+			ev.Taken, ev.Target = true, isa.Addr(t)
+		}
+		if tag&tagWroteReg != 0 {
+			var reg, uval uint64
+			if uint(pos) < uint(len(blk)) && blk[pos] < 0x80 {
+				reg, pos = uint64(blk[pos]), pos+1
+			} else if reg, pos = uvarintMultiAt(blk, pos); pos < 0 {
+				return fmt.Errorf("%w: reg at event %d", ErrCorrupt, i)
+			}
+			if uint(pos) < uint(len(blk)) && blk[pos] < 0x80 {
+				uval, pos = uint64(blk[pos]), pos+1
+			} else if uval, pos = uvarintMultiAt(blk, pos); pos < 0 {
+				return fmt.Errorf("%w: reg value at event %d", ErrCorrupt, i)
+			}
+			ev.WroteReg, ev.WrittenReg = true, isa.Reg(reg)
+			ev.WrittenVal = int64(uval>>1) ^ -int64(uval&1)
+		}
+		if tag&tagHasMem != 0 {
+			var addr, uval uint64
+			if uint(pos) < uint(len(blk)) && blk[pos] < 0x80 {
+				addr, pos = uint64(blk[pos]), pos+1
+			} else if addr, pos = uvarintMultiAt(blk, pos); pos < 0 {
+				return fmt.Errorf("%w: mem addr at event %d", ErrCorrupt, i)
+			}
+			if uint(pos) < uint(len(blk)) && blk[pos] < 0x80 {
+				uval, pos = uint64(blk[pos]), pos+1
+			} else if uval, pos = uvarintMultiAt(blk, pos); pos < 0 {
+				return fmt.Errorf("%w: mem value at event %d", ErrCorrupt, i)
+			}
+			ev.MemAddr = addr
+			ev.MemVal = int64(uval>>1) ^ -int64(uval&1)
+		}
+	}
+	if full && pos != len(blk) {
+		return fmt.Errorf("%w: %d trailing bytes in block", ErrCorrupt, len(blk)-pos)
+	}
+	return nil
+}
+
+// --- packed event records (archive blocks) ---
+//
+// The replay archive's block payload trades a little size for decode
+// speed: instead of stop-bit varints (whose per-byte scan dominates the
+// replay hot loop), every field carries a 2-bit byte-length code and is
+// stored little-endian in 1, 2, 4 or 8 bytes. A field then decodes with
+// one unconditional 8-byte load and a mask — no data-dependent
+// branching. Each block payload ends with blockPad zero bytes so those
+// loads can never run past the buffer.
+//
+// Per event:
+//
+//	h0:  bit0 taken, bit1 wroteReg, bit2 hasMem,
+//	     bits3-4 pc length code, bits5-6 target length code
+//	h1:  present iff wroteReg or hasMem —
+//	     bits0-1 written-value code, bits2-3 mem-addr code,
+//	     bits4-5 mem-value code
+//	then pc, [target], [reg (always 1 byte), written value],
+//	[mem addr, mem value]; signed values are zigzagged first.
+//
+// Length code c means 1<<c bytes.
+
+const (
+	pkTaken    = 1 << 0
+	pkWroteReg = 1 << 1
+	pkHasMem   = 1 << 2
+
+	// blockPad is the zero padding sealing every packed block payload.
+	blockPad = 8
+)
+
+// pkMask[c] keeps the low 1<<c bytes of a 64-bit load.
+var pkMask = [4]uint64{0xff, 0xffff, 0xffffffff, ^uint64(0)}
+
+// lenCode returns the 2-bit code of the smallest field width holding u.
+func lenCode(u uint64) byte {
+	switch {
+	case u < 1<<8:
+		return 0
+	case u < 1<<16:
+		return 1
+	case u < 1<<32:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// appendLE appends u in 1<<c little-endian bytes.
+func appendLE(b []byte, u uint64, c byte) []byte {
+	switch c {
+	case 0:
+		return append(b, byte(u))
+	case 1:
+		return append(b, byte(u), byte(u>>8))
+	case 2:
+		return append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	default:
+		return append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+}
+
+// zigzag maps a signed value to the unsigned form lenCode packs well.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// appendEventPacked encodes one event record in the packed archive
+// format. hasMem is derived from the instruction kind, exactly as
+// appendEvent does, so a decoded event is field-identical to the
+// interpreted one.
+func appendEventPacked(b []byte, ev *trace.Event) []byte {
+	pc := uint64(ev.PC)
+	pcC := lenCode(pc)
+	h0 := pcC << 3
+	var tgt uint64
+	var tgtC byte
+	if ev.Taken {
+		tgt = uint64(ev.Target)
+		tgtC = lenCode(tgt)
+		h0 |= pkTaken | tgtC<<5
+	}
+	hasMem := ev.Instr.Kind == isa.KindLoad || ev.Instr.Kind == isa.KindStore
+	if ev.WroteReg {
+		h0 |= pkWroteReg
+	}
+	if hasMem {
+		h0 |= pkHasMem
+	}
+	b = append(b, h0)
+	var wval, mval uint64
+	var wvalC, addrC, mvalC byte
+	if ev.WroteReg || hasMem {
+		if ev.WroteReg {
+			wval = zigzag(ev.WrittenVal)
+			wvalC = lenCode(wval)
+		}
+		if hasMem {
+			mval = zigzag(ev.MemVal)
+			addrC = lenCode(ev.MemAddr)
+			mvalC = lenCode(mval)
+		}
+		b = append(b, wvalC|addrC<<2|mvalC<<4)
+	}
+	b = appendLE(b, pc, pcC)
+	if ev.Taken {
+		b = appendLE(b, tgt, tgtC)
+	}
+	if ev.WroteReg {
+		b = append(b, byte(ev.WrittenReg))
+		b = appendLE(b, wval, wvalC)
+	}
+	if hasMem {
+		b = appendLE(b, ev.MemAddr, addrC)
+		b = appendLE(b, mval, mvalC)
+	}
+	return b
+}
+
+// maxPackedEvent is the largest packed record: two header bytes, 8-byte
+// pc and target, the register byte, and three more 8-byte values. Every
+// speculative load in the decoder's fast path stays within
+// pos+maxPackedEvent bytes.
+const maxPackedEvent = 2 + 8 + 8 + 1 + 8 + 8 + 8
+
+// decodeEventsPacked decodes len(evs) packed records from blk into evs,
+// numbering them from base and resolving Instr pointers into code. When
+// full is set the records plus the blockPad zero padding must consume
+// blk exactly; a prefix decode (budget truncation cutting a block
+// mid-way) passes false and leaves the remaining records unread.
+func decodeEventsPacked(blk []byte, evs []trace.Event, base uint64, code []isa.Instr, full bool) error {
+	pos, n := 0, len(blk)
+	i := 0
+
+	// Fast path: while a whole worst-case record fits, one bound check
+	// per event covers every field read. The per-field branches stay —
+	// loop-dominated traces repeat event shapes, so they predict nearly
+	// perfectly and beat branchless masking in practice.
+	for i < len(evs) && pos+maxPackedEvent <= n {
+		h0 := blk[pos]
+		pos++
+		var h1 byte
+		if h0&(pkWroteReg|pkHasMem) != 0 {
+			h1 = blk[pos]
+			pos++
+		}
+		c := h0 >> 3 & 3
+		pc := binary.LittleEndian.Uint64(blk[pos:]) & pkMask[c]
+		pos += 1 << c
+		if pc >= uint64(len(code)) {
+			return fmt.Errorf("%w: pc at event %d", ErrCorrupt, i)
+		}
+		ev := &evs[i]
+		*ev = trace.Event{Index: base + uint64(i), PC: isa.Addr(pc), Instr: &code[pc]}
+		if h0&pkTaken != 0 {
+			c := h0 >> 5 & 3
+			t := binary.LittleEndian.Uint64(blk[pos:]) & pkMask[c]
+			pos += 1 << c
+			ev.Taken, ev.Target = true, isa.Addr(t)
+		}
+		if h0&pkWroteReg != 0 {
+			reg := blk[pos]
+			pos++
+			c := h1 & 3
+			u := binary.LittleEndian.Uint64(blk[pos:]) & pkMask[c]
+			pos += 1 << c
+			ev.WroteReg, ev.WrittenReg = true, isa.Reg(reg)
+			ev.WrittenVal = int64(u>>1) ^ -int64(u&1)
+		}
+		if h0&pkHasMem != 0 {
+			c := h1 >> 2 & 3
+			addr := binary.LittleEndian.Uint64(blk[pos:]) & pkMask[c]
+			pos += 1 << c
+			c = h1 >> 4 & 3
+			u := binary.LittleEndian.Uint64(blk[pos:]) & pkMask[c]
+			pos += 1 << c
+			ev.MemAddr = addr
+			ev.MemVal = int64(u>>1) ^ -int64(u&1)
+		}
+		i++
+	}
+
+	// Checked tail: the last few records of a block, plus anything a
+	// corrupted stream throws at a prefix decode.
+	for ; i < len(evs); i++ {
+		if pos >= n {
+			return fmt.Errorf("%w: block truncated at event %d", ErrCorrupt, i)
+		}
+		h0 := blk[pos]
+		pos++
+		var h1 byte
+		if h0&(pkWroteReg|pkHasMem) != 0 {
+			if pos >= n {
+				return fmt.Errorf("%w: header at event %d", ErrCorrupt, i)
+			}
+			h1 = blk[pos]
+			pos++
+		}
+		if pos+8 > n {
+			return fmt.Errorf("%w: pc at event %d", ErrCorrupt, i)
+		}
+		c := h0 >> 3 & 3
+		pc := binary.LittleEndian.Uint64(blk[pos:]) & pkMask[c]
+		pos += 1 << c
+		if pc >= uint64(len(code)) {
+			return fmt.Errorf("%w: pc at event %d", ErrCorrupt, i)
+		}
+		ev := &evs[i]
+		*ev = trace.Event{Index: base + uint64(i), PC: isa.Addr(pc), Instr: &code[pc]}
+		if h0&pkTaken != 0 {
+			if pos+8 > n {
+				return fmt.Errorf("%w: target at event %d", ErrCorrupt, i)
+			}
+			c := h0 >> 5 & 3
+			t := binary.LittleEndian.Uint64(blk[pos:]) & pkMask[c]
+			pos += 1 << c
+			ev.Taken, ev.Target = true, isa.Addr(t)
+		}
+		if h0&pkWroteReg != 0 {
+			if pos+9 > n {
+				return fmt.Errorf("%w: reg at event %d", ErrCorrupt, i)
+			}
+			reg := blk[pos]
+			pos++
+			c := h1 & 3
+			u := binary.LittleEndian.Uint64(blk[pos:]) & pkMask[c]
+			pos += 1 << c
+			ev.WroteReg, ev.WrittenReg = true, isa.Reg(reg)
+			ev.WrittenVal = int64(u>>1) ^ -int64(u&1)
+		}
+		if h0&pkHasMem != 0 {
+			if pos+8 > n {
+				return fmt.Errorf("%w: mem addr at event %d", ErrCorrupt, i)
+			}
+			c := h1 >> 2 & 3
+			addr := binary.LittleEndian.Uint64(blk[pos:]) & pkMask[c]
+			pos += 1 << c
+			if pos+8 > n {
+				return fmt.Errorf("%w: mem value at event %d", ErrCorrupt, i)
+			}
+			c = h1 >> 4 & 3
+			u := binary.LittleEndian.Uint64(blk[pos:]) & pkMask[c]
+			pos += 1 << c
+			ev.MemAddr = addr
+			ev.MemVal = int64(u>>1) ^ -int64(u&1)
+		}
+	}
+	if full {
+		if pos != n-blockPad {
+			return fmt.Errorf("%w: %d trailing bytes in block", ErrCorrupt, n-blockPad-pos)
+		}
+		for _, c := range blk[pos:] {
+			if c != 0 {
+				return fmt.Errorf("%w: nonzero block padding", ErrCorrupt)
+			}
+		}
+	}
+	return nil
+}

@@ -84,21 +84,7 @@ func NewWriter(w io.Writer, p *program.Program) (*Writer, error) {
 	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16)}
 	head := make([]byte, 0, 64+16*len(p.Code))
 	head = append(head, magicV2...)
-	head = binary.AppendUvarint(head, uint64(len(p.Name)))
-	head = append(head, p.Name...)
-	head = binary.AppendUvarint(head, uint64(p.Entry))
-	head = binary.AppendUvarint(head, uint64(len(p.Code)))
-	for i := range p.Code {
-		in := &p.Code[i]
-		head = binary.AppendUvarint(head, uint64(in.Kind))
-		head = binary.AppendUvarint(head, uint64(in.Op))
-		head = binary.AppendUvarint(head, uint64(in.Cond))
-		head = binary.AppendUvarint(head, uint64(in.Rd))
-		head = binary.AppendUvarint(head, uint64(in.Rs1))
-		head = binary.AppendUvarint(head, uint64(in.Rs2))
-		head = binary.AppendVarint(head, in.Imm)
-		head = binary.AppendUvarint(head, uint64(in.Target))
-	}
+	head = appendProgram(head, p)
 	if _, err := tw.w.Write(head); err != nil {
 		return nil, err
 	}
@@ -107,31 +93,7 @@ func NewWriter(w io.Writer, p *program.Program) (*Writer, error) {
 
 // append encodes one event record onto the pending block.
 func (tw *Writer) append(ev *trace.Event) {
-	var tag byte
-	if ev.Taken {
-		tag |= tagTaken
-	}
-	if ev.WroteReg {
-		tag |= tagWroteReg
-	}
-	hasMem := ev.Instr.Kind == isa.KindLoad || ev.Instr.Kind == isa.KindStore
-	if hasMem {
-		tag |= tagHasMem
-	}
-	b := append(tw.block, tag)
-	b = binary.AppendUvarint(b, uint64(ev.PC))
-	if ev.Taken {
-		b = binary.AppendUvarint(b, uint64(ev.Target))
-	}
-	if ev.WroteReg {
-		b = binary.AppendUvarint(b, uint64(ev.WrittenReg))
-		b = binary.AppendVarint(b, ev.WrittenVal)
-	}
-	if hasMem {
-		b = binary.AppendUvarint(b, ev.MemAddr)
-		b = binary.AppendVarint(b, ev.MemVal)
-	}
-	tw.block = b
+	tw.block = appendEvent(tw.block, ev)
 	tw.blockEvents++
 	tw.events++
 }
@@ -235,58 +197,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 	default:
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	nameLen, err := binary.ReadUvarint(br)
+	p, err := readProgram(br)
 	if err != nil {
-		return nil, fmt.Errorf("%w: name", ErrCorrupt)
-	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("%w: name bytes", ErrCorrupt)
-	}
-	entry, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: entry", ErrCorrupt)
-	}
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: instruction count", ErrCorrupt)
-	}
-	const maxInstrs = 64 << 20
-	if count > maxInstrs {
-		return nil, fmt.Errorf("%w: program too large (%d instructions)", ErrCorrupt, count)
-	}
-	code := make([]isa.Instr, count)
-	for i := range code {
-		in := &code[i]
-		u := func() uint64 {
-			v, e := binary.ReadUvarint(br)
-			if e != nil && err == nil {
-				err = e
-			}
-			return v
-		}
-		v := func() int64 {
-			v, e := binary.ReadVarint(br)
-			if e != nil && err == nil {
-				err = e
-			}
-			return v
-		}
-		in.Kind = isa.Kind(u())
-		in.Op = isa.ALUOp(u())
-		in.Cond = isa.Cond(u())
-		in.Rd = isa.Reg(u())
-		in.Rs1 = isa.Reg(u())
-		in.Rs2 = isa.Reg(u())
-		in.Imm = v()
-		in.Target = isa.Addr(u())
-		if err != nil {
-			return nil, fmt.Errorf("%w: instruction %d", ErrCorrupt, i)
-		}
-	}
-	p := &program.Program{Name: string(name), Code: code, Entry: isa.Addr(entry)}
-	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: embedded program: %v", ErrCorrupt, err)
+		return nil, err
 	}
 	return &Reader{r: br, prog: p, v1: v1}, nil
 }
@@ -359,70 +272,7 @@ func (r *Reader) decodeBlock(blk []byte, count int, base uint64) error {
 		r.evs = make([]trace.Event, count)
 	}
 	r.evs = r.evs[:count]
-	code := r.prog.Code
-	pos := 0
-	uv := func() (uint64, bool) {
-		v, k := binary.Uvarint(blk[pos:])
-		if k <= 0 {
-			return 0, false
-		}
-		pos += k
-		return v, true
-	}
-	sv := func() (int64, bool) {
-		v, k := binary.Varint(blk[pos:])
-		if k <= 0 {
-			return 0, false
-		}
-		pos += k
-		return v, true
-	}
-	for i := 0; i < count; i++ {
-		if pos >= len(blk) {
-			return fmt.Errorf("%w: block truncated at event %d", ErrCorrupt, i)
-		}
-		tag := blk[pos]
-		pos++
-		pc, ok := uv()
-		if !ok || pc >= uint64(len(code)) {
-			return fmt.Errorf("%w: pc at event %d", ErrCorrupt, i)
-		}
-		ev := &r.evs[i]
-		*ev = trace.Event{Index: base + uint64(i), PC: isa.Addr(pc), Instr: &code[pc]}
-		if tag&tagTaken != 0 {
-			t, ok := uv()
-			if !ok {
-				return fmt.Errorf("%w: target at event %d", ErrCorrupt, i)
-			}
-			ev.Taken, ev.Target = true, isa.Addr(t)
-		}
-		if tag&tagWroteReg != 0 {
-			reg, ok := uv()
-			if !ok {
-				return fmt.Errorf("%w: reg at event %d", ErrCorrupt, i)
-			}
-			val, ok := sv()
-			if !ok {
-				return fmt.Errorf("%w: reg value at event %d", ErrCorrupt, i)
-			}
-			ev.WroteReg, ev.WrittenReg, ev.WrittenVal = true, isa.Reg(reg), val
-		}
-		if tag&tagHasMem != 0 {
-			addr, ok := uv()
-			if !ok {
-				return fmt.Errorf("%w: mem addr at event %d", ErrCorrupt, i)
-			}
-			val, ok := sv()
-			if !ok {
-				return fmt.Errorf("%w: mem value at event %d", ErrCorrupt, i)
-			}
-			ev.MemAddr, ev.MemVal = addr, val
-		}
-	}
-	if pos != len(blk) {
-		return fmt.Errorf("%w: %d trailing bytes in block", ErrCorrupt, len(blk)-pos)
-	}
-	return nil
+	return decodeEvents(blk, r.evs, base, r.prog.Code, true)
 }
 
 // replayV1 replays a legacy unframed trace, accumulating events into the

@@ -162,6 +162,8 @@ type RunnerStats struct {
 	DiskHits   uint64 `json:"disk_hits"`
 	DiskPuts   uint64 `json:"disk_puts"`
 	TierErrors uint64 `json:"tier_errors"`
+	ReplayRuns uint64 `json:"replay_runs"`
+	RecordRuns uint64 `json:"record_runs"`
 }
 
 // StoreStats mirrors store.Stats for the stats endpoint.

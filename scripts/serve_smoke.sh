@@ -7,7 +7,10 @@
 # does the same for a user-authored declarative grid spec (local run vs
 # POST /v1/grid, plus a registered grid by name, plus the /v1/grids
 # listing), restarts the daemon over the warm store and asserts the
-# sweep is served purely from disk (zero traversals), then SIGINTs the
+# sweep is served purely from disk (zero traversals), then restarts it
+# again with a warm trace archive and a FRESH store and asserts the
+# sweep is served purely by replay (zero traversals, nonzero
+# replay_runs, byte-identical to the local run), then SIGINTs the
 # daemon and asserts a graceful zero exit. CI runs this; it is also
 # handy locally: scripts/serve_smoke.sh
 set -euo pipefail
@@ -39,7 +42,9 @@ wait_healthy() {
 }
 
 start_daemon() {
-  "$BIN" serve -addr "$ADDR" -store "$STORE" -parallel 4 2>"$WORK/serve-$1.log" &
+  local name=$1
+  shift
+  "$BIN" serve -addr "$ADDR" -parallel 4 "$@" 2>"$WORK/serve-$name.log" &
   SERVE_PID=$!
   wait_healthy
 }
@@ -74,7 +79,7 @@ JSON
 "$BIN" grid -name table2 -bench swim,compress -n 200000 -parallel 1 >"$WORK/named-local.txt"
 
 echo "serve_smoke: daemon round trip"
-start_daemon cold
+start_daemon cold -store "$STORE"
 "$BIN" sweep "${SWEEP_ARGS[@]}" -remote "$BASE" >"$WORK/remote1.txt"
 "$BIN" sweep "${SWEEP_ARGS[@]}" -remote "$BASE" >"$WORK/remote2.txt"
 cmp "$WORK/local.txt" "$WORK/remote1.txt" || fail "remote sweep differs from local run"
@@ -93,7 +98,7 @@ esac
 stop_daemon_gracefully
 
 echo "serve_smoke: warm-store restart"
-start_daemon warm
+start_daemon warm -store "$STORE"
 "$BIN" sweep "${SWEEP_ARGS[@]}" -remote "$BASE" >"$WORK/remote3.txt"
 cmp "$WORK/local.txt" "$WORK/remote3.txt" || fail "warm-store sweep differs from local run"
 STATS="$(curl -sf "$BASE/v1/stats")"
@@ -105,6 +110,27 @@ esac
 case "$STATS" in
   *'"executed":0'*) ;;
   *) fail "warm-store daemon re-executed cells: $STATS" ;;
+esac
+stop_daemon_gracefully
+
+echo "serve_smoke: warm trace archive, fresh store — replay tier"
+TRACES="$WORK/traces"
+"$BIN" sweep "${SWEEP_ARGS[@]}" -traces "$TRACES" -parallel 1 >/dev/null
+start_daemon traces -store "$WORK/store-traces" -traces "$TRACES"
+"$BIN" sweep "${SWEEP_ARGS[@]}" -remote "$BASE" >"$WORK/remote4.txt"
+cmp "$WORK/local.txt" "$WORK/remote4.txt" || fail "replayed remote sweep differs from local run"
+STATS="$(curl -sf "$BASE/v1/stats")"
+echo "serve_smoke: replay stats: $STATS"
+case "$STATS" in
+  *'"traversals":0'*) ;;
+  *) fail "traced daemon made interpreter traversals: $STATS" ;;
+esac
+case "$STATS" in
+  *'"replay_runs":0'*) fail "traced daemon never replayed: $STATS" ;;
+esac
+case "$STATS" in
+  *'"record_runs":0'*) ;;
+  *) fail "traced daemon re-recorded archived groups: $STATS" ;;
 esac
 stop_daemon_gracefully
 
