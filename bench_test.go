@@ -183,7 +183,7 @@ func BenchmarkAblationNestRule(b *testing.B) {
 // Table-1 statistics collector and a 4-TU STR(3) speculation engine
 // attached — at the given event-batch size (0 = default). time/op is
 // ns/instruction.
-func benchPipeline(b *testing.B, batchSize int) {
+func benchPipeline(b *testing.B, batchSize int, reference bool) {
 	bm, err := dynloop.BenchmarkByName("swim")
 	if err != nil {
 		b.Fatal(err)
@@ -197,6 +197,7 @@ func benchPipeline(b *testing.B, batchSize int) {
 	det.AddObserver(spec.NewEngine(spec.Config{TUs: 4, Policy: spec.STRn(3)}))
 	cpu := u.NewCPU()
 	cpu.SetBatchSize(batchSize)
+	cpu.SetReference(reference)
 	b.ReportAllocs()
 	b.ResetTimer()
 	remaining := uint64(b.N)
@@ -212,6 +213,7 @@ func benchPipeline(b *testing.B, batchSize int) {
 		if cpu.Halted() {
 			cpu = u.NewCPU()
 			cpu.SetBatchSize(batchSize)
+			cpu.SetReference(reference)
 		}
 	}
 }
@@ -222,7 +224,19 @@ func benchPipeline(b *testing.B, batchSize int) {
 // per-instruction steady-state allocation count the batch pipeline pins
 // at 0.
 func BenchmarkRun(b *testing.B) {
-	benchPipeline(b, 0)
+	benchPipeline(b, 0, false)
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkRunReference runs the same pipeline on the interpreter's
+// reference path (two-level dispatch, no predecode, no fusion). The
+// gap between this and BenchmarkRun is the tentpole's win, and keeping
+// both under one harness makes the A/B a single -bench invocation:
+//
+//	go test -run=^$ -bench='^BenchmarkRun(Reference)?$' .
+func BenchmarkRunReference(b *testing.B) {
+	benchPipeline(b, 0, true)
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
@@ -235,7 +249,7 @@ func BenchmarkRun(b *testing.B) {
 // at the knee.
 func BenchmarkRunBatchSize(b *testing.B) {
 	for _, bs := range []int{1, 64, 256, 512, 1024, 2048, 4096} {
-		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) { benchPipeline(b, bs) })
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) { benchPipeline(b, bs, false) })
 	}
 }
 
@@ -563,6 +577,30 @@ func BenchmarkTraceReplay(b *testing.B) {
 				chunk = rec.Events()
 			}
 			nn, _, err := rec.Replay(chunk, d, h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			remaining -= nn
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+	})
+	// decode isolates the codec itself (nil sink): the floor the replay
+	// number converges to as consumers get cheaper.
+	b.Run("decode", func(b *testing.B) {
+		d := &dynloop.TraceDecoder{}
+		if _, _, err := rec.Replay(n, d, nil); err != nil { // warm the decoder
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		remaining := uint64(b.N)
+		for remaining > 0 {
+			chunk := remaining
+			if chunk > rec.Events() {
+				chunk = rec.Events()
+			}
+			nn, _, err := rec.Replay(chunk, d, nil)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,155 @@
+// Differential fuzzing of the interpreter core: arbitrary (bounded)
+// programs must execute identically on the predecoded+fused fast path
+// and the reference two-level interpreter — same event stream, same
+// machine state, same error — and any stream the fast path emits must
+// survive a trace-archive record/replay round trip event for event.
+package dynloop_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dynloop/internal/interp"
+	"dynloop/internal/isa"
+	"dynloop/internal/program"
+	"dynloop/internal/trace"
+	"dynloop/internal/tracefile"
+)
+
+// fuzzProgram decodes fuzz bytes into an in-range program: registers
+// and sequence IDs are taken mod their file sizes and control targets
+// mod the final code length, so the only machine checks reachable are
+// the ones both interpreter paths must agree on (call depth, ret on an
+// empty stack, running off the end). A trailing halt bounds the common
+// case; a budget cap in the caller bounds the loops.
+func fuzzProgram(data []byte) *program.Program {
+	const maxLen = 96
+	var code []isa.Instr
+	for i := 0; i+2 < len(data) && len(code) < maxLen; i += 3 {
+		sel, a, b := data[i], data[i+1], data[i+2]
+		rd := isa.Reg(a % isa.NumRegs)
+		rs := isa.Reg(b % isa.NumRegs)
+		// Immediates sweep the codec's width classes: a signed byte
+		// shifted by 0..56 bits.
+		imm := int64(int8(b)) << (uint(a>>2) % 57)
+		switch sel % 13 {
+		case 0:
+			ops := []isa.ALUOp{isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpAnd,
+				isa.OpOr, isa.OpXor, isa.OpSlt, isa.OpMod}
+			code = append(code, isa.ALU(ops[a%8], rd, rs, isa.Reg(a%isa.NumRegs)))
+		case 1:
+			code = append(code, isa.AddI(rd, rs, imm))
+		case 2:
+			code = append(code, isa.MovI(rd, imm))
+		case 3:
+			code = append(code, isa.Mov(rd, rs))
+		case 4:
+			code = append(code, isa.Load(rd, rs, int64(a%64)*8))
+		case 5:
+			code = append(code, isa.Store(rd, int64(a%64)*8, rs))
+		case 6:
+			conds := []isa.Cond{isa.CondEQZ, isa.CondNEZ, isa.CondLTZ,
+				isa.CondGEZ, isa.CondGTZ, isa.CondLEZ}
+			code = append(code, isa.Branch(conds[a%6], rs, isa.Addr(b))) // target fixed below
+		case 7:
+			code = append(code, isa.Jump(isa.Addr(b)))
+		case 8:
+			code = append(code, isa.Call(isa.Addr(b)))
+		case 9:
+			code = append(code, isa.Ret())
+		case 10:
+			code = append(code, isa.Seq(rd, int64(a%4)))
+		case 11:
+			code = append(code, isa.Nop())
+		case 12:
+			code = append(code, isa.Halt())
+		}
+	}
+	code = append(code, isa.Halt())
+	n := isa.Addr(len(code))
+	for i := range code {
+		if code[i].Kind.IsControl() && code[i].Kind != isa.KindRet {
+			code[i].Target %= n
+		}
+	}
+	return &program.Program{Name: "fuzz", Code: code}
+}
+
+func newFuzzCPU(p *program.Program, reference bool) *interp.CPU {
+	c := interp.New(p)
+	c.SetReference(reference)
+	for id := int64(0); id < 4; id++ {
+		c.BindSeq(id, interp.Counter(id*7+1, id+1))
+	}
+	return c
+}
+
+func FuzzPredecode(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{2, 1, 5, 1, 2, 255, 6, 0, 0}, uint8(1)) // movi, addi, branch
+	f.Add([]byte{2, 3, 16, 5, 3, 1, 4, 3, 1}, uint8(3))  // movi, store, load
+	f.Add([]byte{8, 0, 4, 12, 0, 0, 9, 0, 0}, uint8(2))  // call over a halt, ret
+	f.Add([]byte{10, 1, 0, 10, 2, 1, 7, 0, 0}, uint8(7)) // seqs and a jump
+	f.Fuzz(func(t *testing.T, data []byte, bsel uint8) {
+		p := fuzzProgram(data)
+		batch := []int{0, 1, 3, 256}[bsel%4]
+		const budget = 2000
+
+		fused := newFuzzCPU(p, false)
+		fused.SetBatchSize(batch)
+		frec := &trace.Recorder{}
+		fn, ferr := fused.Run(budget, frec)
+
+		ref := newFuzzCPU(p, true)
+		ref.SetBatchSize(batch)
+		rrec := &trace.Recorder{}
+		rn, rerr := ref.Run(budget, rrec)
+
+		if (ferr == nil) != (rerr == nil) || (ferr != nil && ferr.Error() != rerr.Error()) {
+			t.Fatalf("errors diverged: fused %v, reference %v", ferr, rerr)
+		}
+		if fn != rn {
+			t.Fatalf("retired %d fused vs %d reference", fn, rn)
+		}
+		if !reflect.DeepEqual(frec.Events, rrec.Events) {
+			t.Fatalf("streams diverged after %d events", fn)
+		}
+		if fused.PC() != ref.PC() || fused.Halted() != ref.Halted() {
+			t.Fatalf("machine state diverged: pc %d/%d halted %v/%v",
+				fused.PC(), ref.PC(), fused.Halted(), ref.Halted())
+		}
+
+		// Replay leg: a clean run's stream must round-trip through the
+		// archive codec byte for byte.
+		if ferr != nil {
+			return
+		}
+		a, err := tracefile.OpenArchive(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := a.BeginRecord("fuzz", 1, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.ConsumeBatch(frec.Events)
+		if err := rec.Commit(fused.Halted()); err != nil {
+			t.Fatal(err)
+		}
+		r, ok := a.Lookup("fuzz", 1)
+		if !ok {
+			t.Fatal("recording not installed")
+		}
+		prec := &trace.Recorder{}
+		gotN, gotHalted, err := r.Replay(0, nil, prec)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		if gotN != fn || gotHalted != fused.Halted() {
+			t.Fatalf("replay n=%d halted=%v, want %d/%v", gotN, gotHalted, fn, fused.Halted())
+		}
+		if !reflect.DeepEqual(prec.Events, frec.Events) {
+			t.Fatalf("replayed stream differs from live stream")
+		}
+	})
+}

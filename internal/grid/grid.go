@@ -74,6 +74,12 @@ type Config struct {
 	// flag exists for the byte-identity regression tests and for A/B
 	// benchmarking the fusion win.
 	NoFuse bool
+	// Reference runs interpreted traversals on the interpreter's
+	// reference path (two-level switch, no predecode, no superinstruction
+	// fusion; see interp.CPU.SetReference). Like NoFuse it cannot change
+	// results — the two paths emit byte-identical streams, an equivalence
+	// the grid regression tests pin — so it stays out of the cell key.
+	Reference bool
 	// Traces, when non-nil, is the replay tier: group executions that
 	// miss the memory cache and the disk store record their instruction
 	// stream into the trace archive on first interpretation, and every

@@ -55,6 +55,11 @@ func TestCellKeyCoversConfig(t *testing.T) {
 	if b := (Config{Budget: 100, NoFuse: true}).cellKey("spec", "swim", 4); b != a {
 		t.Fatalf("NoFuse leaked into the cell key: %q vs %q", b, a)
 	}
+	// Same for the interpreter's reference path: it emits byte-identical
+	// streams, so it names the same cell.
+	if b := (Config{Budget: 100, Reference: true}).cellKey("spec", "swim", 4); b != a {
+		t.Fatalf("Reference leaked into the cell key: %q vs %q", b, a)
+	}
 }
 
 // TestCellKeyDelimiterCollisions: the length-prefixed encoding keeps
@@ -272,6 +277,42 @@ func TestRunSeedAxisDecorrelates(t *testing.T) {
 	}
 	if res.Values[0] == res.Values[1] {
 		t.Fatal("distinct seeds produced identical metrics (suspicious)")
+	}
+}
+
+// TestReferencePathByteIdentical pins the equivalence the Reference
+// knob exists to expose: the predecoded+fused interpreter and the
+// reference two-level interpreter must produce byte-identical rendered
+// results for a grid spec, fused-run or not, at any parallelism.
+func TestReferencePathByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	spec := Spec{
+		Benchmarks: []string{"swim", "gcc"},
+		Seeds:      []uint64{1, 2},
+		TUs:        []int{2},
+		Policies:   []string{"str"},
+	}
+	render := func(cfg Config) string {
+		t.Helper()
+		res, err := Run(ctx, cfg, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := RenderLayout(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	base := render(Config{Budget: 50_000})
+	for i, cfg := range []Config{
+		{Budget: 50_000, Reference: true},
+		{Budget: 50_000, Reference: true, NoFuse: true},
+		{Budget: 50_000, Reference: true, Parallel: 8},
+	} {
+		if got := render(cfg); got != base {
+			t.Fatalf("variant %d: reference render differs from fused:\n%s\nvs\n%s", i, got, base)
+		}
 	}
 }
 

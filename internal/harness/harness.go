@@ -116,6 +116,11 @@ type MultiConfig struct {
 	// (see trace.Broadcast). <= 1 runs the passes inline. Passes are
 	// independent, so sharding changes wall-clock only, never results.
 	Shards int
+	// Reference selects the interpreter's reference path (two-level
+	// switch, no predecode, no fusion; see interp.CPU.SetReference).
+	// Streams and results are byte-identical to the default path; the
+	// knob exists so experiments can pin that equivalence end to end.
+	Reference bool
 }
 
 // MultiResult reports what a fused run did.
@@ -138,6 +143,7 @@ func MultiRun(u *builder.Unit, cfg MultiConfig, passes ...trace.Pass) (MultiResu
 	traversals.Add(1)
 	cpu := u.NewCPU()
 	cpu.SetBatchSize(cfg.BatchSize)
+	cpu.SetReference(cfg.Reference)
 	b := trace.NewBroadcast(cfg.Shards, passes...)
 	b.Init()
 	n, err := cpu.Run(cfg.Budget, b)

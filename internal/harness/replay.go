@@ -99,6 +99,7 @@ func (t *Traces) MultiRun(ctx context.Context, bench string, seed uint64,
 	traversals.Add(1)
 	cpu := u.NewCPU()
 	cpu.SetBatchSize(cfg.BatchSize)
+	cpu.SetReference(cfg.Reference)
 	b := trace.NewBroadcast(cfg.Shards, passes...)
 	b.Init()
 	n, err := cpu.Run(cfg.Budget, trace.BatchTee{rec, b})

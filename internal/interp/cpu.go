@@ -4,12 +4,21 @@
 // engine and data-speculation statistics all run as consumers of the
 // stream this interpreter produces.
 //
+// Execution is driven from a predecoded micro-op array built once per
+// CPU (see predecode.go): a dense single-switch dispatch with peephole
+// superinstruction fusion for the dominant loop idioms. The original
+// two-level Kind/Op interpreter is retained verbatim as a reference
+// path (SetReference) for differential testing; both paths emit
+// byte-identical event streams.
+//
 // Events are delivered in batches: Run fills a reusable buffer of
 // DefaultBatchSize events (see SetBatchSize) and flushes it through
 // trace.BatchConsumer, so the consumer side costs one interface call per
 // batch instead of one per instruction. The buffer is allocated once and
 // reused across batches and Run calls — the steady-state hot path does
-// not allocate.
+// not allocate. When Run has no sink it executes the same loop against a
+// small CPU-owned scratch batch, so the retire loop has exactly one code
+// path.
 package interp
 
 import (
@@ -44,11 +53,18 @@ const MaxCallDepth = 4096
 // L2 — 4096 (~360 KiB) measured ~10% slower on the reference host.
 const DefaultBatchSize = 1024
 
+// scratchSize is the batch size of the no-sink scratch buffer. It must
+// be at least 2 so fused micro-ops can retire both constituents into it.
+const scratchSize = 2
+
 // CPU is a single-context interpreter. Create one with New, then call Run.
 type CPU struct {
 	prog *program.Program
 	regs [isa.NumRegs]int64
 	mem  Memory
+	// ops is the predecoded micro-op array (see predecode.go), built
+	// once in New with fusion enabled.
+	ops []uop
 	// stack holds return addresses.
 	stack []isa.Addr
 	pc    isa.Addr
@@ -57,20 +73,28 @@ type CPU struct {
 	// retired counts instructions executed so far across Run calls.
 	retired uint64
 	halted  bool
+	// reference selects the retained two-level-switch interpreter (no
+	// predecode, no fusion) for differential testing.
+	reference bool
 
 	// batch is the reusable event buffer (len == cap == batchSize); it is
 	// allocated lazily on the first Run with a sink and reused afterwards.
+	// ctl is the control-transfer index side channel delivered with each
+	// batch to trace.SegmentedBatchConsumer sinks (same length as batch).
 	batch     []trace.Event
+	ctl       []int32
 	batchSize int
-	// scratch receives event writes when Run has no sink, keeping the
-	// execution switch on a single code path without heap-escaping an
-	// event per instruction.
-	scratch trace.Event
+	// scratch/scratchCtl receive event writes when Run has no sink,
+	// keeping the execution loop on a single code path without
+	// heap-escaping an event per instruction.
+	scratch    [scratchSize]trace.Event
+	scratchCtl [scratchSize]int32
 }
 
 // New returns a CPU ready to execute p from its entry point.
 func New(p *program.Program) *CPU {
-	return &CPU{prog: p, pc: p.Entry, seqs: make(map[int64]Sequence)}
+	return &CPU{prog: p, pc: p.Entry, seqs: make(map[int64]Sequence),
+		ops: predecode(p, true)}
 }
 
 // BindSeq attaches a value sequence to id; KindSeq instructions with that
@@ -95,6 +119,16 @@ func (c *CPU) Halted() bool { return c.halted }
 // PC returns the current program counter.
 func (c *CPU) PC() isa.Addr { return c.pc }
 
+// SetReference selects (true) or deselects (false) the reference
+// interpreter: the original two-level Kind/Op switch over isa.Instr,
+// with no predecode and no superinstruction fusion. Both paths emit
+// byte-identical event streams and machine state; the reference path
+// exists so differential tests (and suspicious users) can pin that.
+func (c *CPU) SetReference(on bool) { c.reference = on }
+
+// Reference reports whether the reference interpreter is selected.
+func (c *CPU) Reference() bool { return c.reference }
+
 // SetBatchSize sets the event-batch size for subsequent Run calls
 // (n <= 0 selects DefaultBatchSize). Batch size only affects delivery
 // granularity — consumers see the same events in the same order at any
@@ -106,7 +140,7 @@ func (c *CPU) SetBatchSize(n int) {
 	}
 	if n != c.batchSize {
 		c.batchSize = n
-		c.batch = nil
+		c.batch, c.ctl = nil, nil
 	}
 }
 
@@ -132,20 +166,33 @@ func (c *CPU) Run(budget uint64, sink trace.BatchConsumer) (uint64, error) {
 	if c.prog == nil {
 		return 0, ErrNoProgram
 	}
-	var buf []trace.Event
+	buf, ctl := c.scratch[:], c.scratchCtl[:]
+	var seg trace.SegmentedBatchConsumer
 	if sink != nil {
 		if c.batch == nil {
 			c.batch = make([]trace.Event, c.BatchSize())
+			c.ctl = make([]int32, c.BatchSize())
 		}
-		buf = c.batch
+		buf, ctl = c.batch, c.ctl
+		seg, _ = sink.(trace.SegmentedBatchConsumer)
 	}
+	if c.reference {
+		return c.runRef(budget, sink, buf)
+	}
+	return c.runPre(budget, sink, seg, buf, ctl)
+}
+
+// runRef is the reference interpreter: the original two-level switch
+// over isa.Instr, kept byte-for-byte semantics-equivalent to the
+// predecoded path. Differential tests run both and compare streams.
+func (c *CPU) runRef(budget uint64, sink trace.BatchConsumer, buf []trace.Event) (uint64, error) {
 	// k is the number of committed events in buf.
 	k := 0
 	flush := func() {
 		if sink != nil && k > 0 {
 			sink.ConsumeBatch(buf[:k])
-			k = 0
 		}
+		k = 0
 	}
 	var done uint64
 	code := c.prog.Code
@@ -156,10 +203,7 @@ func (c *CPU) Run(budget uint64, sink trace.BatchConsumer) (uint64, error) {
 			return done, fmt.Errorf("%w: pc=%d len=%d", ErrPC, c.pc, n)
 		}
 		in := &code[c.pc]
-		ev := &c.scratch
-		if sink != nil {
-			ev = &buf[k]
-		}
+		ev := &buf[k]
 		*ev = trace.Event{Index: c.retired, PC: c.pc, Instr: in}
 		next := c.pc + 1
 		switch in.Kind {
@@ -218,11 +262,11 @@ func (c *CPU) Run(budget uint64, sink trace.BatchConsumer) (uint64, error) {
 		c.retired++
 		done++
 		c.pc = next
-		if sink != nil {
-			if k++; k == len(buf) {
+		if k++; k == len(buf) {
+			if sink != nil {
 				sink.ConsumeBatch(buf)
-				k = 0
 			}
+			k = 0
 		}
 	}
 	flush()

@@ -95,6 +95,14 @@ func (k Kind) IsControl() bool {
 	return false
 }
 
+// TouchesMem reports whether instructions of this kind access data
+// memory (and therefore carry the MemAddr/MemVal event facet). The
+// trace codecs and the interpreter's predecoder share this single
+// definition so an encoded event always round-trips field-identical.
+func (k Kind) TouchesMem() bool {
+	return k == KindLoad || k == KindStore
+}
+
 // ALUOp selects the operation of a KindALU instruction.
 type ALUOp uint8
 

@@ -121,6 +121,18 @@ func TestKindProperties(t *testing.T) {
 			t.Errorf("kind %d has no name", k)
 		}
 	}
+	// TouchesMem gates the MemAddr/MemVal event facet; the trace codecs
+	// and the predecoder both key off it, so pin it kind by kind.
+	for k, want := range map[Kind]bool{
+		KindLoad: true, KindStore: true,
+		KindALU: false, KindBranch: false, KindJump: false, KindCall: false,
+		KindRet: false, KindSeq: false, KindHalt: false, KindNop: false,
+		Kind(99): false,
+	} {
+		if k.TouchesMem() != want {
+			t.Errorf("%s.TouchesMem() = %v, want %v", k, !want, want)
+		}
+	}
 }
 
 // TestStringsExhaustive: every defined kind, op and condition has a

@@ -135,3 +135,61 @@ func TestConsumeBatchMatchesConsume(t *testing.T) {
 		}
 	}
 }
+
+// segmentIndices computes the ctl side channel a producer would deliver
+// for a batch: the ascending indices of its run-boundary events.
+func segmentIndices(evs []trace.Event) []int32 {
+	var ctl []int32
+	for i := range evs {
+		switch evs[i].Instr.Kind {
+		case isa.KindBranch, isa.KindJump, isa.KindRet:
+			ctl = append(ctl, int32(i))
+		}
+	}
+	return ctl
+}
+
+// TestConsumeBatchSegmentedMatchesBatch pins the SegmentedBatchConsumer
+// contract on the detector: fed producer-computed control indices, it
+// must emit exactly the callback sequence and stats of the plain batch
+// path, for arbitrary streams and chunkings.
+func TestConsumeBatchSegmentedMatchesBatch(t *testing.T) {
+	for _, chunk := range []int{1, 3, 64, 1000} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			evs := randomStream(seed*2654435761, 1000)
+
+			ref := New(Config{Capacity: 8})
+			refObs := &logObs{batch: true}
+			ref.AddObserver(refObs)
+			seg := New(Config{Capacity: 8})
+			segObs := &logObs{batch: true}
+			seg.AddObserver(segObs)
+
+			for i := 0; i < len(evs); i += chunk {
+				end := i + chunk
+				if end > len(evs) {
+					end = len(evs)
+				}
+				ref.ConsumeBatch(evs[i:end])
+				seg.ConsumeBatchSegmented(evs[i:end], segmentIndices(evs[i:end]))
+			}
+			ref.Flush()
+			seg.Flush()
+
+			if len(refObs.log) != len(segObs.log) {
+				t.Fatalf("chunk=%d seed=%d: %d callbacks, want %d",
+					chunk, seed, len(segObs.log), len(refObs.log))
+			}
+			for i := range refObs.log {
+				if refObs.log[i] != segObs.log[i] {
+					t.Fatalf("chunk=%d seed=%d: callback %d = %q, want %q",
+						chunk, seed, i, segObs.log[i], refObs.log[i])
+				}
+			}
+			if ref.Stats() != seg.Stats() {
+				t.Fatalf("chunk=%d seed=%d: stats %+v, want %+v",
+					chunk, seed, seg.Stats(), ref.Stats())
+			}
+		}
+	}
+}

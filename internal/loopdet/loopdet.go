@@ -310,6 +310,33 @@ func (d *Detector) ConsumeBatch(evs []trace.Event) {
 	d.last = evs[len(evs)-1].Index
 }
 
+// ConsumeBatchSegmented processes a batch whose control-transfer indices
+// the producer already knows (trace.SegmentedBatchConsumer): ctl lists,
+// ascending, the indices into evs of the events with Kind branch, jump
+// or ret. The result is identical to ConsumeBatch; the detector just
+// skips its own per-event kind scan and walks boundary to boundary.
+func (d *Detector) ConsumeBatchSegmented(evs []trace.Event, ctl []int32) {
+	if len(evs) == 0 {
+		return
+	}
+	if d.flushMask != 0 {
+		d.consumeBatchSlow(evs)
+		return
+	}
+	d.stats.Instrs += uint64(len(evs))
+	start := 0
+	for _, ci := range ctl {
+		i := int(ci)
+		ev := &evs[i]
+		d.emitStream(evs[start : i+1])
+		start = i + 1
+		d.last = ev.Index
+		d.transfer(ev)
+	}
+	d.emitStream(evs[start:])
+	d.last = evs[len(evs)-1].Index
+}
+
 // transfer applies the loop rules for one control-transfer instruction
 // (a no-op for any other kind). Every consume path funnels through it so
 // the scalar and batch paths cannot drift apart.

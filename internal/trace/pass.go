@@ -30,12 +30,24 @@ type passAdapter struct{ BatchConsumer }
 func (passAdapter) Init()     {}
 func (passAdapter) Finalize() {}
 
+// segPassAdapter is passAdapter for segmentation-capable consumers; the
+// embedded interface keeps ConsumeBatchSegmented visible through the
+// Pass so Broadcast's segmented delivery reaches the consumer.
+type segPassAdapter struct{ SegmentedBatchConsumer }
+
+func (segPassAdapter) Init()     {}
+func (segPassAdapter) Finalize() {}
+
 // AsPass adapts a plain batch consumer to the Pass interface with no-op
 // Init/Finalize. Consumers that already implement Pass are returned
-// unwrapped.
+// unwrapped; segmentation-capable consumers keep their segmented batch
+// method visible through the adapter.
 func AsPass(c BatchConsumer) Pass {
 	if p, ok := c.(Pass); ok {
 		return p
+	}
+	if sc, ok := c.(SegmentedBatchConsumer); ok {
+		return segPassAdapter{sc}
 	}
 	return passAdapter{c}
 }
@@ -127,6 +139,27 @@ func (b *Broadcast) ConsumeBatch(evs []Event) {
 		ch <- evs
 	}
 	b.wg.Wait()
+}
+
+// ConsumeBatchSegmented delivers one epoch with its producer-computed
+// control-transfer indices. On the inline path, passes that implement
+// SegmentedBatchConsumer receive the indices and skip their own kind
+// scan; other passes get a plain ConsumeBatch. The sharded path falls
+// back to plain delivery (the work channels carry only the event slice),
+// which is observably identical by the SegmentedBatchConsumer contract.
+func (b *Broadcast) ConsumeBatchSegmented(evs []Event, ctl []int32) {
+	if b.work != nil {
+		b.ConsumeBatch(evs)
+		return
+	}
+	b.epochs++
+	for _, p := range b.passes {
+		if sp, ok := p.(SegmentedBatchConsumer); ok {
+			sp.ConsumeBatchSegmented(evs, ctl)
+			continue
+		}
+		p.ConsumeBatch(evs)
+	}
 }
 
 // Finalize stops the shard workers and finalises every pass in

@@ -15,10 +15,13 @@ package tracefile
 //	uvarint  seed
 //	program  image (same encoding as the v2 trace file)
 //	blocks:  tag 0xFE, uvarint event count, uvarint payload length,
-//	         4-byte little-endian CRC32 (IEEE) of the payload,
-//	         then the payload: length-coded packed event records
-//	         (see codec.go) sealed with 8 zero pad bytes so the
-//	         decoder's unconditional 8-byte loads stay in bounds
+//	         uvarint start pc (the pc of the block's first event),
+//	         4-byte little-endian CRC32 (IEEE) of the payload, then
+//	         the payload: the template-driven packed event records
+//	         (see codec.go) as two planes — one header byte per event,
+//	         then the field bytes in event order — sealed with 8 zero
+//	         pad bytes so the decoder's unconditional 8-byte field
+//	         loads stay in bounds
 //	trailer: tag 0xFF, uvarint total event count,
 //	         1 byte halted flag (1 = the program halted at that count)
 //
@@ -61,7 +64,10 @@ const magicArch = "DLTARCH1\n"
 // embedded in every file header. A reader skips files written under any
 // other version (a clean miss, never a stale replay). It is a var so
 // tests can prove the bump-misses-archive property.
-var ArchiveSchemaVersion uint64 = 1
+// Version 2 switched block payloads to the template-driven record
+// format (see codec.go): version-1 files are skipped at Open and
+// re-recorded on the next miss.
+var ArchiveSchemaVersion uint64 = 2
 
 // errInvalid marks a recording whose framing parsed but whose block
 // contents are damaged (CRC mismatch or undecodable records). The file
@@ -79,10 +85,12 @@ type archKey struct {
 }
 
 // blockRef is one CRC-verified block of a loaded recording: the event
-// count and the payload bytes (a subslice of the recording's file
+// count, the pc of the block's first event (the decoder's pc-chain
+// seed) and the payload bytes (a subslice of the recording's file
 // image).
 type blockRef struct {
 	count   uint64
+	startPC uint64
 	payload []byte
 }
 
@@ -99,6 +107,9 @@ type Recording struct {
 	// a Decoder needs.
 	maxBlock int
 	size     int64
+	// tmpls is the per-pc decode-template table (see buildTmpls), built
+	// once at parse.
+	tmpls []evTmpl
 }
 
 // Bench returns the benchmark name the recording was made from.
@@ -132,11 +143,18 @@ func (r *Recording) CanServe(budget uint64) bool {
 	return r.halted || (budget > 0 && budget <= r.events)
 }
 
-// Decoder holds the reusable event buffer for Replay. The zero value is
-// ready to use; after the first Replay warms it, subsequent replays of
-// recordings with the same or smaller block sizes do not allocate.
+// decodeBatch is the replay sub-batch size: blocks decode and deliver
+// in chunks of this many events so the decoded batch (~64 KiB) plus the
+// consumer's working set stay cache-resident — a whole block decodes to
+// several hundred KiB. It matches the interpreter's DefaultBatchSize.
+const decodeBatch = 1024
+
+// Decoder holds the reusable event buffers for Replay. The zero value
+// is ready to use; the first Replay warms it and subsequent replays do
+// not allocate.
 type Decoder struct {
 	evs []trace.Event
+	ctl []int32
 }
 
 // Replay streams the first min(budget, Events) recorded events to sink
@@ -155,10 +173,18 @@ func (r *Recording) Replay(budget uint64, d *Decoder, sink trace.BatchConsumer) 
 	if budget != 0 && budget < limit {
 		limit = budget
 	}
-	if cap(d.evs) < r.maxBlock {
-		d.evs = make([]trace.Event, r.maxBlock)
+	if d.evs == nil {
+		d.evs = make([]trace.Event, decodeBatch)
+		d.ctl = make([]int32, decodeBatch)
 	}
-	code := r.prog.Code
+	// Segmentation-capable sinks get each block's run boundaries as a
+	// side channel, collected during the decode itself (one template-
+	// flag test per event) so the consumer skips its own kind scan.
+	seg, _ := sink.(trace.SegmentedBatchConsumer)
+	ctl := d.ctl
+	if seg == nil {
+		ctl = nil
+	}
 	var n uint64
 	for i := range r.blocks {
 		b := &r.blocks[i]
@@ -169,14 +195,34 @@ func (r *Recording) Replay(budget uint64, d *Decoder, sink trace.BatchConsumer) 
 		if take == 0 {
 			break
 		}
-		evs := d.evs[:take]
-		if err := decodeEventsPacked(b.payload, evs, n, code, take == b.count); err != nil {
-			return n, false, fmt.Errorf("verified block %d failed to decode: %w", i, err)
+		// Decode the block in cache-sized sub-batches: a whole block is
+		// several hundred KiB of decoded events, which would stream the
+		// consumer's working set out of cache between decode and
+		// consumption.
+		wholeBlock := take == b.count
+		hlim := int(b.count)
+		hpos, vpos, pc := 0, hlim, b.startPC
+		for take > 0 {
+			chunk := take
+			if chunk > decodeBatch {
+				chunk = decodeBatch
+			}
+			evs := d.evs[:chunk]
+			last := wholeBlock && chunk == take
+			var cn int
+			var err error
+			hpos, vpos, pc, cn, err = decodeEventsPacked(b.payload, hpos, hlim, vpos, pc, evs, n, r.tmpls, last, ctl)
+			if err != nil {
+				return n, false, fmt.Errorf("verified block %d failed to decode: %w", i, err)
+			}
+			if seg != nil {
+				seg.ConsumeBatchSegmented(evs, d.ctl[:cn])
+			} else if sink != nil {
+				sink.ConsumeBatch(evs)
+			}
+			n += uint64(chunk)
+			take -= uint64(chunk)
 		}
-		if sink != nil {
-			sink.ConsumeBatch(evs)
-		}
-		n += take
 		if n == limit {
 			break
 		}
@@ -375,6 +421,7 @@ func parseArchive(data []byte) (*Recording, int, error) {
 		seed:  seed,
 		prog:  prog,
 		size:  int64(len(data)),
+		tmpls: buildTmpls(prog.Code),
 	}
 	var scratch Decoder
 	for {
@@ -411,7 +458,14 @@ func parseArchive(data []byte) (*Recording, int, error) {
 			if err != nil {
 				return rec, frameStart, nil
 			}
-			if size > maxBlockBytes || count > size || count == 0 {
+			startPC, err := binary.ReadUvarint(br)
+			if err != nil {
+				return rec, frameStart, nil
+			}
+			// Every event owns one header-plane byte and the field plane
+			// ends with blockPad padding, so size >= count+blockPad; the
+			// decoder's header reads rely on this frame check.
+			if size > maxBlockBytes || count == 0 || size < blockPad || count > size-blockPad {
 				return nil, -1, fmt.Errorf("%w: block header (%d events, %d bytes)", ErrCorrupt, count, size)
 			}
 			if uint64(br.Len()) < 4+size {
@@ -424,13 +478,23 @@ func parseArchive(data []byte) (*Recording, int, error) {
 			if crc32.ChecksumIEEE(payload) != crc {
 				return nil, -1, fmt.Errorf("%w: block CRC mismatch at byte %d", errInvalid, frameStart)
 			}
-			if cap(scratch.evs) < int(count) {
-				scratch.evs = make([]trace.Event, count)
+			if scratch.evs == nil {
+				scratch.evs = make([]trace.Event, decodeBatch)
 			}
-			if err := decodeEventsPacked(payload, scratch.evs[:count], rec.events, prog.Code, true); err != nil {
-				return nil, -1, fmt.Errorf("%w: %v", errInvalid, err)
+			hpos, vpos, vpc, left := 0, int(count), startPC, count
+			for left > 0 {
+				chunk := left
+				if chunk > decodeBatch {
+					chunk = decodeBatch
+				}
+				var verr error
+				hpos, vpos, vpc, _, verr = decodeEventsPacked(payload, hpos, int(count), vpos, vpc, scratch.evs[:chunk], rec.events+count-left, rec.tmpls, chunk == left, nil)
+				if verr != nil {
+					return nil, -1, fmt.Errorf("%w: %v", errInvalid, verr)
+				}
+				left -= chunk
 			}
-			rec.blocks = append(rec.blocks, blockRef{count: count, payload: payload})
+			rec.blocks = append(rec.blocks, blockRef{count: count, startPC: startPC, payload: payload})
 			rec.events += count
 			if int(count) > rec.maxBlock {
 				rec.maxBlock = int(count)
@@ -541,13 +605,20 @@ type Recorder struct {
 	seed  uint64
 	path  string
 
-	f           *os.File
-	w           *bufio.Writer
-	block       []byte
+	f *os.File
+	w *bufio.Writer
+	// hdr and val are the pending block's header and field planes (see
+	// the packed-format comment in codec.go); flushBlock writes them
+	// back to back under one CRC.
+	hdr         []byte
+	val         []byte
 	blockEvents uint64
-	events      uint64
-	err         error
-	closed      bool
+	// blockStartPC is the pc of the pending block's first event: the
+	// decoder's pc-chain seed, written into the block frame.
+	blockStartPC uint64
+	events       uint64
+	err          error
+	closed       bool
 }
 
 // BeginRecord opens a temporary file and writes the archive header for
@@ -590,10 +661,13 @@ func (rec *Recorder) Consume(ev *trace.Event) {
 	if rec.err != nil {
 		return
 	}
-	rec.block = appendEventPacked(rec.block, ev)
+	if rec.blockEvents == 0 {
+		rec.blockStartPC = uint64(ev.PC)
+	}
+	rec.hdr, rec.val = appendEventPacked(rec.hdr, rec.val, ev)
 	rec.blockEvents++
 	rec.events++
-	if len(rec.block) >= blockTarget {
+	if len(rec.hdr)+len(rec.val) >= blockTarget {
 		rec.flushBlock()
 	}
 }
@@ -604,9 +678,12 @@ func (rec *Recorder) ConsumeBatch(evs []trace.Event) {
 		return
 	}
 	for i := range evs {
-		rec.block = appendEventPacked(rec.block, &evs[i])
+		if rec.blockEvents == 0 {
+			rec.blockStartPC = uint64(evs[i].PC)
+		}
+		rec.hdr, rec.val = appendEventPacked(rec.hdr, rec.val, &evs[i])
 		rec.blockEvents++
-		if len(rec.block) >= blockTarget {
+		if len(rec.hdr)+len(rec.val) >= blockTarget {
 			rec.flushBlock()
 			if rec.err != nil {
 				return
@@ -616,30 +693,37 @@ func (rec *Recorder) ConsumeBatch(evs []trace.Event) {
 	rec.events += uint64(len(evs))
 }
 
-// flushBlock seals the pending block behind its CRC frame.
+// flushBlock seals the pending block — header plane, field plane, pad —
+// behind its CRC frame.
 func (rec *Recorder) flushBlock() {
 	if rec.err != nil || rec.blockEvents == 0 {
 		return
 	}
-	// Pad inside the CRC so replay's 8-byte loads never run off the
-	// payload; the decoder verifies the padding is intact.
-	rec.block = append(rec.block, make([]byte, blockPad)...)
-	var frame [1 + 2*binary.MaxVarintLen64 + 4]byte
+	// Pad inside the CRC so replay's 8-byte field loads never run off
+	// the payload; the decoder verifies the padding is intact.
+	rec.val = append(rec.val, 0, 0, 0, 0, 0, 0, 0, 0)
+	crc := crc32.Update(crc32.Update(0, crc32.IEEETable, rec.hdr), crc32.IEEETable, rec.val)
+	var frame [1 + 3*binary.MaxVarintLen64 + 4]byte
 	frame[0] = tagBlock
 	n := 1
 	n += binary.PutUvarint(frame[n:], rec.blockEvents)
-	n += binary.PutUvarint(frame[n:], uint64(len(rec.block)))
-	binary.LittleEndian.PutUint32(frame[n:], crc32.ChecksumIEEE(rec.block))
+	n += binary.PutUvarint(frame[n:], uint64(len(rec.hdr)+len(rec.val)))
+	n += binary.PutUvarint(frame[n:], rec.blockStartPC)
+	binary.LittleEndian.PutUint32(frame[n:], crc)
 	n += 4
 	if _, err := rec.w.Write(frame[:n]); err != nil {
 		rec.err = err
 		return
 	}
-	if _, err := rec.w.Write(rec.block); err != nil {
+	if _, err := rec.w.Write(rec.hdr); err != nil {
 		rec.err = err
 		return
 	}
-	rec.block = rec.block[:0]
+	if _, err := rec.w.Write(rec.val); err != nil {
+		rec.err = err
+		return
+	}
+	rec.hdr, rec.val = rec.hdr[:0], rec.val[:0]
 	rec.blockEvents = 0
 }
 

@@ -1,0 +1,153 @@
+package tracefile
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dynloop/internal/interp"
+	"dynloop/internal/isa"
+	"dynloop/internal/program"
+	"dynloop/internal/trace"
+)
+
+// recordProgram runs p to completion, recording into a fresh archive and
+// teeing every live event into a Recorder, then returns the replayed
+// stream alongside the live one.
+func recordProgram(t *testing.T, p *program.Program) (live, replayed []trace.Event, halted bool) {
+	t.Helper()
+	a, err := OpenArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := a.BeginRecord(p.Name, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := &trace.Recorder{}
+	cpu := interp.New(p)
+	if _, err := cpu.Run(0, trace.Tee{rec, lr}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Commit(cpu.Halted()); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := a.Lookup(p.Name, 1)
+	if !ok {
+		t.Fatal("recording not installed")
+	}
+	rr := &trace.Recorder{}
+	if _, h, err := r.Replay(0, nil, rr); err != nil {
+		t.Fatal(err)
+	} else if h != cpu.Halted() {
+		t.Fatalf("replay halted=%v, live halted=%v", h, cpu.Halted())
+	}
+	return lr.Events, rr.Events, cpu.Halted()
+}
+
+// compareStreams asserts field-identical events (Instr compared by
+// pointee, which DeepEqual follows).
+func compareStreams(t *testing.T, live, replayed []trace.Event) {
+	t.Helper()
+	if len(live) != len(replayed) {
+		t.Fatalf("replayed %d events, live %d", len(replayed), len(live))
+	}
+	for i := range live {
+		if !reflect.DeepEqual(live[i], replayed[i]) {
+			t.Fatalf("event %d differs:\nlive   %+v\nreplay %+v", i, live[i], replayed[i])
+		}
+	}
+}
+
+// TestCodecValueEdges pins the v2 wire format's narrow-field encodings
+// at their sign-extension and width boundaries: register writes of every
+// two's-complement width class including both int64 extremes, memory
+// addresses in every length code, negative stored values, taken and
+// fallthrough branches, and a call/ret whose return address needs a
+// multi-byte target field (the program is padded past 255 instructions).
+func TestCodecValueEdges(t *testing.T) {
+	var code []isa.Instr
+	for _, v := range []int64{
+		0, 1, -1, 63, 64, 127, -128, 128, -129,
+		32767, -32768, 32768, -32769,
+		math.MaxInt32, math.MinInt32, 1 << 31, 1 << 32,
+		math.MaxInt64, math.MinInt64,
+	} {
+		code = append(code, isa.MovI(1, v), isa.AddI(2, 1, 0)) // fusable pairs
+	}
+	for _, addr := range []int64{0x80, 0xF000, 1 << 20, 1 << 31, 1 << 40} {
+		code = append(code,
+			isa.MovI(3, addr),
+			isa.MovI(4, -42),
+			isa.Store(3, 0, 4),
+			isa.Load(5, 3, 0),
+		)
+	}
+	// A taken and a fallthrough branch.
+	skip := isa.Addr(len(code) + 2)
+	code = append(code,
+		isa.Branch(isa.CondEQZ, 0, skip), // taken (r0 == 0)
+		isa.Nop(),                        // skipped
+		isa.Branch(isa.CondNEZ, 0, 0),    // not taken
+	)
+	// Pad past 255 so the ret target below needs a 2-byte field.
+	for len(code) < 300 {
+		code = append(code, isa.MovI(6, int64(len(code))))
+	}
+	fn := isa.Addr(len(code) + 2)
+	code = append(code,
+		isa.Call(fn), // ret will pop this+1: a target > 255
+		isa.Halt(),   // return lands here
+		isa.Ret(),    // fn
+	)
+	live, replayed, halted := recordProgram(t, &program.Program{Name: "edges", Code: code})
+	if !halted {
+		t.Fatal("edge program did not halt")
+	}
+	compareStreams(t, live, replayed)
+}
+
+// TestReplayEventIdentical is the event-level (not just hash-level)
+// round trip over a multi-block recording: every field of every event
+// must survive the v2 encode/decode, across block boundaries (startPC
+// resync) and through the decoder's fused-pair fast path.
+func TestReplayEventIdentical(t *testing.T) {
+	u := buildArchUnit(t, "evid")
+	a, err := OpenArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := a.BeginRecord("evid", 1, u.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := &trace.Recorder{}
+	cpu := u.NewCPU()
+	if _, err := cpu.Run(120_000, trace.Tee{rec, lr}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Commit(cpu.Halted()); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := a.Lookup("evid", 1)
+	if !ok {
+		t.Fatal("recording not installed")
+	}
+	if len(r.blocks) < 2 {
+		t.Fatalf("want a multi-block recording, got %d block(s)", len(r.blocks))
+	}
+	rr := &trace.Recorder{}
+	if _, _, err := r.Replay(0, nil, rr); err != nil {
+		t.Fatal(err)
+	}
+	compareStreams(t, lr.Events, rr.Events)
+
+	// A budget cutting into the middle of a block must yield exactly the
+	// live prefix.
+	cut := uint64(len(lr.Events))/2 + 13
+	pr := &trace.Recorder{}
+	if n, _, err := r.Replay(cut, nil, pr); err != nil || n != cut {
+		t.Fatalf("prefix replay: n=%d err=%v", n, err)
+	}
+	compareStreams(t, lr.Events[:cut], pr.Events)
+}

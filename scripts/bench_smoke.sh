@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — interpreter-core performance regression gate.
+#
+# Runs BenchmarkRun (the full pipeline at the default batch size) once
+# at a fixed iteration count and fails if ns/instruction exceeds the
+# pinned ceiling. The ceiling is deliberately loose — the predecoded
+# core measures ~4.7-5.1 ns/instr on the reference host (see
+# BENCH_interp.json) and the ceiling sits at 8.5, just under the 9.0 of
+# the pre-predecode core — so normal runner-to-runner noise passes but
+# losing the tentpole optimisation (or an accidental fall-back to the
+# reference path) fails loudly. Also asserts the benchmark still
+# reports 0 allocs/op: the zero-allocation batch path is part of the
+# perf contract. CI runs this; locally: scripts/bench_smoke.sh
+set -euo pipefail
+
+CEILING_NS="${BENCH_SMOKE_CEILING_NS:-8.5}"
+ITERS="${BENCH_SMOKE_ITERS:-2000000}"
+
+fail() { echo "bench_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "bench_smoke: BenchmarkRun x$ITERS (ceiling ${CEILING_NS} ns/instr)"
+OUT="$(go test -run='^$' -bench='^BenchmarkRun$' -benchtime="${ITERS}x" .)"
+echo "$OUT"
+
+LINE="$(echo "$OUT" | grep -E '^BenchmarkRun\b')" || fail "no BenchmarkRun result line"
+NS="$(echo "$LINE" | awk '{for (i=1; i<NF; i++) if ($(i+1) == "ns/op") print $i}')"
+ALLOCS="$(echo "$LINE" | awk '{for (i=1; i<NF; i++) if ($(i+1) == "allocs/op") print $i}')"
+[ -n "$NS" ] || fail "could not parse ns/op from: $LINE"
+[ -n "$ALLOCS" ] || fail "could not parse allocs/op from: $LINE"
+
+awk -v ns="$NS" -v ceil="$CEILING_NS" 'BEGIN { exit !(ns <= ceil) }' ||
+	fail "BenchmarkRun at ${NS} ns/instr exceeds the ${CEILING_NS} ns ceiling"
+[ "$ALLOCS" = "0" ] || fail "BenchmarkRun allocates (${ALLOCS} allocs/op), want 0"
+
+echo "bench_smoke: OK (${NS} ns/instr, ${ALLOCS} allocs/op)"
