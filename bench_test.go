@@ -507,9 +507,11 @@ func BenchmarkRunnerOverhead(b *testing.B) {
 
 // BenchmarkTraceReplay is the replay tier's headline micro-benchmark:
 // delivering a recorded stream into a pass by decode-only replay vs
-// re-interpreting the program, same sink either way. time/op is
-// ns/instruction; the replay side must also hold 0 allocs/op (pinned by
-// TestReplayZeroAllocs).
+// re-interpreting the program, same sink either way, on each event plane
+// (the plain legs negotiate control-plane delivery, the -full legs force
+// full Events). time/op is ns/instruction; every leg must also hold
+// 0 allocs/op (pinned by TestReplayZeroAllocs, TestReplayCtlZeroAllocs
+// and TestCtlSteadyStateZeroAllocs).
 func BenchmarkTraceReplay(b *testing.B) {
 	bm, err := dynloop.BenchmarkByName("swim")
 	if err != nil {
@@ -540,51 +542,62 @@ func BenchmarkTraceReplay(b *testing.B) {
 		b.Fatal("recording not installed")
 	}
 
-	b.Run("interpret", func(b *testing.B) {
-		h := trace.NewHash()
-		cpu := u.NewCPU()
-		b.ReportAllocs()
-		b.ResetTimer()
-		remaining := uint64(b.N)
-		for remaining > 0 {
-			nn, err := cpu.Run(remaining, h)
-			if err != nil {
+	// The consumer is the control-flow hash, a control-only sink: the
+	// plain legs negotiate control-plane delivery (compact CtlEvents; the
+	// replay side decodes the header plane without materializing value
+	// fields), and the -full legs force full-Event delivery through
+	// trace.ForceFullPlane, so the facet split is measured per plane.
+	interpret := func(sink trace.BatchConsumer) func(b *testing.B) {
+		return func(b *testing.B) {
+			cpu := u.NewCPU()
+			b.ReportAllocs()
+			b.ResetTimer()
+			remaining := uint64(b.N)
+			for remaining > 0 {
+				nn, err := cpu.Run(remaining, sink)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if nn == 0 && !cpu.Halted() {
+					b.Fatal("no progress")
+				}
+				remaining -= nn
+				if cpu.Halted() {
+					cpu = u.NewCPU()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+		}
+	}
+	replay := func(sink trace.BatchConsumer) func(b *testing.B) {
+		return func(b *testing.B) {
+			d := &dynloop.TraceDecoder{}
+			if _, _, err := rec.Replay(n, d, sink); err != nil { // warm the decoder
 				b.Fatal(err)
 			}
-			if nn == 0 && !cpu.Halted() {
-				b.Fatal("no progress")
+			b.ReportAllocs()
+			b.ResetTimer()
+			remaining := uint64(b.N)
+			for remaining > 0 {
+				chunk := remaining
+				if chunk > rec.Events() {
+					chunk = rec.Events()
+				}
+				nn, _, err := rec.Replay(chunk, d, sink)
+				if err != nil {
+					b.Fatal(err)
+				}
+				remaining -= nn
 			}
-			remaining -= nn
-			if cpu.Halted() {
-				cpu = u.NewCPU()
-			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 		}
-		b.StopTimer()
-		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
-	})
-	b.Run("replay", func(b *testing.B) {
-		h := trace.NewHash()
-		d := &dynloop.TraceDecoder{}
-		if _, _, err := rec.Replay(n, d, h); err != nil { // warm the decoder
-			b.Fatal(err)
-		}
-		b.ReportAllocs()
-		b.ResetTimer()
-		remaining := uint64(b.N)
-		for remaining > 0 {
-			chunk := remaining
-			if chunk > rec.Events() {
-				chunk = rec.Events()
-			}
-			nn, _, err := rec.Replay(chunk, d, h)
-			if err != nil {
-				b.Fatal(err)
-			}
-			remaining -= nn
-		}
-		b.StopTimer()
-		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
-	})
+	}
+	b.Run("interpret", interpret(trace.NewHash()))
+	b.Run("interpret-full", interpret(trace.ForceFullPlane(trace.NewHash())))
+	b.Run("replay", replay(trace.NewHash()))
+	b.Run("replay-full", replay(trace.ForceFullPlane(trace.NewHash())))
 	// decode isolates the codec itself (nil sink): the floor the replay
 	// number converges to as consumers get cheaper.
 	b.Run("decode", func(b *testing.B) {

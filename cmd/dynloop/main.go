@@ -116,12 +116,14 @@ commands:
                                      baseline ablations all
   sweep  [-bench a,b,...] [-policy p1,p2,...] [-tus 2,4,...]
          [-n N] [-parallel N] [-progress] [-remote URL]
+         [-shards K] [-reference] [-fullplanes]
                                      run an arbitrary benchmark × policy × TUs
                                      grid through the parallel orchestrator,
                                      locally or on a dynloop serve daemon
   grid   -spec FILE | -name NAME | -list
          [-bench a,b,...] [-n N] [-seed N] [-parallel N] [-progress]
          [-store DIR] [-remote URL] [-format table|csv|json]
+         [-shards K] [-reference] [-fullplanes]
                                      execute a declarative grid spec — a JSON
                                      file sweeping any axes (benchmarks,
                                      budgets, seeds, CLS, TUs, policies,
@@ -451,6 +453,20 @@ type orchestrator struct {
 	close  func()
 }
 
+// deliveryFlags adds the delivery-only knobs shared by sweep and grid —
+// none of them can change results (they are excluded from cell keys;
+// see grid.Config), so they exist for A/B comparison and smoke gating.
+func deliveryFlags(fs *flag.FlagSet) func(cfg *expt.Config) {
+	shards := fs.Int("shards", 0, "fan each fused traversal's passes across K goroutines (0/1 = inline; results identical)")
+	reference := fs.Bool("reference", false, "force the reference interpreter path — no predecode, no fusion (results identical)")
+	fullPlanes := fs.Bool("fullplanes", false, "force full-Event delivery to control-plane consumers (results identical)")
+	return func(cfg *expt.Config) {
+		cfg.Shards = *shards
+		cfg.Reference = *reference
+		cfg.FullPlanes = *fullPlanes
+	}
+}
+
 // parallelFlags adds the orchestrator flags shared by experiment, sweep
 // and grid, returning the parsed progress flag and a resolver that
 // builds the shared Runner (with the progress stream, the on-disk
@@ -725,6 +741,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	batch := fs.Int("batch", 0, "event-batch size (0 = default 1024; output is identical at any size)")
 	remote := fs.String("remote", "", "run the sweep on a dynloop serve daemon at this base URL instead of locally")
 	progress, mkRunner := parallelFlags(fs)
+	applyDelivery := deliveryFlags(fs)
 	profile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -768,6 +785,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	}
 	defer o.close()
 	cfg := expt.Config{Budget: *n, Seed: *seed, BatchSize: *batch, Benchmarks: benchList, Runner: o.runner, Traces: o.traces}
+	applyDelivery(&cfg)
 	defer func() { printRunnerStats(cfg.Runner, *progress, *seed) }()
 	defer func() {
 		if err := stopProfile(); err != nil {
@@ -861,6 +879,7 @@ func cmdGrid(ctx context.Context, args []string) error {
 	format := fs.String("format", "", "override the render layout: table, csv or json")
 	remote := fs.String("remote", "", "execute the grid on a dynloop serve daemon at this base URL")
 	progress, mkRunner := parallelFlags(fs)
+	applyDelivery := deliveryFlags(fs)
 	profile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -920,6 +939,7 @@ func cmdGrid(ctx context.Context, args []string) error {
 	defer o.close()
 	cfg.Runner = o.runner
 	cfg.Traces = o.traces
+	applyDelivery(&cfg)
 	defer func() { printRunnerStats(cfg.Runner, *progress, *seed) }()
 	defer func() {
 		if err := stopProfile(); err != nil {

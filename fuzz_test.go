@@ -75,6 +75,21 @@ func fuzzProgram(data []byte) *program.Program {
 	return &program.Program{Name: "fuzz", Code: code}
 }
 
+// ctlCapture is a control-plane-only sink: it records CtlEvents and
+// panics if the producer falls back to full-Event delivery, so a test
+// passing proves the run actually took the ctl loop.
+type ctlCapture struct {
+	events []trace.CtlEvent
+}
+
+func (c *ctlCapture) ConsumeBatch([]trace.Event) {
+	panic("ctlCapture: full-plane batch delivered to a ctl-only sink")
+}
+
+func (c *ctlCapture) ConsumeCtlBatch(evs []trace.CtlEvent, ctl []int32) {
+	c.events = append(c.events, evs...)
+}
+
 func newFuzzCPU(p *program.Program, reference bool) *interp.CPU {
 	c := interp.New(p)
 	c.SetReference(reference)
@@ -117,6 +132,39 @@ func FuzzPredecode(f *testing.F) {
 		if fused.PC() != ref.PC() || fused.Halted() != ref.Halted() {
 			t.Fatalf("machine state diverged: pc %d/%d halted %v/%v",
 				fused.PC(), ref.PC(), fused.Halted(), ref.Halted())
+		}
+
+		// Control-plane leg: a ctl-only sink runs the dedicated ctl loop,
+		// which must retire the exact control facet of the full stream
+		// with identical machine state and error behaviour.
+		ctlCPU := newFuzzCPU(p, false)
+		ctlCPU.SetBatchSize(batch)
+		crec := &ctlCapture{}
+		cn, cerr := ctlCPU.Run(budget, crec)
+		if (cerr == nil) != (ferr == nil) || (cerr != nil && cerr.Error() != ferr.Error()) {
+			t.Fatalf("ctl errors diverged: ctl %v, full %v", cerr, ferr)
+		}
+		if cn != fn || ctlCPU.PC() != fused.PC() || ctlCPU.Halted() != fused.Halted() {
+			t.Fatalf("ctl machine diverged: n %d/%d pc %d/%d halted %v/%v",
+				cn, fn, ctlCPU.PC(), fused.PC(), ctlCPU.Halted(), fused.Halted())
+		}
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			if ctlCPU.Reg(r) != fused.Reg(r) {
+				t.Fatalf("ctl r%d = %d, full %d", r, ctlCPU.Reg(r), fused.Reg(r))
+			}
+		}
+		facet := make([]trace.CtlEvent, len(frec.Events))
+		for i, ev := range frec.Events {
+			facet[i] = trace.CtlEvent{Index: ev.Index, PC: ev.PC, Instr: ev.Instr,
+				Taken: ev.Taken, Target: ev.Target}
+		}
+		if len(crec.events) != len(facet) {
+			t.Fatalf("ctl stream has %d events, full facet %d", len(crec.events), len(facet))
+		}
+		for i := range facet {
+			if crec.events[i] != facet[i] {
+				t.Fatalf("ctl event %d = %+v, full facet %+v", i, crec.events[i], facet[i])
+			}
 		}
 
 		// Replay leg: a clean run's stream must round-trip through the

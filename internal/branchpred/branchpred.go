@@ -192,7 +192,7 @@ func (c *Collector) Consume(ev *trace.Event) {
 	if ev.Instr.Kind != isa.KindBranch {
 		return
 	}
-	c.score(ev)
+	c.score(ev.PC, ev.Instr.Target, ev.Taken)
 }
 
 // ConsumeBatch implements trace.BatchConsumer: non-branches — the vast
@@ -201,19 +201,30 @@ func (c *Collector) Consume(ev *trace.Event) {
 func (c *Collector) ConsumeBatch(evs []trace.Event) {
 	for i := range evs {
 		if ev := &evs[i]; ev.Instr.Kind == isa.KindBranch {
-			c.score(ev)
+			c.score(ev.PC, ev.Instr.Target, ev.Taken)
+		}
+	}
+}
+
+// ConsumeCtlBatch implements trace.CtlBatchConsumer: predictors read only
+// the control facet, so the collector is control-only. Every conditional
+// branch is a control-transfer event, so the producer's ctl indices let
+// it skip straight-line runs without even the per-event kind test.
+func (c *Collector) ConsumeCtlBatch(evs []trace.CtlEvent, ctl []int32) {
+	for _, ci := range ctl {
+		if ev := &evs[ci]; ev.Instr.Kind == isa.KindBranch {
+			c.score(ev.PC, ev.Instr.Target, ev.Taken)
 		}
 	}
 }
 
 // score runs every predictor on one conditional branch.
-func (c *Collector) score(ev *trace.Event) {
-	pc, target := ev.PC, ev.Instr.Target
+func (c *Collector) score(pc, target isa.Addr, taken bool) {
 	backward := target <= pc
 	for i, p := range c.preds {
 		r := &c.results[i]
 		r.Branches++
-		hit := p.Predict(pc, target) == ev.Taken
+		hit := p.Predict(pc, target) == taken
 		if hit {
 			r.Hits++
 		}
@@ -223,7 +234,7 @@ func (c *Collector) score(ev *trace.Event) {
 				r.BackwardHits++
 			}
 		}
-		p.Update(pc, target, ev.Taken)
+		p.Update(pc, target, taken)
 	}
 }
 

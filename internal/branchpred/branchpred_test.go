@@ -117,3 +117,48 @@ func TestNonBranchesIgnored(t *testing.T) {
 		}
 	}
 }
+
+// TestConsumeCtlBatchMatchesBatch: the collector is control-only, and a
+// control-plane batch (walked via the producer's run-boundary indices)
+// must score exactly like the full-Event path over the same stream.
+func TestConsumeCtlBatchMatchesBatch(t *testing.T) {
+	full := DefaultSuite()
+	ctl := DefaultSuite()
+	if got := trace.PlanesOf(ctl); got != trace.PlaneCtl {
+		t.Fatalf("collector planes = %v", got)
+	}
+	br := isa.Branch(isa.CondNEZ, 1, 5)
+	fwd := isa.Branch(isa.CondEQZ, 2, 40)
+	jmp := isa.Jump(3)
+	nop := isa.Nop()
+	var evs []trace.Event
+	for i := 0; i < 200; i++ {
+		evs = append(evs,
+			trace.Event{PC: 8, Instr: &nop},
+			trace.Event{PC: 10, Instr: &br, Taken: i%3 != 0, Target: 5},
+			trace.Event{PC: 20, Instr: &fwd, Taken: i%7 == 0, Target: 40},
+			trace.Event{PC: 30, Instr: &jmp, Taken: true, Target: 3},
+		)
+	}
+	cevs := make([]trace.CtlEvent, len(evs))
+	var idx []int32
+	for i, ev := range evs {
+		cevs[i] = trace.CtlEvent{Index: ev.Index, PC: ev.PC, Instr: ev.Instr,
+			Taken: ev.Taken, Target: ev.Target}
+		switch ev.Instr.Kind {
+		case isa.KindBranch, isa.KindJump, isa.KindRet:
+			idx = append(idx, int32(i))
+		}
+	}
+	full.ConsumeBatch(evs)
+	ctl.ConsumeCtlBatch(cevs, idx)
+	fr, cr := full.Results(), ctl.Results()
+	if len(fr) != len(cr) {
+		t.Fatalf("result counts differ: %d vs %d", len(fr), len(cr))
+	}
+	for i := range fr {
+		if fr[i] != cr[i] {
+			t.Fatalf("predictor %d diverged:\nfull %+v\nctl  %+v", i, fr[i], cr[i])
+		}
+	}
+}

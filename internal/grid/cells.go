@@ -400,7 +400,8 @@ func specEngineCell(cfg Config, bm workload.Benchmark, coord Coord, ec spec.Conf
 // with it. The oracle run depends on the recorder pass, so the cell is
 // a composite job owning its own traversals, not a fusable pass.
 func oracleRun(cfg Config, bm workload.Benchmark) func(ctx context.Context) (any, error) {
-	mc := harness.MultiConfig{Budget: cfg.budget(), BatchSize: cfg.BatchSize, Reference: cfg.Reference}
+	mc := harness.MultiConfig{Budget: cfg.budget(), BatchSize: cfg.BatchSize,
+		Shards: cfg.Shards, Reference: cfg.Reference, FullPlanes: cfg.FullPlanes}
 	return func(ctx context.Context) (any, error) {
 		// Both traversals route through the replay tier when configured:
 		// the first records the stream (or replays an existing

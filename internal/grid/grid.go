@@ -80,6 +80,17 @@ type Config struct {
 	// results — the two paths emit byte-identical streams, an equivalence
 	// the grid regression tests pin — so it stays out of the cell key.
 	Reference bool
+	// FullPlanes disables control-plane event delivery: producers fill
+	// full trace.Events even for traversals whose every pass is
+	// control-only (see trace.PlanesOf). Like Reference it cannot change
+	// results — the facet split is delivery-only, an equivalence the
+	// regression tests pin — so it stays out of the cell key.
+	FullPlanes bool
+	// Shards spreads each fused traversal's passes over that many
+	// goroutines (<= 1 delivers inline; see trace.Broadcast). Passes are
+	// independent, so sharding changes wall-clock only, never results —
+	// delivery-only like Reference, so it too stays out of the cell key.
+	Shards int
 	// Traces, when non-nil, is the replay tier: group executions that
 	// miss the memory cache and the disk store record their instruction
 	// stream into the trace archive on first interpretation, and every

@@ -1,0 +1,21 @@
+package grid
+
+import (
+	"testing"
+
+	"dynloop/internal/harness"
+	"dynloop/internal/looptab"
+	"dynloop/internal/trace"
+)
+
+// TestCtlOnlyCellPlanes pins which grid cells actually negotiate the
+// control plane: a loop-table tracker attaches only lifecycle observers,
+// so fig4/replacement detectors stay control-only; the branchpred cells
+// are bare collectors. This keeps the end-to-end plane-equivalence suite
+// from passing vacuously with every traversal on the full plane.
+func TestCtlOnlyCellPlanes(t *testing.T) {
+	det := harness.NewObserverPass(16, looptab.NewTracker(16, 16))
+	if got := trace.PlanesOf(det); got != trace.PlaneCtl {
+		t.Fatalf("tracker-observed detector planes = %v, want ctl-only", got)
+	}
+}

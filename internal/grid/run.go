@@ -82,7 +82,8 @@ func runCells(ctx context.Context, cfg Config, pool *runner.Runner, cells []Cell
 		for j, i := range idx {
 			passes[j], finish[j] = cells[i].mk()
 		}
-		mc := harness.MultiConfig{Budget: lead.cfg.budget(), BatchSize: lead.cfg.BatchSize, Reference: cfg.Reference}
+		mc := harness.MultiConfig{Budget: lead.cfg.budget(), BatchSize: lead.cfg.BatchSize,
+			Shards: cfg.Shards, Reference: cfg.Reference, FullPlanes: cfg.FullPlanes}
 		var err error
 		if tr := cfg.Traces; tr != nil {
 			// Third tier: replay the group's recorded stream when the

@@ -121,6 +121,20 @@ type MultiConfig struct {
 	// Streams and results are byte-identical to the default path; the
 	// knob exists so experiments can pin that equivalence end to end.
 	Reference bool
+	// FullPlanes disables control-plane delivery: the producer fills
+	// full trace.Events even when every pass is control-only (see
+	// trace.PlanesOf). Results are byte-identical either way — the knob
+	// exists so experiments can pin that equivalence end to end, like
+	// Reference.
+	FullPlanes bool
+}
+
+// sink wraps the broadcast per the config's facet knob.
+func (cfg *MultiConfig) sink(b *trace.Broadcast) trace.BatchConsumer {
+	if cfg.FullPlanes {
+		return trace.ForceFullPlane(b)
+	}
+	return b
 }
 
 // MultiResult reports what a fused run did.
@@ -146,7 +160,7 @@ func MultiRun(u *builder.Unit, cfg MultiConfig, passes ...trace.Pass) (MultiResu
 	cpu.SetReference(cfg.Reference)
 	b := trace.NewBroadcast(cfg.Shards, passes...)
 	b.Init()
-	n, err := cpu.Run(cfg.Budget, b)
+	n, err := cpu.Run(cfg.Budget, cfg.sink(b))
 	if err != nil {
 		b.Stop()
 		return MultiResult{Executed: n, Batches: b.Epochs()}, err

@@ -127,7 +127,7 @@ func (t *Traces) replay(rec *tracefile.Recording, cfg MultiConfig, passes ...tra
 	defer t.decoders.Put(d)
 	b := trace.NewBroadcast(cfg.Shards, passes...)
 	b.Init()
-	n, halted, err := rec.Replay(cfg.Budget, d, b)
+	n, halted, err := rec.Replay(cfg.Budget, d, cfg.sink(b))
 	if err != nil {
 		b.Stop()
 		return MultiResult{Executed: n, Batches: b.Epochs()}, err

@@ -81,7 +81,10 @@ type CPU struct {
 	// allocated lazily on the first Run with a sink and reused afterwards.
 	// ctl is the control-transfer index side channel delivered with each
 	// batch to trace.SegmentedBatchConsumer sinks (same length as batch).
+	// ctlBatch is the compact control-plane buffer used instead of batch
+	// when every attached consumer is control-only (see Run).
 	batch     []trace.Event
+	ctlBatch  []trace.CtlEvent
 	ctl       []int32
 	batchSize int
 	// scratch/scratchCtl receive event writes when Run has no sink,
@@ -140,7 +143,7 @@ func (c *CPU) SetBatchSize(n int) {
 	}
 	if n != c.batchSize {
 		c.batchSize = n
-		c.batch, c.ctl = nil, nil
+		c.batch, c.ctlBatch, c.ctl = nil, nil, nil
 	}
 }
 
@@ -162,15 +165,35 @@ func (c *CPU) BatchSize() int {
 // Events are delivered in batches of BatchSize; the batch buffer is owned
 // by the CPU and reused, so consumers must copy what they keep (see the
 // trace package comment on batch lifetime).
+//
+// Run negotiates the event facets with the sink: when the sink accepts
+// control-plane batches (trace.CtlBatchConsumer) and declares it needs
+// only the control facet (trace.PlanesOf == trace.PlaneCtl), the
+// predecoded loop retires compact trace.CtlEvents and never materializes
+// the data facet at all. The reference path and the nil-sink path always
+// use full events.
 func (c *CPU) Run(budget uint64, sink trace.BatchConsumer) (uint64, error) {
 	if c.prog == nil {
 		return 0, ErrNoProgram
+	}
+	if !c.reference && sink != nil {
+		if cc, ok := sink.(trace.CtlBatchConsumer); ok && trace.PlanesOf(sink) == trace.PlaneCtl {
+			if c.ctlBatch == nil {
+				c.ctlBatch = make([]trace.CtlEvent, c.BatchSize())
+			}
+			if c.ctl == nil {
+				c.ctl = make([]int32, c.BatchSize())
+			}
+			return c.runCtl(budget, cc, c.ctlBatch, c.ctl)
+		}
 	}
 	buf, ctl := c.scratch[:], c.scratchCtl[:]
 	var seg trace.SegmentedBatchConsumer
 	if sink != nil {
 		if c.batch == nil {
 			c.batch = make([]trace.Event, c.BatchSize())
+		}
+		if c.ctl == nil {
 			c.ctl = make([]int32, c.BatchSize())
 		}
 		buf, ctl = c.batch, c.ctl

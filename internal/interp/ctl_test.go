@@ -1,0 +1,280 @@
+package interp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"dynloop/internal/isa"
+	"dynloop/internal/program"
+	"dynloop/internal/trace"
+)
+
+// memFusionProg exercises the memory-pair superinstructions (ld+st and
+// st+st) inside a loop, with one st+st pair whose second constituent is
+// the last event before a control transfer — the boundary the segment
+// side channel has to get right.
+func memFusionProg() *program.Program {
+	return prog(
+		isa.MovI(1, 0),                // 0
+		isa.MovI(2, 2000),             // 1
+		isa.AddI(1, 1, 1),             // 2: loop head (branch target)
+		isa.Load(3, 2, 0),             // 3
+		isa.Store(2, 8, 3),            // 4:   ld+st (store reads the just-loaded reg)
+		isa.Store(2, 16, 3),           // 5
+		isa.Store(2, 24, 3),           // 6:   st+st
+		isa.AddI(4, 1, -6),            // 7
+		isa.Store(2, 32, 3),           // 8
+		isa.Store(2, 40, 3),           // 9:   st+st, second slot right before the branch
+		isa.Branch(isa.CondLTZ, 4, 2), // 10: back edge, unfused
+		isa.Halt(),                    // 11
+	)
+}
+
+// TestPredecodeMemPairFusion pins that the ld+st and st+st patterns
+// actually fuse, so the equivalence tests below cannot pass vacuously.
+func TestPredecodeMemPairFusion(t *testing.T) {
+	ops := predecode(memFusionProg(), true)
+	want := map[uint64]uint8{3: opFuseLoadSt, 5: opFuseStSt, 8: opFuseStSt}
+	for pc, op := range want {
+		if ops[pc].op != op {
+			t.Errorf("ops[%d].op = %d, want fused op %d", pc, ops[pc].op, op)
+		}
+		if ops[pc+1].op >= opFuseFirst {
+			t.Errorf("ops[%d] fused: pairs must not overlap", pc+1)
+		}
+	}
+	if ops[10].op >= opFuseFirst {
+		t.Errorf("ops[10] fused: the pair at 8 already consumed slot 9")
+	}
+}
+
+// TestMemPairReferenceEquivalence runs memFusionProg through the fused
+// and reference interpreters across batch sizes and mid-pair budgets;
+// streams and machine state must match exactly (the ld+st arm must read
+// the store's registers AFTER the load wrote its destination).
+func TestMemPairReferenceEquivalence(t *testing.T) {
+	for _, batch := range []int{0, 1, 2, 3, 7, 256} {
+		for _, budget := range []uint64{0, 1, 4, 5, 9, 10, 23} {
+			fused := New(memFusionProg())
+			ref := New(memFusionProg())
+			ref.SetReference(true)
+			fe, fn, ferr := runStream(t, fused, budget, batch)
+			re, rn, rerr := runStream(t, ref, budget, batch)
+			if (ferr == nil) != (rerr == nil) || fn != rn {
+				t.Fatalf("batch=%d budget=%d: n %d/%d err %v/%v", batch, budget, fn, rn, ferr, rerr)
+			}
+			if !reflect.DeepEqual(fe, re) {
+				t.Fatalf("batch=%d budget=%d: streams differ (%d vs %d events)", batch, budget, len(fe), len(re))
+			}
+			if fused.regs != ref.regs || fused.PC() != ref.PC() || fused.Halted() != ref.Halted() {
+				t.Fatalf("batch=%d budget=%d: machine state diverged", batch, budget)
+			}
+		}
+	}
+}
+
+// ctlRecorder accepts only control-plane delivery: ConsumeBatch panics,
+// proving Run dispatched to the control-plane loop, and ctl indices are
+// resolved to absolute stream positions like segRecorder's.
+type ctlRecorder struct {
+	events []trace.CtlEvent
+	ctl    []int
+}
+
+func (r *ctlRecorder) ConsumeBatch([]trace.Event) {
+	panic("full-plane delivery to a control-only sink")
+}
+
+func (r *ctlRecorder) ConsumeCtlBatch(evs []trace.CtlEvent, ctl []int32) {
+	base := len(r.events)
+	r.events = append(r.events, evs...)
+	for _, i := range ctl {
+		r.ctl = append(r.ctl, base+int(i))
+	}
+}
+
+// ctlFacet projects a full event stream onto the control plane.
+func ctlFacet(evs []trace.Event) []trace.CtlEvent {
+	out := make([]trace.CtlEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = trace.CtlEvent{Index: ev.Index, PC: ev.PC, Instr: ev.Instr,
+			Taken: ev.Taken, Target: ev.Target}
+	}
+	return out
+}
+
+// runCtlStream executes a fresh CPU against a control-only sink.
+func runCtlStream(t *testing.T, c *CPU, budget uint64, batch int) (*ctlRecorder, uint64, error) {
+	t.Helper()
+	c.SetBatchSize(batch)
+	rec := &ctlRecorder{}
+	n, err := c.Run(budget, rec)
+	return rec, n, err
+}
+
+// TestRunCtlReferenceEquivalence is the control-plane differential: the
+// ctl loop must emit exactly the control facet of the reference stream —
+// same events, same ctl boundaries, same machine state — at batch sizes
+// that cut fused pairs and budgets that stop mid-pair, over both the
+// ALU-heavy fusion program and the memory-pair one.
+func TestRunCtlReferenceEquivalence(t *testing.T) {
+	mk := map[string]func(reference bool) *CPU{
+		"fusion": newFusionCPU,
+		"mem": func(reference bool) *CPU {
+			c := New(memFusionProg())
+			c.SetReference(reference)
+			return c
+		},
+	}
+	for name, newCPU := range mk {
+		for _, batch := range []int{0, 1, 2, 3, 7, 256} {
+			for _, budget := range []uint64{0, 1, 3, 7, 50, 101} {
+				cc := newCPU(false)
+				ref := newCPU(true)
+				crec, cn, cerr := runCtlStream(t, cc, budget, batch)
+				re, rn, rerr := runStream(t, ref, budget, batch)
+				if (cerr == nil) != (rerr == nil) || cn != rn {
+					t.Fatalf("%s batch=%d budget=%d: n %d/%d err %v/%v", name, batch, budget, cn, rn, cerr, rerr)
+				}
+				if want := ctlFacet(re); !reflect.DeepEqual(crec.events, want) {
+					for i := range crec.events {
+						if i < len(want) && !reflect.DeepEqual(crec.events[i], want[i]) {
+							t.Fatalf("%s batch=%d budget=%d: event %d differs:\nctl %+v\nref %+v",
+								name, batch, budget, i, crec.events[i], want[i])
+						}
+					}
+					t.Fatalf("%s batch=%d budget=%d: stream lengths %d vs %d",
+						name, batch, budget, len(crec.events), len(want))
+				}
+				var wantCtl []int
+				for i := range re {
+					switch re[i].Instr.Kind {
+					case isa.KindBranch, isa.KindJump, isa.KindRet:
+						wantCtl = append(wantCtl, i)
+					}
+				}
+				if !reflect.DeepEqual(crec.ctl, wantCtl) {
+					t.Fatalf("%s batch=%d budget=%d: ctl = %v, want %v", name, batch, budget, crec.ctl, wantCtl)
+				}
+				if cc.regs != ref.regs || cc.PC() != ref.PC() || cc.Halted() != ref.Halted() {
+					t.Fatalf("%s batch=%d budget=%d: machine state diverged", name, batch, budget)
+				}
+			}
+		}
+	}
+}
+
+// TestRunCtlResumeMidPair pins the budget boundary inside a fused pair
+// on the control plane: one instruction of budget left retires exactly
+// the first constituent, and resuming completes the stream.
+func TestRunCtlResumeMidPair(t *testing.T) {
+	cc := newFusionCPU(false)
+	rec := &ctlRecorder{}
+	n, err := cc.Run(3, rec)
+	if err != nil || n != 3 {
+		t.Fatalf("first leg: n=%d err=%v", n, err)
+	}
+	if got := cc.PC(); got != 3 {
+		t.Fatalf("mid-pair pc = %d, want 3 (second constituent)", got)
+	}
+	if _, err := cc.Run(0, rec); err != nil {
+		t.Fatal(err)
+	}
+	ref := newFusionCPU(true)
+	rrec := &trace.Recorder{}
+	if _, err := ref.Run(0, rrec); err != nil {
+		t.Fatal(err)
+	}
+	if want := ctlFacet(rrec.Events); !reflect.DeepEqual(rec.events, want) {
+		t.Fatalf("resumed ctl stream differs from reference (%d vs %d events)", len(rec.events), len(want))
+	}
+}
+
+// TestRunCtlErrorPaths: machine errors on the control plane flush the
+// buffered events before returning, exactly like the full path.
+func TestRunCtlErrorPaths(t *testing.T) {
+	run := func(p *program.Program) (*ctlRecorder, error) {
+		c := New(p)
+		rec := &ctlRecorder{}
+		_, err := c.Run(0, rec)
+		return rec, err
+	}
+	if rec, err := run(prog(isa.Nop())); !errors.Is(err, ErrPC) || len(rec.events) != 1 {
+		t.Fatalf("ErrPC: got %v, %d events", err, len(rec.events))
+	}
+	if _, err := run(prog(isa.Ret())); !errors.Is(err, ErrRetEmpty) {
+		t.Fatalf("ErrRetEmpty: got %v", err)
+	}
+	if _, err := run(prog(isa.Call(0))); !errors.Is(err, ErrCallDepth) {
+		t.Fatalf("ErrCallDepth: got %v", err)
+	}
+}
+
+// TestRunCtlForcedFull: wrapping the same control-only sink in
+// ForceFullPlane must push Run back onto full-Event delivery (the
+// wrapper's ConsumeBatch, not the sink's panicking one).
+func TestRunCtlForcedFull(t *testing.T) {
+	var got []trace.Event
+	sink := trace.BatchConsumerFunc(func(evs []trace.Event) { got = append(got, evs...) })
+	c := New(memFusionProg())
+	if _, err := c.Run(0, trace.ForceFullPlane(sink)); err != nil {
+		t.Fatal(err)
+	}
+	ref := New(memFusionProg())
+	ref.SetReference(true)
+	rrec := &trace.Recorder{}
+	if _, err := ref.Run(0, rrec); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rrec.Events) {
+		t.Fatalf("forced-full stream differs (%d vs %d events)", len(got), len(rrec.Events))
+	}
+}
+
+// TestSegmentBoundaryPairBeforeTransfer pins satellite boundaries of the
+// segment side channel on BOTH planes: a fused pair whose second
+// constituent is the last event before a control transfer, with batch
+// sizes that flush between the pair and the transfer and budgets that
+// cut inside the pair. The ctl indices must always be exactly the
+// branch/jump/ret positions of the equivalent reference stream.
+func TestSegmentBoundaryPairBeforeTransfer(t *testing.T) {
+	for _, batch := range []int{1, 2, 3, 5, 8, 9, 1024} {
+		for _, budget := range []uint64{0, 5, 8, 9, 10, 11, 17} {
+			ref := New(memFusionProg())
+			ref.SetReference(true)
+			re, _, err := runStream(t, ref, budget, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []int
+			for i := range re {
+				switch re[i].Instr.Kind {
+				case isa.KindBranch, isa.KindJump, isa.KindRet:
+					want = append(want, i)
+				}
+			}
+
+			seg := &segRecorder{}
+			c := New(memFusionProg())
+			c.SetBatchSize(batch)
+			if _, err := c.Run(budget, seg); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seg.events, re) {
+				t.Fatalf("batch=%d budget=%d: segmented events differ from reference", batch, budget)
+			}
+			if !reflect.DeepEqual(seg.ctl, append([]int(nil), want...)) {
+				t.Fatalf("batch=%d budget=%d: full-plane ctl = %v, want %v", batch, budget, seg.ctl, want)
+			}
+
+			crec, _, err := runCtlStream(t, New(memFusionProg()), budget, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(crec.ctl, want) {
+				t.Fatalf("batch=%d budget=%d: ctl-plane ctl = %v, want %v", batch, budget, crec.ctl, want)
+			}
+		}
+	}
+}

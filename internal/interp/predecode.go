@@ -14,7 +14,9 @@ package interp
 //	addi + br.cc            (compare-branch back edge)
 //	st   + br.cc            (loop-latch spill + back edge)
 //	ld   + add/addi         (counter reload, reduction)
+//	ld   + st               (copy through a register)
 //	movi + st               (constant store)
+//	st   + st               (adjacent spills)
 //	add/addi + add/addi     (straight-line work chains)
 //
 // A fused micro-op executes both constituents in one dispatch but still
@@ -85,6 +87,8 @@ const (
 	opFuseAddAddI  // add rd, rs1, rs2       ; addi aux, aux2, imm2
 	opFuseAddIAdd  // addi rd, rs1, imm      ; add aux, aux2, aux3
 	opFuseAddIAddI // addi rd, rs1, imm      ; addi aux, aux2, imm2
+	opFuseLoadSt   // ld rd, imm(rs1)        ; st aux3, imm2(aux2)
+	opFuseStSt     // st rs2, imm(rs1)       ; st aux3, imm2(aux2)
 
 	opFuseFirst = opFuseAddIBr
 )
@@ -245,6 +249,14 @@ func fusePair(u *uop, a, b *isa.Instr) bool {
 		*u = uop{op: opFuseAddIAddI, rd: uint8(a.Rd), rs1: uint8(a.Rs1), imm: a.Imm,
 			aux: uint8(b.Rd), aux2: uint8(b.Rs1), imm2: b.Imm,
 			in: a, in2: b}
+	case a.Kind == isa.KindLoad && b.Kind == isa.KindStore:
+		*u = uop{op: opFuseLoadSt, rd: uint8(a.Rd), rs1: uint8(a.Rs1), imm: a.Imm,
+			aux2: uint8(b.Rs1), aux3: uint8(b.Rs2), imm2: b.Imm,
+			in: a, in2: b}
+	case a.Kind == isa.KindStore && b.Kind == isa.KindStore:
+		*u = uop{op: opFuseStSt, rs1: uint8(a.Rs1), rs2: uint8(a.Rs2), imm: a.Imm,
+			aux2: uint8(b.Rs1), aux3: uint8(b.Rs2), imm2: b.Imm,
+			in: a, in2: b}
 	default:
 		return false
 	}
@@ -304,13 +316,13 @@ func (c *CPU) stepFusedFirst(u *uop, ev *trace.Event, retired uint64, pc uint64)
 		v := regs[u.rs1] + regs[u.rs2]
 		regs[u.rd] = v
 		ev.WroteReg, ev.WrittenReg, ev.WrittenVal = true, isa.Reg(u.rd), v
-	case opFuseLoadAddI, opFuseLoadAdd:
+	case opFuseLoadAddI, opFuseLoadAdd, opFuseLoadSt:
 		addr := uint64(regs[u.rs1] + u.imm)
 		v := c.mem.Load(addr)
 		regs[u.rd] = v
 		ev.WroteReg, ev.WrittenReg, ev.WrittenVal = true, isa.Reg(u.rd), v
 		ev.MemAddr, ev.MemVal = addr, v
-	case opFuseStBr:
+	case opFuseStBr, opFuseStSt:
 		addr := uint64(regs[u.rs1] + u.imm)
 		v := regs[u.rs2]
 		c.mem.Store(addr, v)
@@ -529,6 +541,49 @@ func (c *CPU) runPre(budget uint64, sink trace.BatchConsumer, seg trace.Segmente
 				ev2 := &buf[k+1]
 				*ev2 = trace.Event{Index: retired + 1, PC: isa.Addr(pc + 1), Instr: u.in2}
 				ev2.MemAddr, ev2.MemVal = addr, v
+			}
+			pc += 2
+			goto tail2
+		case opFuseLoadSt:
+			if limit-retired < 2 || kmax-k < 2 {
+				c.stepFusedFirst(u, &buf[k], retired, pc)
+				goto tail1
+			}
+			{
+				addr := uint64(regs[u.rs1] + u.imm)
+				v := c.mem.Load(addr)
+				regs[u.rd] = v
+				ev := &buf[k]
+				*ev = trace.Event{Index: retired, PC: isa.Addr(pc), Instr: u.in}
+				ev.WroteReg, ev.WrittenReg, ev.WrittenVal = true, isa.Reg(u.rd), v
+				ev.MemAddr, ev.MemVal = addr, v
+				addr2 := uint64(regs[u.aux2] + u.imm2)
+				v2 := regs[u.aux3]
+				c.mem.Store(addr2, v2)
+				ev2 := &buf[k+1]
+				*ev2 = trace.Event{Index: retired + 1, PC: isa.Addr(pc + 1), Instr: u.in2}
+				ev2.MemAddr, ev2.MemVal = addr2, v2
+			}
+			pc += 2
+			goto tail2
+		case opFuseStSt:
+			if limit-retired < 2 || kmax-k < 2 {
+				c.stepFusedFirst(u, &buf[k], retired, pc)
+				goto tail1
+			}
+			{
+				addr := uint64(regs[u.rs1] + u.imm)
+				v := regs[u.rs2]
+				c.mem.Store(addr, v)
+				ev := &buf[k]
+				*ev = trace.Event{Index: retired, PC: isa.Addr(pc), Instr: u.in}
+				ev.MemAddr, ev.MemVal = addr, v
+				addr2 := uint64(regs[u.aux2] + u.imm2)
+				v2 := regs[u.aux3]
+				c.mem.Store(addr2, v2)
+				ev2 := &buf[k+1]
+				*ev2 = trace.Event{Index: retired + 1, PC: isa.Addr(pc + 1), Instr: u.in2}
+				ev2.MemAddr, ev2.MemVal = addr2, v2
 			}
 			pc += 2
 			goto tail2

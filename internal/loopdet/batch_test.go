@@ -149,6 +149,66 @@ func segmentIndices(evs []trace.Event) []int32 {
 	return ctl
 }
 
+// ctlFacet projects a full stream onto the control plane.
+func ctlFacet(evs []trace.Event) []trace.CtlEvent {
+	out := make([]trace.CtlEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = trace.CtlEvent{Index: ev.Index, PC: ev.PC, Instr: ev.Instr,
+			Taken: ev.Taken, Target: ev.Target}
+	}
+	return out
+}
+
+// TestConsumeCtlBatchMatchesBatch pins the control-plane contract on the
+// detector: an observer-free detector declares itself control-only, and
+// fed compact CtlEvents with the producer's run-boundary indices it must
+// end with exactly the stats of the full-Event batch path, for arbitrary
+// streams and chunkings. A detector with a stream observer (or periodic
+// flush armed) must demand the data plane instead.
+func TestConsumeCtlBatchMatchesBatch(t *testing.T) {
+	for _, chunk := range []int{1, 3, 64, 1000} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			evs := randomStream(seed*2654435761, 1000)
+
+			ref := New(Config{Capacity: 8})
+			ctl := New(Config{Capacity: 8})
+			if got := trace.PlanesOf(ctl); got != trace.PlaneCtl {
+				t.Fatalf("observer-free detector planes = %v", got)
+			}
+
+			for i := 0; i < len(evs); i += chunk {
+				end := i + chunk
+				if end > len(evs) {
+					end = len(evs)
+				}
+				ref.ConsumeBatch(evs[i:end])
+				ctl.ConsumeCtlBatch(ctlFacet(evs[i:end]), segmentIndices(evs[i:end]))
+			}
+			ref.Flush()
+			ctl.Flush()
+
+			if ref.Stats() != ctl.Stats() {
+				t.Fatalf("chunk=%d seed=%d: stats %+v, want %+v",
+					chunk, seed, ctl.Stats(), ref.Stats())
+			}
+			if ref.Depth() != ctl.Depth() {
+				t.Fatalf("chunk=%d seed=%d: CLS depth %d, want %d",
+					chunk, seed, ctl.Depth(), ref.Depth())
+			}
+		}
+	}
+
+	withObs := New(Config{Capacity: 8})
+	withObs.AddObserver(&logObs{batch: true})
+	if got := trace.PlanesOf(withObs); got != trace.PlaneCtl|trace.PlaneData {
+		t.Fatalf("observed detector planes = %v", got)
+	}
+	withFlush := New(Config{Capacity: 8, FlushInterval: 64})
+	if got := trace.PlanesOf(withFlush); got != trace.PlaneCtl|trace.PlaneData {
+		t.Fatalf("periodic-flush detector planes = %v", got)
+	}
+}
+
 // TestConsumeBatchSegmentedMatchesBatch pins the SegmentedBatchConsumer
 // contract on the detector: fed producer-computed control indices, it
 // must emit exactly the callback sequence and stats of the plain batch

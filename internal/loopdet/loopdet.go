@@ -337,6 +337,64 @@ func (d *Detector) ConsumeBatchSegmented(evs []trace.Event, ctl []int32) {
 	d.last = evs[len(evs)-1].Index
 }
 
+// NeedPlanes implements trace.PlaneDeclarer: the CLS rules read only the
+// control facet, so a detector with no raw-stream observers (and no
+// periodic flush, whose boundary can fall mid-run) is control-only and
+// producers may deliver compact control-plane batches. Attaching a
+// StreamObserver — the §4 statistics collectors, the speculation engine
+// — pulls the detector back to full-facet delivery, since raw events
+// must carry the data facet those observers read.
+func (d *Detector) NeedPlanes() trace.Planes {
+	if len(d.stream) == 0 && d.flushMask == 0 {
+		return trace.PlaneCtl
+	}
+	return trace.PlaneCtl | trace.PlaneData
+}
+
+// ConsumeCtlBatch processes a control-plane batch
+// (trace.CtlBatchConsumer). The producer always supplies the
+// control-transfer indices, so the detector skips straight-line runs
+// entirely: the loop below touches only the boundary events, and the
+// run between boundaries costs nothing at all (there are no stream
+// observers on this path — see NeedPlanes).
+func (d *Detector) ConsumeCtlBatch(evs []trace.CtlEvent, ctl []int32) {
+	if len(evs) == 0 {
+		return
+	}
+	if len(d.stream) != 0 || d.flushMask != 0 {
+		panic("loopdet: control-plane delivery to a full-facet detector")
+	}
+	d.stats.Instrs += uint64(len(evs))
+	for _, ci := range ctl {
+		ev := &evs[ci]
+		d.last = ev.Index
+		d.transferCtl(ev)
+	}
+	d.last = evs[len(evs)-1].Index
+}
+
+// transferCtl is transfer over the control-plane event representation;
+// the two must stay rule-for-rule identical.
+func (d *Detector) transferCtl(ev *trace.CtlEvent) {
+	in := ev.Instr
+	switch in.Kind {
+	case isa.KindBranch:
+		if in.Target <= ev.PC {
+			d.backward(ev.PC, in.Target, ev.Taken, ev.Index)
+		} else if ev.Taken {
+			d.exitTransfer(ev.PC, in.Target, ev.Index)
+		}
+	case isa.KindJump:
+		if in.Target <= ev.PC {
+			d.backward(ev.PC, in.Target, true, ev.Index)
+		} else {
+			d.exitTransfer(ev.PC, in.Target, ev.Index)
+		}
+	case isa.KindRet:
+		d.ret(ev.PC, ev.Index)
+	}
+}
+
 // transfer applies the loop rules for one control-transfer instruction
 // (a no-op for any other kind). Every consume path funnels through it so
 // the scalar and batch paths cannot drift apart.

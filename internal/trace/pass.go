@@ -38,15 +38,52 @@ type segPassAdapter struct{ SegmentedBatchConsumer }
 func (segPassAdapter) Init()     {}
 func (segPassAdapter) Finalize() {}
 
+// ctlPassAdapter and ctlSegPassAdapter are the control-plane-capable
+// variants: they keep ConsumeCtlBatch (and the consumer's declared
+// planes) visible through the Pass, so Broadcast's facet negotiation
+// still sees the wrapped consumer's capabilities. Distinct adapter types
+// matter here — a single adapter that always implemented
+// CtlBatchConsumer would make every wrapped consumer look control-only.
+type ctlPassAdapter struct {
+	BatchConsumer
+	ctl CtlBatchConsumer
+}
+
+func (ctlPassAdapter) Init()     {}
+func (ctlPassAdapter) Finalize() {}
+func (a ctlPassAdapter) ConsumeCtlBatch(evs []CtlEvent, ctl []int32) {
+	a.ctl.ConsumeCtlBatch(evs, ctl)
+}
+func (a ctlPassAdapter) NeedPlanes() Planes { return PlanesOf(a.BatchConsumer) }
+
+type ctlSegPassAdapter struct {
+	SegmentedBatchConsumer
+	ctl CtlBatchConsumer
+}
+
+func (ctlSegPassAdapter) Init()     {}
+func (ctlSegPassAdapter) Finalize() {}
+func (a ctlSegPassAdapter) ConsumeCtlBatch(evs []CtlEvent, ctl []int32) {
+	a.ctl.ConsumeCtlBatch(evs, ctl)
+}
+func (a ctlSegPassAdapter) NeedPlanes() Planes { return PlanesOf(a.SegmentedBatchConsumer) }
+
 // AsPass adapts a plain batch consumer to the Pass interface with no-op
 // Init/Finalize. Consumers that already implement Pass are returned
-// unwrapped; segmentation-capable consumers keep their segmented batch
-// method visible through the adapter.
+// unwrapped; segmentation-capable and control-plane-capable consumers
+// keep those methods visible through the adapter.
 func AsPass(c BatchConsumer) Pass {
 	if p, ok := c.(Pass); ok {
 		return p
 	}
-	if sc, ok := c.(SegmentedBatchConsumer); ok {
+	sc, segOK := c.(SegmentedBatchConsumer)
+	cc, ctlOK := c.(CtlBatchConsumer)
+	switch {
+	case segOK && ctlOK:
+		return ctlSegPassAdapter{sc, cc}
+	case ctlOK:
+		return ctlPassAdapter{c, cc}
+	case segOK:
 		return segPassAdapter{sc}
 	}
 	return passAdapter{c}
@@ -71,12 +108,27 @@ func AsPass(c BatchConsumer) Pass {
 //
 // Passes never interact, so sharding changes wall-clock only, never
 // results. Init and Finalize always run inline in registration order.
+//
+// Broadcast negotiates event facets for the whole fan-out: NeedPlanes
+// reports the union of the passes' needs, and when every pass is
+// control-only a producer may deliver compact CtlEvent batches through
+// ConsumeCtlBatch instead of full Events.
 type Broadcast struct {
 	passes []Pass
 	shards [][]Pass
-	work   []chan []Event
+	work   []chan shardEpoch
 	wg     sync.WaitGroup
 	epochs uint64
+}
+
+// shardEpoch is one delivery to a shard worker: a full-plane batch
+// (optionally with its segmentation indices) or a control-plane batch.
+// Exactly one of evs/ctlEvs is non-nil.
+type shardEpoch struct {
+	evs    []Event
+	ctlEvs []CtlEvent
+	ctl    []int32
+	seg    bool // ctl holds segmentation indices for evs
 }
 
 // NewBroadcast returns a broadcast over the passes. shards <= 1 delivers
@@ -100,6 +152,20 @@ func NewBroadcast(shards int, passes ...Pass) *Broadcast {
 // Epochs returns the number of batches delivered so far.
 func (b *Broadcast) Epochs() uint64 { return b.epochs }
 
+// NeedPlanes reports the union of the passes' facet needs: control-only
+// exactly when every pass is control-only. It is computed on demand so
+// passes added after construction are counted.
+func (b *Broadcast) NeedPlanes() Planes {
+	var p Planes
+	for _, pass := range b.passes {
+		p |= PlanesOf(pass)
+	}
+	if p == 0 {
+		p = PlaneCtl
+	}
+	return p
+}
+
 // Init initialises every pass in registration order, then starts the
 // shard workers (if sharded).
 func (b *Broadcast) Init() {
@@ -109,14 +175,29 @@ func (b *Broadcast) Init() {
 	if b.shards == nil {
 		return
 	}
-	b.work = make([]chan []Event, len(b.shards))
+	b.work = make([]chan shardEpoch, len(b.shards))
 	for i, shard := range b.shards {
-		ch := make(chan []Event)
+		ch := make(chan shardEpoch)
 		b.work[i] = ch
-		go func(shard []Pass, ch <-chan []Event) {
-			for evs := range ch {
-				for _, p := range shard {
-					p.ConsumeBatch(evs)
+		go func(shard []Pass, ch <-chan shardEpoch) {
+			for e := range ch {
+				switch {
+				case e.ctlEvs != nil:
+					for _, p := range shard {
+						p.(CtlBatchConsumer).ConsumeCtlBatch(e.ctlEvs, e.ctl)
+					}
+				case e.seg:
+					for _, p := range shard {
+						if sp, ok := p.(SegmentedBatchConsumer); ok {
+							sp.ConsumeBatchSegmented(e.evs, e.ctl)
+							continue
+						}
+						p.ConsumeBatch(e.evs)
+					}
+				default:
+					for _, p := range shard {
+						p.ConsumeBatch(e.evs)
+					}
 				}
 				b.wg.Done()
 			}
@@ -134,32 +215,52 @@ func (b *Broadcast) ConsumeBatch(evs []Event) {
 		}
 		return
 	}
-	b.wg.Add(len(b.work))
-	for _, ch := range b.work {
-		ch <- evs
-	}
-	b.wg.Wait()
+	b.barrier(shardEpoch{evs: evs})
 }
 
 // ConsumeBatchSegmented delivers one epoch with its producer-computed
-// control-transfer indices. On the inline path, passes that implement
+// control-transfer indices. Passes that implement
 // SegmentedBatchConsumer receive the indices and skip their own kind
-// scan; other passes get a plain ConsumeBatch. The sharded path falls
-// back to plain delivery (the work channels carry only the event slice),
-// which is observably identical by the SegmentedBatchConsumer contract.
+// scan; other passes get a plain ConsumeBatch. Sharded delivery forwards
+// the indices to each shard worker — the batch barrier keeps the ctl
+// slice (reused by the producer, like evs) safe to share.
 func (b *Broadcast) ConsumeBatchSegmented(evs []Event, ctl []int32) {
-	if b.work != nil {
-		b.ConsumeBatch(evs)
+	b.epochs++
+	if b.work == nil {
+		for _, p := range b.passes {
+			if sp, ok := p.(SegmentedBatchConsumer); ok {
+				sp.ConsumeBatchSegmented(evs, ctl)
+				continue
+			}
+			p.ConsumeBatch(evs)
+		}
 		return
 	}
+	b.barrier(shardEpoch{evs: evs, ctl: ctl, seg: true})
+}
+
+// ConsumeCtlBatch delivers one control-plane epoch. Producers call it
+// only when NeedPlanes() == PlaneCtl, which guarantees every pass
+// implements CtlBatchConsumer.
+func (b *Broadcast) ConsumeCtlBatch(evs []CtlEvent, ctl []int32) {
 	b.epochs++
-	for _, p := range b.passes {
-		if sp, ok := p.(SegmentedBatchConsumer); ok {
-			sp.ConsumeBatchSegmented(evs, ctl)
-			continue
+	if b.work == nil {
+		for _, p := range b.passes {
+			p.(CtlBatchConsumer).ConsumeCtlBatch(evs, ctl)
 		}
-		p.ConsumeBatch(evs)
+		return
 	}
+	b.barrier(shardEpoch{ctlEvs: evs, ctl: ctl})
+}
+
+// barrier sends one epoch to every shard worker and blocks until all of
+// them are done, so the producer may safely reuse its buffers.
+func (b *Broadcast) barrier(e shardEpoch) {
+	b.wg.Add(len(b.work))
+	for _, ch := range b.work {
+		ch <- e
+	}
+	b.wg.Wait()
 }
 
 // Finalize stops the shard workers and finalises every pass in

@@ -153,46 +153,39 @@ func (p *segPass) ConsumeBatchSegmented(evs []Event, ctl []int32) {
 	}
 }
 
-// TestBroadcastSegmentedDelivery: on the inline path, segmentation-
-// capable passes receive the producer's ctl indices and plain passes get
-// ConsumeBatch; on the sharded path every pass falls back to plain
-// delivery (observably identical by the SegmentedBatchConsumer
-// contract). AsPass must keep the segmented method visible through its
-// adapter.
+// TestBroadcastSegmentedDelivery: segmentation-capable passes receive
+// the producer's ctl indices and plain passes get ConsumeBatch — on the
+// inline path AND on the sharded path (the shard channels forward the
+// indices with the epoch; the per-batch barrier keeps the shared ctl
+// slice inside its epoch). AsPass must keep the segmented method visible
+// through its adapter.
 func TestBroadcastSegmentedDelivery(t *testing.T) {
 	in := isa.Instr{Kind: isa.KindNop}
 	evs := []Event{{PC: 1, Instr: &in}, {PC: 2, Instr: &in}, {PC: 3, Instr: &in}}
 	ctl := []int32{1}
 
-	sp := &segPass{}
-	pp := &lifecyclePass{}
-	bc := NewBroadcast(0, AsPass(sp), pp)
-	bc.Init()
-	bc.ConsumeBatchSegmented(evs, ctl)
-	bc.Finalize()
-	if sp.segBatches != 1 || sp.batches != 0 {
-		t.Fatalf("inline: segmented pass got seg=%d plain=%d, want 1/0", sp.segBatches, sp.batches)
-	}
-	if len(sp.ctl) != 1 || sp.ctl[0] != 1 {
-		t.Fatalf("inline: ctl = %v, want [1]", sp.ctl)
-	}
-	if pp.batches != 1 {
-		t.Fatalf("inline: plain pass got %d batches", pp.batches)
-	}
-	if bc.Epochs() != 1 {
-		t.Fatalf("inline: epochs = %d", bc.Epochs())
-	}
-
-	sp2 := &segPass{}
-	pp2 := &lifecyclePass{}
-	bc2 := NewBroadcast(2, AsPass(sp2), pp2)
-	bc2.Init()
-	bc2.ConsumeBatchSegmented(evs, ctl)
-	bc2.Finalize()
-	if sp2.segBatches != 0 || sp2.batches != 1 {
-		t.Fatalf("sharded: segmented pass got seg=%d plain=%d, want 0/1", sp2.segBatches, sp2.batches)
-	}
-	if sp2.sum != 6 || pp2.batches != 1 {
-		t.Fatalf("sharded: sum=%d plainBatches=%d", sp2.sum, pp2.batches)
+	for _, shards := range []int{0, 2} {
+		sp := &segPass{}
+		pp := &lifecyclePass{}
+		bc := NewBroadcast(shards, AsPass(sp), pp)
+		bc.Init()
+		bc.ConsumeBatchSegmented(evs, ctl)
+		bc.Finalize()
+		if sp.segBatches != 1 || sp.batches != 0 {
+			t.Fatalf("shards=%d: segmented pass got seg=%d plain=%d, want 1/0",
+				shards, sp.segBatches, sp.batches)
+		}
+		if len(sp.ctl) != 1 || sp.ctl[0] != 1 {
+			t.Fatalf("shards=%d: ctl = %v, want [1]", shards, sp.ctl)
+		}
+		if sp.sum != 6 {
+			t.Fatalf("shards=%d: sum = %d, want 6", shards, sp.sum)
+		}
+		if pp.batches != 1 {
+			t.Fatalf("shards=%d: plain pass got %d batches", shards, pp.batches)
+		}
+		if bc.Epochs() != 1 {
+			t.Fatalf("shards=%d: epochs = %d", shards, bc.Epochs())
+		}
 	}
 }

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"testing"
+
+	"dynloop/internal/isa"
+)
+
+// ctlPass is a segPass that additionally accepts control-plane batches,
+// recording them separately so tests can tell which plane delivered.
+type ctlPass struct {
+	segPass
+	ctlBatches int
+	ctlSum     uint64
+	ctlIdx     []int32
+}
+
+func (p *ctlPass) ConsumeCtlBatch(evs []CtlEvent, ctl []int32) {
+	p.ctlBatches++
+	p.ctlIdx = append(p.ctlIdx, ctl...)
+	for i := range evs {
+		p.ctlSum += uint64(evs[i].PC)
+	}
+}
+
+// declarerPass overrides the structural default with an explicit answer.
+type declarerPass struct {
+	ctlPass
+	planes Planes
+}
+
+func (p *declarerPass) NeedPlanes() Planes { return p.planes }
+
+// TestPlanesOf pins the negotiation rules: a declarer answers for itself
+// (with 0 normalised to PlaneCtl), an undeclared CtlBatchConsumer is
+// control-only, and anything else needs both facets.
+func TestPlanesOf(t *testing.T) {
+	both := PlaneCtl | PlaneData
+	cases := []struct {
+		name string
+		c    any
+		want Planes
+	}{
+		{"plain", &lifecyclePass{}, both},
+		{"segmented", &segPass{}, both},
+		{"ctl-capable", &ctlPass{}, PlaneCtl},
+		{"counter", &Counter{}, PlaneCtl},
+		{"hash", NewHash(), PlaneCtl},
+		{"declares-both", &declarerPass{planes: both}, both},
+		{"declares-ctl", &declarerPass{planes: PlaneCtl}, PlaneCtl},
+		{"declares-zero", &declarerPass{planes: 0}, PlaneCtl},
+		{"forced-full", ForceFullPlane(&ctlPass{}), both},
+		{"forced-full-plain", ForceFullPlane(&lifecyclePass{}), both},
+	}
+	for _, tc := range cases {
+		if got := PlanesOf(tc.c); got != tc.want {
+			t.Errorf("PlanesOf(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestForceFullPlaneKeepsSegmented: the wrapper hides the control plane
+// but must not cost the segmented fast path.
+func TestForceFullPlaneKeepsSegmented(t *testing.T) {
+	in := isa.Instr{Kind: isa.KindNop}
+	evs := []Event{{PC: 1, Instr: &in}, {PC: 2, Instr: &in}}
+
+	sp := &ctlPass{}
+	w := ForceFullPlane(sp)
+	if _, ok := w.(CtlBatchConsumer); ok {
+		t.Fatal("ForceFullPlane left ConsumeCtlBatch visible")
+	}
+	sw, ok := w.(SegmentedBatchConsumer)
+	if !ok {
+		t.Fatal("ForceFullPlane hid ConsumeBatchSegmented")
+	}
+	sw.ConsumeBatchSegmented(evs, []int32{0})
+	if sp.segBatches != 1 || sp.ctlBatches != 0 || sp.sum != 3 {
+		t.Fatalf("wrapper delivery: %+v", sp)
+	}
+
+	pp := &lifecyclePass{}
+	wp := ForceFullPlane(pp)
+	if _, ok := wp.(SegmentedBatchConsumer); ok {
+		t.Fatal("plain wrapper invented ConsumeBatchSegmented")
+	}
+	wp.ConsumeBatch(evs)
+	if pp.batches != 1 || pp.sum != 3 {
+		t.Fatalf("plain wrapper delivery: %+v", pp)
+	}
+}
+
+// TestAsPassKeepsCtlVisible: the adapters must keep both the
+// control-plane method and the wrapped consumer's declared planes
+// visible, without making non-ctl consumers look control-only.
+func TestAsPassKeepsCtlVisible(t *testing.T) {
+	in := isa.Instr{Kind: isa.KindBranch}
+	cevs := []CtlEvent{{PC: 7, Instr: &in, Taken: true, Target: 3}}
+
+	cp := &ctlPass{}
+	p := AsPass(cp)
+	if PlanesOf(p) != PlaneCtl {
+		t.Fatalf("adapted ctl consumer planes = %v", PlanesOf(p))
+	}
+	p.(CtlBatchConsumer).ConsumeCtlBatch(cevs, []int32{0})
+	if cp.ctlBatches != 1 || cp.ctlSum != 7 {
+		t.Fatalf("ctl delivery through adapter: %+v", cp)
+	}
+	if _, ok := p.(SegmentedBatchConsumer); !ok {
+		t.Fatal("adapter hid ConsumeBatchSegmented")
+	}
+
+	// A Counter is ctl-capable but not segmentation-capable.
+	var c Counter
+	pc := AsPass(&c)
+	if PlanesOf(pc) != PlaneCtl {
+		t.Fatalf("adapted Counter planes = %v", PlanesOf(pc))
+	}
+	pc.(CtlBatchConsumer).ConsumeCtlBatch(cevs, []int32{0})
+	if c.Total != 1 || c.TakenBranches != 1 {
+		t.Fatalf("Counter through adapter: %+v", c)
+	}
+
+	// A plain consumer must NOT gain ctl capability from the adapter.
+	if _, ok := AsPass(&struct{ BatchConsumer }{}).(CtlBatchConsumer); ok {
+		t.Fatal("plain adapter invented ConsumeCtlBatch")
+	}
+
+	// Forcing full planes downgrades an adapted ctl consumer to both.
+	if got := PlanesOf(AsPass(ForceFullPlane(cp))); got != PlaneCtl|PlaneData {
+		t.Fatalf("forced-full adapted planes = %v", got)
+	}
+}
+
+// TestBroadcastPlaneNegotiation: the broadcast is control-only exactly
+// when every pass is.
+func TestBroadcastPlaneNegotiation(t *testing.T) {
+	both := PlaneCtl | PlaneData
+	if got := NewBroadcast(0, AsPass(&ctlPass{}), AsPass(&Counter{})).NeedPlanes(); got != PlaneCtl {
+		t.Fatalf("all-ctl broadcast planes = %v", got)
+	}
+	if got := NewBroadcast(0, AsPass(&ctlPass{}), &lifecyclePass{}).NeedPlanes(); got != both {
+		t.Fatalf("mixed broadcast planes = %v", got)
+	}
+	if got := NewBroadcast(0).NeedPlanes(); got != PlaneCtl {
+		t.Fatalf("empty broadcast planes = %v", got)
+	}
+	if got := (BatchTee{&Counter{}, NewHash()}).NeedPlanes(); got != PlaneCtl {
+		t.Fatalf("all-ctl tee planes = %v", got)
+	}
+	if got := (BatchTee{&Counter{}, &Recorder{}}).NeedPlanes(); got != both {
+		t.Fatalf("mixed tee planes = %v", got)
+	}
+}
+
+// TestBroadcastCtlDelivery: control-plane batches reach every pass with
+// the producer's ctl indices, inline and sharded, and the sharded path
+// is safe against the producer reusing its buffers (the batch barrier).
+func TestBroadcastCtlDelivery(t *testing.T) {
+	br := isa.Instr{Kind: isa.KindBranch}
+	run := func(shards int) (uint64, uint64) {
+		a, b := &ctlPass{}, &ctlPass{}
+		bc := NewBroadcast(shards, AsPass(a), AsPass(b))
+		if bc.NeedPlanes() != PlaneCtl {
+			t.Fatalf("shards=%d: planes = %v", shards, bc.NeedPlanes())
+		}
+		bc.Init()
+		buf := make([]CtlEvent, 32)
+		ctl := make([]int32, 32)
+		pc := uint64(0)
+		for epoch := 0; epoch < 50; epoch++ {
+			for i := range buf {
+				pc++
+				buf[i] = CtlEvent{PC: isa.Addr(pc), Instr: &br, Taken: i%2 == 0}
+			}
+			ctl[0] = int32(epoch % len(buf))
+			bc.ConsumeCtlBatch(buf, ctl[:1])
+		}
+		bc.Finalize()
+		if a.ctlBatches != 50 || b.ctlBatches != 50 || a.batches != 0 || a.segBatches != 0 {
+			t.Fatalf("shards=%d: a=%+v b=%+v", shards, a, b)
+		}
+		if len(a.ctlIdx) != 50 || a.ctlIdx[3] != 3 {
+			t.Fatalf("shards=%d: ctl indices %v", shards, a.ctlIdx[:4])
+		}
+		if bc.Epochs() != 50 {
+			t.Fatalf("shards=%d: epochs = %d", shards, bc.Epochs())
+		}
+		return a.ctlSum, b.ctlSum
+	}
+	ia, ib := run(0)
+	for _, shards := range []int{2, 3} {
+		sa, sb := run(shards)
+		if sa != ia || sb != ib {
+			t.Fatalf("shards=%d: sums %d/%d != inline %d/%d", shards, sa, sb, ia, ib)
+		}
+	}
+}
+
+// TestCtlConsumerEquivalence: Counter and Hash must produce identical
+// results from a control-plane batch and from the equivalent full-Event
+// batch — the contract ConsumeCtlBatch implementations promise.
+func TestCtlConsumerEquivalence(t *testing.T) {
+	br := isa.Instr{Kind: isa.KindBranch, Target: 4}
+	add := isa.Instr{Kind: isa.KindALU}
+	full := []Event{
+		{Index: 0, PC: 1, Instr: &add, WroteReg: true, WrittenReg: 3, WrittenVal: 99, MemAddr: 8, MemVal: 7},
+		{Index: 1, PC: 2, Instr: &br, Taken: true, Target: 4},
+		{Index: 2, PC: 4, Instr: &br},
+	}
+	ctlEvs := make([]CtlEvent, len(full))
+	for i, ev := range full {
+		ctlEvs[i] = CtlEvent{Index: ev.Index, PC: ev.PC, Instr: ev.Instr, Taken: ev.Taken, Target: ev.Target}
+	}
+	ctl := []int32{1, 2}
+
+	var cf, cc Counter
+	cf.ConsumeBatch(full)
+	cc.ConsumeCtlBatch(ctlEvs, ctl)
+	if cf != cc {
+		t.Fatalf("Counter: full %+v != ctl %+v", cf, cc)
+	}
+
+	hf, hc := NewHash(), NewHash()
+	hf.ConsumeBatch(full)
+	hc.ConsumeCtlBatch(ctlEvs, ctl)
+	if hf.Sum != hc.Sum {
+		t.Fatalf("Hash: full %#x != ctl %#x", hf.Sum, hc.Sum)
+	}
+
+	// BatchTee forwards the control plane to every member.
+	var ct Counter
+	ht := NewHash()
+	tee := BatchTee{&ct, ht}
+	tee.ConsumeCtlBatch(ctlEvs, ctl)
+	if ct != cc || ht.Sum != hc.Sum {
+		t.Fatalf("tee ctl delivery diverged: %+v %#x", ct, ht.Sum)
+	}
+}

@@ -158,6 +158,28 @@ func (t BatchTee) ConsumeBatch(evs []Event) {
 	}
 }
 
+// NeedPlanes reports the union of the members' facet needs, so a tee is
+// control-only exactly when every member is.
+func (t BatchTee) NeedPlanes() Planes {
+	var p Planes
+	for _, c := range t {
+		p |= PlanesOf(c)
+	}
+	if p == 0 {
+		p = PlaneCtl
+	}
+	return p
+}
+
+// ConsumeCtlBatch forwards a control-plane batch to every consumer.
+// Producers only deliver here when NeedPlanes() == PlaneCtl, which
+// guarantees every member implements CtlBatchConsumer.
+func (t BatchTee) ConsumeCtlBatch(evs []CtlEvent, ctl []int32) {
+	for _, c := range t {
+		c.(CtlBatchConsumer).ConsumeCtlBatch(evs, ctl)
+	}
+}
+
 // Counter counts retired instructions by kind. The zero value is ready to
 // use.
 type Counter struct {
@@ -185,6 +207,23 @@ func (c *Counter) Consume(ev *Event) {
 
 // ConsumeBatch tallies every event in the batch.
 func (c *Counter) ConsumeBatch(evs []Event) {
+	c.Total += uint64(len(evs))
+	for i := range evs {
+		ev := &evs[i]
+		c.ByKind[ev.Instr.Kind]++
+		if ev.Instr.Kind == isa.KindBranch {
+			c.Branches++
+			if ev.Taken {
+				c.TakenBranches++
+			}
+		}
+	}
+}
+
+// ConsumeCtlBatch tallies every event in a control-plane batch; the
+// tallies read only control-facet fields, so the counts match the full
+// path exactly.
+func (c *Counter) ConsumeCtlBatch(evs []CtlEvent, _ []int32) {
 	c.Total += uint64(len(evs))
 	for i := range evs {
 		ev := &evs[i]
@@ -239,6 +278,25 @@ func (h *Hash) Consume(ev *Event) {
 // ConsumeBatch folds the whole batch into the hash, keeping the running
 // sum in a register across the loop.
 func (h *Hash) ConsumeBatch(evs []Event) {
+	s := h.Sum
+	for i := range evs {
+		ev := &evs[i]
+		s = (s ^ uint64(ev.PC)) * fnvPrime
+		t := uint64(0)
+		if ev.Taken {
+			t = 1
+		}
+		s = (s ^ t) * fnvPrime
+		s = (s ^ uint64(ev.Target)) * fnvPrime
+	}
+	h.Sum = s
+}
+
+// ConsumeCtlBatch folds a control-plane batch into the hash. The hash
+// covers every event (not just control transfers), so it walks the whole
+// batch and ignores ctl; the sum is identical to the full-Event path
+// because only control-facet fields are folded in.
+func (h *Hash) ConsumeCtlBatch(evs []CtlEvent, _ []int32) {
 	s := h.Sum
 	for i := range evs {
 		ev := &evs[i]

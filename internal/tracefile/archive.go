@@ -151,10 +151,13 @@ const decodeBatch = 1024
 
 // Decoder holds the reusable event buffers for Replay. The zero value
 // is ready to use; the first Replay warms it and subsequent replays do
-// not allocate.
+// not allocate. Full-plane and control-plane replays use separate event
+// buffers, so a decoder serving only control-plane sinks never
+// allocates the (5x larger) full-event buffer.
 type Decoder struct {
-	evs []trace.Event
-	ctl []int32
+	evs    []trace.Event
+	ctlEvs []trace.CtlEvent
+	ctl    []int32
 }
 
 // Replay streams the first min(budget, Events) recorded events to sink
@@ -165,9 +168,19 @@ type Decoder struct {
 // consumers must copy what they keep. Blocks were CRC- and
 // decode-verified at load, so decoding cannot fail; any residual decode
 // error reports a software bug via ErrCorrupt.
+//
+// Replay negotiates event facets exactly as the interpreter's Run does:
+// a sink that accepts control-plane batches and needs only the control
+// facet is served by the header-plane-only decoder (decodeEventsCtl),
+// which never materializes value fields at all.
 func (r *Recording) Replay(budget uint64, d *Decoder, sink trace.BatchConsumer) (uint64, bool, error) {
 	if d == nil {
 		d = &Decoder{}
+	}
+	if sink != nil {
+		if cc, ok := sink.(trace.CtlBatchConsumer); ok && trace.PlanesOf(sink) == trace.PlaneCtl {
+			return r.replayCtl(budget, d, cc)
+		}
 	}
 	limit := r.events
 	if budget != 0 && budget < limit {
@@ -175,6 +188,8 @@ func (r *Recording) Replay(budget uint64, d *Decoder, sink trace.BatchConsumer) 
 	}
 	if d.evs == nil {
 		d.evs = make([]trace.Event, decodeBatch)
+	}
+	if d.ctl == nil {
 		d.ctl = make([]int32, decodeBatch)
 	}
 	// Segmentation-capable sinks get each block's run boundaries as a
@@ -220,6 +235,57 @@ func (r *Recording) Replay(budget uint64, d *Decoder, sink trace.BatchConsumer) 
 			} else if sink != nil {
 				sink.ConsumeBatch(evs)
 			}
+			n += uint64(chunk)
+			take -= uint64(chunk)
+		}
+		if n == limit {
+			break
+		}
+	}
+	return n, r.halted && n == r.events, nil
+}
+
+// replayCtl is the control-plane replay loop: the same block/chunk
+// structure as Replay, but decoding header-plane-only control events.
+// The run-boundary side channel is collected as a byproduct and always
+// delivered. Blocks were full-decode-verified at load, so this path
+// skips the end-of-block revalidation.
+func (r *Recording) replayCtl(budget uint64, d *Decoder, sink trace.CtlBatchConsumer) (uint64, bool, error) {
+	limit := r.events
+	if budget != 0 && budget < limit {
+		limit = budget
+	}
+	if d.ctlEvs == nil {
+		d.ctlEvs = make([]trace.CtlEvent, decodeBatch)
+	}
+	if d.ctl == nil {
+		d.ctl = make([]int32, decodeBatch)
+	}
+	var n uint64
+	for i := range r.blocks {
+		b := &r.blocks[i]
+		take := b.count
+		if n+take > limit {
+			take = limit - n
+		}
+		if take == 0 {
+			break
+		}
+		hlim := int(b.count)
+		hpos, vpos, pc := 0, hlim, b.startPC
+		for take > 0 {
+			chunk := take
+			if chunk > decodeBatch {
+				chunk = decodeBatch
+			}
+			evs := d.ctlEvs[:chunk]
+			var cn int
+			var err error
+			hpos, vpos, pc, cn, err = decodeEventsCtl(b.payload, hpos, hlim, vpos, pc, evs, n, r.tmpls, d.ctl)
+			if err != nil {
+				return n, false, fmt.Errorf("verified block %d failed to decode: %w", i, err)
+			}
+			sink.ConsumeCtlBatch(evs, d.ctl[:cn])
 			n += uint64(chunk)
 			take -= uint64(chunk)
 		}

@@ -469,6 +469,14 @@ func FuzzReplayArchive(f *testing.F) {
 		if n != rec.Events() {
 			t.Fatalf("replayed %d of %d events", n, rec.Events())
 		}
+		// Plane differential: the header-plane-only decode (Hash is a
+		// control-only sink) and the full decode must agree on any
+		// accepted input.
+		fh := trace.NewHash()
+		fn, _, err := rec.Replay(0, nil, trace.ForceFullPlane(fh))
+		if err != nil || fn != n || fh.Sum != h.Sum {
+			t.Fatalf("plane divergence: ctl n=%d sum=%x, full n=%d sum=%x err=%v", n, h.Sum, fn, fh.Sum, err)
+		}
 		if _, _, err := rec.Replay(rec.Events()/2+1, nil, nil); err != nil {
 			t.Fatalf("prefix replay failed: %v", err)
 		}

@@ -613,3 +613,77 @@ func decodeEventsPacked(blk []byte, hpos, hlim, vpos int, pc uint64, evs []trace
 	}
 	return hpos, vpos, pc, cn, nil
 }
+
+// decodeEventsCtl decodes len(evs) packed records from blk into
+// control-plane events: it walks the header plane only, skipping over
+// the field plane arithmetically (the 2-bit width codes say how many
+// bytes each record spent without loading them). The single value-plane
+// read left is the return target of ret records — the one control
+// transfer whose destination is dynamic. ctl (len >= len(evs)) always
+// receives the run-boundary indices; the count is returned.
+//
+// This path never re-validates the block tail — every block was
+// full-decoded once at parse time (parseArchive / Commit), so a
+// control-plane replay is working over bytes already proven well-formed.
+// The offsets thread through successive calls exactly as in
+// decodeEventsPacked, so full and ctl chunked decodes interleave
+// identically with budget truncation.
+func decodeEventsCtl(blk []byte, hpos, hlim, vpos int, pc uint64, evs []trace.CtlEvent, base uint64, tmpls []evTmpl, ctl []int32) (int, int, uint64, int, error) {
+	n := len(blk)
+	cn := 0
+	hdr := blk[hpos:hlim]
+	if len(hdr) < len(evs) {
+		return hpos, vpos, pc, cn, fmt.Errorf("%w: block truncated at event %d", ErrCorrupt, len(hdr))
+	}
+	for i := 0; i < len(evs); i++ {
+		if pc >= uint64(len(tmpls)) {
+			return hpos + i, vpos, pc, cn, fmt.Errorf("%w: pc=%d at event %d", ErrCorrupt, pc, i)
+		}
+		t := &tmpls[pc]
+		h := hdr[i]
+		evs[i] = trace.CtlEvent{Index: base + uint64(i), PC: isa.Addr(pc), Instr: t.in}
+		next := pc + 1
+		if f := t.flags; f&(tmplWroteReg|tmplHasMem) != 0 {
+			vpos += 1 << (h >> 1 & 3)
+			if f&tmplHasMem != 0 {
+				vpos += 1 << (h >> 3 & 3)
+			} else if f&tmplFuse != 0 && i+1 < len(evs) {
+				// Fused pair: the successor is statically another plain
+				// register write, so spend its header byte in the same
+				// iteration — the ctl analogue of the full decoder's pair
+				// arm, with only width arithmetic on the field plane.
+				evs[i+1] = trace.CtlEvent{Index: base + uint64(i+1),
+					PC: isa.Addr(pc + 1), Instr: tmpls[pc+1].in}
+				vpos += 1 << (hdr[i+1] >> 1 & 3)
+				pc += 2
+				i++
+				continue
+			}
+		} else {
+			if h&1 != 0 { // taken transfer
+				tgt := uint64(t.target)
+				if f&tmplRet != 0 {
+					if vpos+8 > n {
+						return hpos + i, vpos, pc, cn, fmt.Errorf("%w: ret target at event %d", ErrCorrupt, i)
+					}
+					c := h >> 1 & 3
+					tgt = binary.LittleEndian.Uint64(blk[vpos:vpos+8]) & fieldMask[c]
+					vpos += 1 << c
+				}
+				ev := &evs[i]
+				ev.Taken, ev.Target = true, isa.Addr(tgt)
+				next = tgt
+			}
+			if f&tmplCtl != 0 {
+				ctl[cn] = int32(i)
+				cn++
+			}
+		}
+		pc = next
+	}
+	hpos += len(evs)
+	if vpos > n-blockPad {
+		return hpos, vpos, pc, cn, fmt.Errorf("%w: field plane overrun", ErrCorrupt)
+	}
+	return hpos, vpos, pc, cn, nil
+}

@@ -1,0 +1,151 @@
+package tracefile
+
+import (
+	"reflect"
+	"testing"
+
+	"dynloop/internal/isa"
+	"dynloop/internal/trace"
+)
+
+// ctlSink accepts only control-plane delivery; ConsumeBatch panicking
+// proves Replay dispatched to the header-plane decoder. ctl indices are
+// resolved to absolute stream positions.
+type ctlSink struct {
+	events []trace.CtlEvent
+	ctl    []int
+}
+
+func (s *ctlSink) ConsumeBatch([]trace.Event) {
+	panic("full-plane delivery to a control-only sink")
+}
+
+func (s *ctlSink) ConsumeCtlBatch(evs []trace.CtlEvent, ctl []int32) {
+	base := len(s.events)
+	s.events = append(s.events, evs...)
+	for _, i := range ctl {
+		s.ctl = append(s.ctl, base+int(i))
+	}
+}
+
+// TestReplayCtlEventIdentical: the control-plane replay path must yield
+// exactly the control facet of the full decode — every field of every
+// event, plus the run-boundary indices — over a multi-block recording
+// and at a budget that cuts mid-block. This is the lazy-materialization
+// differential: decodeEventsCtl walks only the header plane, advancing
+// the value-plane cursor arithmetically, and any drift in that cursor
+// corrupts the PC chain this test checks event by event.
+func TestReplayCtlEventIdentical(t *testing.T) {
+	u := buildArchUnit(t, "ctlid")
+	a, err := OpenArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := a.BeginRecord("ctlid", 1, u.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := u.NewCPU()
+	if _, err := cpu.Run(120_000, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Commit(cpu.Halted()); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := a.Lookup("ctlid", 1)
+	if !ok {
+		t.Fatal("recording not installed")
+	}
+	if len(r.blocks) < 2 {
+		t.Fatalf("want a multi-block recording, got %d block(s)", len(r.blocks))
+	}
+
+	full := &trace.Recorder{}
+	if _, _, err := r.Replay(0, nil, full); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]trace.CtlEvent, len(full.Events))
+	var wantCtl []int
+	for i, ev := range full.Events {
+		want[i] = trace.CtlEvent{Index: ev.Index, PC: ev.PC, Instr: ev.Instr,
+			Taken: ev.Taken, Target: ev.Target}
+		switch ev.Instr.Kind {
+		case isa.KindBranch, isa.KindJump, isa.KindRet:
+			wantCtl = append(wantCtl, i)
+		}
+	}
+
+	cs := &ctlSink{}
+	n, halted, err := r.Replay(0, nil, cs)
+	if err != nil || n != uint64(len(want)) || halted != r.halted {
+		t.Fatalf("ctl replay: n=%d halted=%v err=%v", n, halted, err)
+	}
+	if len(cs.events) != len(want) {
+		t.Fatalf("ctl replay decoded %d events, want %d", len(cs.events), len(want))
+	}
+	for i := range want {
+		if cs.events[i] != want[i] {
+			t.Fatalf("event %d differs:\nctl  %+v\nfull %+v", i, cs.events[i], want[i])
+		}
+	}
+	if !reflect.DeepEqual(cs.ctl, wantCtl) {
+		t.Fatalf("ctl indices differ: got %d entries, want %d", len(cs.ctl), len(wantCtl))
+	}
+
+	// A budget cutting into the middle of a block yields the exact prefix.
+	cut := uint64(len(want))/2 + 13
+	ps := &ctlSink{}
+	if n, _, err := r.Replay(cut, nil, ps); err != nil || n != cut {
+		t.Fatalf("prefix ctl replay: n=%d err=%v", n, err)
+	}
+	if !reflect.DeepEqual(ps.events, want[:cut]) {
+		t.Fatal("prefix ctl replay differs from full-decode prefix")
+	}
+
+	// ForceFullPlane pushes the same consumer stack back onto the full
+	// decoder; the hash must not care which plane delivered.
+	h1, h2 := trace.NewHash(), trace.NewHash()
+	if _, _, err := r.Replay(0, nil, h1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Replay(0, nil, trace.ForceFullPlane(h2)); err != nil {
+		t.Fatal(err)
+	}
+	if h1.Sum != h2.Sum {
+		t.Fatalf("ctl hash %x != forced-full hash %x", h1.Sum, h2.Sum)
+	}
+}
+
+// TestReplayCtlZeroAllocs pins BOTH replay planes at zero allocations
+// per run once the decoder is warm.
+func TestReplayCtlZeroAllocs(t *testing.T) {
+	dir := t.TempDir()
+	a, _, _, _ := recordInto(t, dir, "arch", 0)
+	rec, ok := a.Lookup("arch", 1)
+	if !ok {
+		t.Fatal("recording not found")
+	}
+	d := &Decoder{}
+	h := trace.NewHash()
+	fh := trace.ForceFullPlane(trace.NewHash())
+	for _, leg := range []struct {
+		name string
+		run  func()
+	}{
+		{"ctl", func() {
+			if _, _, err := rec.Replay(0, d, h); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"full", func() {
+			if _, _, err := rec.Replay(0, d, fh); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		leg.run() // warm the decoder's plane buffers
+		if allocs := testing.AllocsPerRun(10, leg.run); allocs != 0 {
+			t.Fatalf("%s replay hot loop allocates %v per run, want 0", leg.name, allocs)
+		}
+	}
+}

@@ -61,6 +61,38 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestCtlSteadyStateZeroAllocs pins the control-plane hot path the same
+// way: an observer-free detector negotiates compact CtlEvent delivery
+// (trace.PlanesOf == PlaneCtl), and once the ctl batch buffer is warm,
+// retiring instructions through it must not allocate at all.
+func TestCtlSteadyStateZeroAllocs(t *testing.T) {
+	p := &program.Program{Name: "steady-ctl", Code: []isa.Instr{
+		isa.MovI(1, 1<<40),
+		isa.AddI(1, 1, -1),
+		isa.Branch(isa.CondNEZ, 1, 1),
+		isa.Halt(),
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cpu := interp.New(p)
+	det := loopdet.New(loopdet.Config{Capacity: 16})
+	if got := trace.PlanesOf(det); got != trace.PlaneCtl {
+		t.Fatalf("bare detector planes = %v, want ctl-only", got)
+	}
+	if _, err := cpu.Run(100_000, det); err != nil { // warm the ctl batch
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := cpu.Run(10_000, det); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("ctl steady-state allocs per 10k-instruction run = %v, want 0", avg)
+	}
+}
+
 // TestBatchSizeHarnessDeterminism runs one benchmark through the harness
 // at several batch sizes — including 1, the degenerate per-instruction
 // delivery — and requires identical stream hashes, detector stats, loop

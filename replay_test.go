@@ -2,6 +2,7 @@ package dynloop_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"dynloop"
@@ -110,6 +111,105 @@ func TestReplayEquivalenceAllGrids(t *testing.T) {
 	if after := tr.Stats(); after.Records != st.Records {
 		t.Errorf("warm-archive pass recorded %d new traces, want 0", after.Records-st.Records)
 	}
+}
+
+// TestPlaneEquivalenceAllGrids is the facet split's acceptance suite:
+// every registered grid renders byte-identically whether its ctl-only
+// traversals run on the control plane (the default), on forced
+// full-Event delivery, or on the reference interpreter — at 1 and 8
+// workers, with inline and sharded (4) broadcast delivery, interpreted
+// and replayed from the trace archive.
+func TestPlaneEquivalenceAllGrids(t *testing.T) {
+	ctx := context.Background()
+	base := expt.Config{Budget: 50_000, Benchmarks: []string{"m88ksim", "perl"}}
+
+	render := func(cfg expt.Config, leg string) map[string]string {
+		t.Helper()
+		out := make(map[string]string)
+		for _, name := range grid.Names() {
+			e, ok := grid.Lookup(name)
+			if !ok {
+				t.Fatalf("grid %q vanished from the registry", name)
+			}
+			res, err := grid.Run(ctx, cfg, e.Spec)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", name, leg, err)
+			}
+			s, err := e.Render(res)
+			if err != nil {
+				t.Fatalf("%s render (%s): %v", name, leg, err)
+			}
+			out[name] = s
+		}
+		return out
+	}
+	compare := func(got, want map[string]string, leg string) {
+		t.Helper()
+		for name := range want {
+			if got[name] != want[name] {
+				t.Errorf("%s (%s): render differs from reference:\n--- got ---\n%s\n--- want ---\n%s",
+					name, leg, got[name], want[name])
+			}
+		}
+	}
+
+	// Reference renders: the two-level reference interpreter on forced
+	// full-plane delivery — no predecode, no fusion, no facet split.
+	refCfg := base
+	refCfg.Runner = runner.New(runner.Config{Workers: 4})
+	refCfg.Reference = true
+	refCfg.FullPlanes = true
+	ref := render(refCfg, "reference")
+
+	// Forced full-plane predecoded path.
+	fullCfg := base
+	fullCfg.Runner = runner.New(runner.Config{Workers: 4})
+	fullCfg.FullPlanes = true
+	compare(render(fullCfg, "full-plane"), ref, "full-plane")
+
+	// Control-plane (default) path, interpreted, across worker counts and
+	// broadcast shard counts.
+	for _, parallel := range []int{1, 8} {
+		for _, shards := range []int{0, 4} {
+			cfg := base
+			cfg.Runner = runner.New(runner.Config{Workers: parallel})
+			cfg.Shards = shards
+			leg := fmt.Sprintf("interpreted parallel=%d shards=%d", parallel, shards)
+			compare(render(cfg, leg), ref, leg)
+		}
+	}
+
+	// Replayed: one recording pass warms the archive, then every later
+	// pass is decode-only — same comparisons on the replay path.
+	tr := newTraces(t)
+	warm := base
+	warm.Runner = runner.New(runner.Config{Workers: 4})
+	warm.Traces = tr
+	compare(render(warm, "recording"), ref, "recording")
+	if st := tr.Stats(); st.Records == 0 {
+		t.Fatalf("recording pass recorded nothing: %+v", st)
+	}
+	for _, parallel := range []int{1, 8} {
+		for _, shards := range []int{0, 4} {
+			cfg := base
+			cfg.Runner = runner.New(runner.Config{Workers: parallel})
+			cfg.Shards = shards
+			cfg.Traces = tr
+			leg := fmt.Sprintf("replayed parallel=%d shards=%d", parallel, shards)
+			before := tr.Stats().Replays
+			compare(render(cfg, leg), ref, leg)
+			if tr.Stats().Replays == before {
+				t.Fatalf("%s: no replays happened — comparison was not on the replay path", leg)
+			}
+		}
+	}
+	// And a replayed full-plane leg: the forced facet must not disturb
+	// the archive decoder either.
+	fullReplay := base
+	fullReplay.Runner = runner.New(runner.Config{Workers: 8})
+	fullReplay.Traces = tr
+	fullReplay.FullPlanes = true
+	compare(render(fullReplay, "replayed full-plane"), ref, "replayed full-plane")
 }
 
 // TestReplayTruncationEquivalence: one long recording serves every
