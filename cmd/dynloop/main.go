@@ -18,6 +18,8 @@
 //	dynloop grid       -spec FILE | -name NAME | -list [-remote URL] [-store DIR]
 //	                   [-bench a,b] [-n N] [-seed N] [-parallel N] [-format table|csv|json]
 //	dynloop serve      [-addr 127.0.0.1:9090] [-store DIR] [-parallel N]
+//	                   [-log text|json|off] [-pprof 127.0.0.1:6060]
+//	dynloop soak       -remote URL [-clients N] [-duration 10s] [-o FILE]
 package main
 
 import (
@@ -26,6 +28,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for serve -pprof
 	"os"
 	"os/signal"
 	"runtime"
@@ -38,11 +43,13 @@ import (
 	"dynloop/internal/client"
 	"dynloop/internal/expt"
 	"dynloop/internal/harness"
+	"dynloop/internal/interp"
 	"dynloop/internal/report"
 	"dynloop/internal/runner"
 	"dynloop/internal/server"
 	"dynloop/internal/store"
 	"dynloop/internal/taskpred"
+	"dynloop/internal/trace"
 	"dynloop/internal/tracefile"
 	"dynloop/internal/wire"
 )
@@ -80,6 +87,8 @@ func main() {
 		err = cmdGrid(ctx, append([]string{"-list"}, os.Args[2:]...))
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "soak":
+		err = cmdSoak(ctx, os.Args[2:])
 	case "trace":
 		err = cmdTrace(ctx, os.Args[2:])
 	case "replay":
@@ -131,10 +140,19 @@ commands:
                                      (table1, fig7, ablation/cls, ...; -list
                                      shows them) — locally or on a daemon
   serve  [-addr HOST:PORT] [-store DIR] [-parallel N] [-max-inflight N]
+         [-log text|json|off] [-pprof HOST:PORT]
                                      run the grid-serving HTTP daemon: clients
                                      share one worker pool, one result cache
                                      and one persistent store (SIGINT shuts
-                                     down gracefully)
+                                     down gracefully); exposes Prometheus
+                                     metrics at GET /metrics, structured
+                                     request logs with -log, and net/http/pprof
+                                     on a separate -pprof listener
+  soak   -remote URL [-clients N] [-duration D] [-o FILE]
+                                     sustain N concurrent clients against a
+                                     daemon, then report rps and p50/p99 from
+                                     the daemon's /metrics histograms and
+                                     check the scrape reconciles with /v1/stats
   trace  -bench NAME -o FILE [-n N]  record an instruction trace to a file
   trace  record -traces DIR [-bench a,b] [-n N] [-seed N]
                                      warm a trace archive (one recording per
@@ -147,8 +165,8 @@ experiment, sweep, grid and serve also take -store DIR to persist every
 computed cell in an on-disk result store and serve repeat cells from it,
 and -traces DIR to record each (benchmark, seed) instruction stream once
 and replay it for every later cold group instead of re-interpreting;
-analyze, experiment and sweep take -cpuprofile FILE / -memprofile FILE
-to dump pprof profiles of the run.
+analyze, experiment, sweep, grid and serve take -cpuprofile FILE /
+-memprofile FILE to dump pprof profiles of the run.
 `)
 }
 
@@ -541,6 +559,10 @@ func printRunnerStats(r *runner.Runner, progress bool, seed uint64) {
 	if s.TierErrors > 0 {
 		fmt.Fprintf(os.Stderr, "runner: %d store-tier errors (treated as misses)\n", s.TierErrors)
 	}
+	ictl, ifull := interp.PlaneRuns()
+	rctl, rfull := tracefile.ReplayPlaneRuns()
+	fmt.Fprintf(os.Stderr, "obs: %d instructions interpreted (last run %.2f ns/instr), %d traversals, %d replays; plane runs ctl/full: interp %d/%d, replay %d/%d\n",
+		interp.Instructions(), interp.LastNsPerInstr(), harness.Traversals(), harness.Replays(), ictl, ifull, rctl, rfull)
 }
 
 // profileFlags adds -cpuprofile/-memprofile to fs and returns a start
@@ -1046,10 +1068,42 @@ func cmdServe(ctx context.Context, args []string) error {
 	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
 	progress := fs.Bool("progress", false, "stream per-job progress to stderr")
 	tracesDir := fs.String("traces", "", "trace-archive directory for the replay tier (cold cells replay recorded streams instead of interpreting)")
+	pprofAddr := fs.String("pprof", "", "additionally serve net/http/pprof on this address (empty = disabled)")
+	logMode := fs.String("log", "off", "structured request logs to stderr: text, json or off")
+	profile := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfile, err := profile()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfile(); err != nil {
+			fmt.Fprintln(os.Stderr, "dynloop: profile:", err)
+		}
+	}()
 	cfg := server.Config{Workers: *parallel, MaxInflight: *inflight, MaxCells: *maxCells}
+	switch *logMode {
+	case "text":
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off", "":
+	default:
+		return fmt.Errorf("bad -log %q (text|json|off)", *logMode)
+	}
+	if *pprofAddr != "" {
+		// The pprof handlers live on their own listener, never on the
+		// daemon's: profiling stays opt-in and bindable to loopback while
+		// the service address is exposed.
+		go func() {
+			fmt.Fprintf(os.Stderr, "dynloop: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dynloop: pprof:", err)
+			}
+		}()
+	}
 	if *tracesDir != "" {
 		arch, err := tracefile.OpenArchive(*tracesDir)
 		if err != nil {
@@ -1084,7 +1138,7 @@ func cmdServe(ctx context.Context, args []string) error {
 			fmt.Fprintf(os.Stderr, "dynloop: serving on http://%s (%d workers)\n", bound, srv.Runner().Workers())
 		}
 	}()
-	err := srv.ListenAndServe(ctx, *addr, ready, *grace)
+	err = srv.ListenAndServe(ctx, *addr, ready, *grace)
 	fmt.Fprintln(os.Stderr, "dynloop: daemon stopped")
 	printRunnerStats(srv.Runner(), true, 0)
 	return err
@@ -1174,9 +1228,10 @@ func cmdTraceLs(args []string) error {
 	}
 	recs := arch.Recordings()
 	t := report.NewTable(fmt.Sprintf("trace archive %s (%d recordings)", *dir, len(recs)),
-		"bench", "seed", "events", "halted", "blocks", "bytes")
+		"bench", "seed", "events", "halted", "blocks", "bytes", "schema", "planes")
 	for _, r := range recs {
-		t.AddRow(r.Bench(), r.Seed(), r.Events(), r.Halted(), r.Blocks(), r.Size())
+		t.AddRow(r.Bench(), r.Seed(), r.Events(), r.Halted(), r.Blocks(), r.Size(),
+			r.SchemaVersion(), planesString(r.Planes()))
 	}
 	fmt.Print(t.String())
 	if st := arch.Stats(); st.Invalidated > 0 || st.SchemaSkips > 0 || st.TruncatedTail > 0 {
@@ -1184,6 +1239,20 @@ func cmdTraceLs(args []string) error {
 			st.Invalidated, st.SchemaSkips, st.TruncatedTail)
 	}
 	return nil
+}
+
+// planesString renders a plane capability mask for listings.
+func planesString(p trace.Planes) string {
+	switch {
+	case p&trace.PlaneCtl != 0 && p&trace.PlaneData != 0:
+		return "ctl+data"
+	case p&trace.PlaneCtl != 0:
+		return "ctl"
+	case p&trace.PlaneData != 0:
+		return "data"
+	default:
+		return "none"
+	}
 }
 
 // cmdTraceVerify fully decodes every recording in an archive (Open

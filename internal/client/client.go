@@ -19,6 +19,7 @@ import (
 
 	"dynloop/internal/codec"
 	"dynloop/internal/expt"
+	"dynloop/internal/obs"
 	"dynloop/internal/wire"
 )
 
@@ -181,6 +182,30 @@ func (c *Client) Stats(ctx context.Context) (wire.Stats, error) {
 		return wire.Stats{}, err
 	}
 	return st, nil
+}
+
+// Metrics scrapes the daemon's GET /metrics endpoint and returns the
+// parsed series: full series name (labels included, as rendered) →
+// value. Histograms arrive as their cumulative _bucket/_sum/_count
+// series; derive quantiles with obs.BucketsOf and obs.Quantile.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseText(body)
 }
 
 // Health probes the daemon's liveness endpoint.

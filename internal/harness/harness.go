@@ -17,6 +17,7 @@ import (
 
 	"dynloop/internal/builder"
 	"dynloop/internal/loopdet"
+	"dynloop/internal/obs"
 	"dynloop/internal/trace"
 )
 
@@ -25,8 +26,12 @@ const DefaultCLSCapacity = 16
 
 // traversals counts interpreter traversals started by Run and MultiRun
 // across the process, for efficiency assertions: fusing N cells into one
-// MultiRun must show up as one traversal, not N.
+// MultiRun must show up as one traversal, not N. mTraversals mirrors it
+// into the obs registry for /metrics.
 var traversals atomic.Uint64
+
+var mTraversals = obs.NewCounter("dynloop_traversals_total",
+	"Interpreter traversals started by Run/MultiRun (replays excluded).")
 
 // Traversals returns the process-lifetime count of stream traversals
 // started by Run and MultiRun.
@@ -155,6 +160,7 @@ type MultiResult struct {
 // identical to running each pass in its own traversal.
 func MultiRun(u *builder.Unit, cfg MultiConfig, passes ...trace.Pass) (MultiResult, error) {
 	traversals.Add(1)
+	mTraversals.Inc()
 	cpu := u.NewCPU()
 	cpu.SetBatchSize(cfg.BatchSize)
 	cpu.SetReference(cfg.Reference)

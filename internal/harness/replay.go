@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"dynloop/internal/builder"
+	"dynloop/internal/obs"
 	"dynloop/internal/trace"
 	"dynloop/internal/tracefile"
 )
@@ -15,6 +16,13 @@ import (
 // traversal (see Traversals), so "warm archive ⇒ zero traversals" is an
 // assertable property.
 var replays atomic.Uint64
+
+var (
+	mReplays = obs.NewCounter("dynloop_replays_total",
+		"Trace-archive replays started by Traces.MultiRun.")
+	mTraceFallbacks = obs.NewCounter("dynloop_trace_fallbacks_total",
+		"Trace-tier runs that degraded to plain interpretation because the recorder could not start.")
+)
 
 // Replays returns the process-lifetime count of trace-archive replays.
 func Replays() uint64 { return replays.Load() }
@@ -31,8 +39,9 @@ type Traces struct {
 	// decoders pools replay buffers so the hot loop is allocation-free.
 	decoders sync.Pool
 
-	replayed atomic.Uint64
-	recorded atomic.Uint64
+	replayed  atomic.Uint64
+	recorded  atomic.Uint64
+	fallbacks atomic.Uint64
 }
 
 // NewTraces wraps an opened archive in the replay tier.
@@ -51,11 +60,19 @@ type TracesStats struct {
 	// Records is the number of MultiRun calls that interpreted and
 	// recorded the stream.
 	Records uint64
+	// Fallbacks is the number of MultiRun calls that degraded to plain
+	// interpretation because the recorder could not start (e.g. the
+	// archive directory became unwritable).
+	Fallbacks uint64
 }
 
 // Stats returns a snapshot of the tier's counters.
 func (t *Traces) Stats() TracesStats {
-	return TracesStats{Replays: t.replayed.Load(), Records: t.recorded.Load()}
+	return TracesStats{
+		Replays:   t.replayed.Load(),
+		Records:   t.recorded.Load(),
+		Fallbacks: t.fallbacks.Load(),
+	}
 }
 
 // MultiRun is the replay-backed analogue of the package-level MultiRun.
@@ -93,10 +110,13 @@ func (t *Traces) MultiRun(ctx context.Context, bench string, seed uint64,
 	if err != nil {
 		// The archive directory is unusable (e.g. disk full): degrade to
 		// plain interpretation rather than failing the run.
+		t.fallbacks.Add(1)
+		mTraceFallbacks.Inc()
 		res, err := MultiRun(u, cfg, passes...)
 		return res, false, err
 	}
 	traversals.Add(1)
+	mTraversals.Inc()
 	cpu := u.NewCPU()
 	cpu.SetBatchSize(cfg.BatchSize)
 	cpu.SetReference(cfg.Reference)
@@ -119,6 +139,7 @@ func (t *Traces) MultiRun(ctx context.Context, bench string, seed uint64,
 // replay feeds the passes from the recording, one batch per block.
 func (t *Traces) replay(rec *tracefile.Recording, cfg MultiConfig, passes ...trace.Pass) (MultiResult, error) {
 	replays.Add(1)
+	mReplays.Inc()
 	t.replayed.Add(1)
 	d, _ := t.decoders.Get().(*tracefile.Decoder)
 	if d == nil {

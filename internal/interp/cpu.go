@@ -24,6 +24,7 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"dynloop/internal/isa"
 	"dynloop/internal/program"
@@ -176,6 +177,26 @@ func (c *CPU) Run(budget uint64, sink trace.BatchConsumer) (uint64, error) {
 	if c.prog == nil {
 		return 0, ErrNoProgram
 	}
+	// Throughput instrumentation is per-Run, never per-instruction: two
+	// timestamps and a few atomic adds amortized over the whole
+	// traversal, with zero allocations.
+	start := time.Now()
+	n, ctlPlane, err := c.run(budget, sink)
+	if ctlPlane {
+		mRunsCtl.Inc()
+	} else {
+		mRunsFull.Inc()
+	}
+	if n > 0 {
+		mInstructions.Add(n)
+		mNsPerInstr.Set(float64(time.Since(start).Nanoseconds()) / float64(n))
+	}
+	return n, err
+}
+
+// run dispatches to the negotiated execution loop; the boolean reports
+// whether the control-plane-only loop served the sink.
+func (c *CPU) run(budget uint64, sink trace.BatchConsumer) (uint64, bool, error) {
 	if !c.reference && sink != nil {
 		if cc, ok := sink.(trace.CtlBatchConsumer); ok && trace.PlanesOf(sink) == trace.PlaneCtl {
 			if c.ctlBatch == nil {
@@ -184,7 +205,8 @@ func (c *CPU) Run(budget uint64, sink trace.BatchConsumer) (uint64, error) {
 			if c.ctl == nil {
 				c.ctl = make([]int32, c.BatchSize())
 			}
-			return c.runCtl(budget, cc, c.ctlBatch, c.ctl)
+			n, err := c.runCtl(budget, cc, c.ctlBatch, c.ctl)
+			return n, true, err
 		}
 	}
 	buf, ctl := c.scratch[:], c.scratchCtl[:]
@@ -200,9 +222,11 @@ func (c *CPU) Run(budget uint64, sink trace.BatchConsumer) (uint64, error) {
 		seg, _ = sink.(trace.SegmentedBatchConsumer)
 	}
 	if c.reference {
-		return c.runRef(budget, sink, buf)
+		n, err := c.runRef(budget, sink, buf)
+		return n, false, err
 	}
-	return c.runPre(budget, sink, seg, buf, ctl)
+	n, err := c.runPre(budget, sink, seg, buf, ctl)
+	return n, false, err
 }
 
 // runRef is the reference interpreter: the original two-level switch

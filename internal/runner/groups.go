@@ -58,6 +58,7 @@ func MapGroups[T any](ctx context.Context, r *Runner, jobs []GroupJob[T],
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	r.submitted.Add(uint64(len(jobs)))
+	mSubmitted.Add(uint64(len(jobs)))
 	out := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 
@@ -118,16 +119,20 @@ func MapGroups[T any](ctx context.Context, r *Runner, jobs []GroupJob[T],
 		vals, err := exec(ctx, group, idx)
 		elapsed := time.Since(start)
 		r.groupRuns.Add(1)
+		mGroupRuns.Inc()
+		mJobSeconds.Observe(elapsed.Seconds())
 		if err == nil && len(vals) != len(idx) {
 			err = fmt.Errorf("runner: group %q returned %d results for %d cells", group, len(vals), len(idx))
 		}
 		if err != nil {
 			r.failures.Add(1)
+			mFailures.Inc()
 			r.emit(Event{Kind: JobFailed, Key: group, Label: label, Err: err, Elapsed: elapsed, Completed: r.completed.Load()})
 			resolve(idx, entries, nil, err)
 			return
 		}
 		r.executed.Add(uint64(len(idx)))
+		mExecuted.Add(uint64(len(idx)))
 		r.emit(Event{Kind: JobDone, Key: group, Label: label, Elapsed: elapsed, Completed: r.completed.Add(uint64(len(idx)))})
 		resolve(idx, entries, vals, nil)
 	}
@@ -170,8 +175,10 @@ func MapGroups[T any](ctx context.Context, r *Runner, jobs []GroupJob[T],
 			}
 			if resolvedAlready {
 				r.cacheHits.Add(1)
+				mCacheHits.Inc()
 			} else {
 				r.coalesced.Add(1)
+				mCoalesced.Inc()
 			}
 			if e.err != nil {
 				r.emit(Event{Kind: JobFailed, Key: job.Key, Label: job.label(), Err: e.err, Completed: r.completed.Load()})
@@ -222,12 +229,14 @@ func MapGroups[T any](ctx context.Context, r *Runner, jobs []GroupJob[T],
 					close(e.done)
 					out[i] = vv
 					r.diskHits.Add(1)
+					mDiskHits.Inc()
 					r.emit(Event{Kind: JobCached, Key: job.Key, Label: job.label(), Completed: r.completed.Add(1)})
 					continue
 				}
 				// Wrong type for this job's key: fall through and
 				// recompute (the write-back overwrites the stale entry).
 				r.tierErrors.Add(1)
+				mTierErrors.Inc()
 			}
 		}
 		if _, ok := groupIdx[job.Group]; !ok {

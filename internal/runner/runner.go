@@ -235,8 +235,10 @@ func (r *Runner) Stats() Stats {
 func (r *Runner) CountTraceRun(replayed bool) {
 	if replayed {
 		r.replayRuns.Add(1)
+		mReplayRuns.Inc()
 	} else {
 		r.recordRuns.Add(1)
+		mRecordRuns.Inc()
 	}
 }
 
@@ -248,6 +250,7 @@ func (r *Runner) tierGet(key string) (any, bool) {
 	v, ok, err := r.tier2.Get(key)
 	if err != nil {
 		r.tierErrors.Add(1)
+		mTierErrors.Inc()
 		return nil, false
 	}
 	return v, ok
@@ -260,9 +263,11 @@ func (r *Runner) tierPut(key string, v any) {
 	}
 	if err := r.tier2.Put(key, v); err != nil {
 		r.tierErrors.Add(1)
+		mTierErrors.Inc()
 		return
 	}
 	r.diskPuts.Add(1)
+	mDiskPuts.Inc()
 }
 
 func (r *Runner) emit(ev Event) {
@@ -323,6 +328,7 @@ func Map[T any](ctx context.Context, r *Runner, jobs []Job[T]) ([]T, error) {
 // rather than served — the tier must never fail a job.
 func (r *Runner) do(ctx context.Context, key, label string, typeOK func(any) bool, fn func(context.Context) (any, error)) (any, error) {
 	r.submitted.Add(1)
+	mSubmitted.Inc()
 	if key == "" {
 		return r.execute(ctx, key, label, fn)
 	}
@@ -340,6 +346,7 @@ func (r *Runner) do(ctx context.Context, key, label string, typeOK func(any) boo
 					e.val = v
 					close(e.done)
 					r.diskHits.Add(1)
+					mDiskHits.Inc()
 					r.emit(Event{Kind: JobCached, Key: key, Label: label, Completed: r.completed.Add(1)})
 					return e.val, nil
 				}
@@ -347,6 +354,7 @@ func (r *Runner) do(ctx context.Context, key, label string, typeOK func(any) boo
 				// recomputing (the write-back overwrites the stale
 				// entry), as MapGroups does.
 				r.tierErrors.Add(1)
+				mTierErrors.Inc()
 			}
 			e.val, e.err = r.execute(ctx, key, label, fn)
 			if e.err == nil {
@@ -387,8 +395,10 @@ func (r *Runner) do(ctx context.Context, key, label string, typeOK func(any) boo
 		}
 		if resolvedAlready {
 			r.cacheHits.Add(1)
+			mCacheHits.Inc()
 		} else {
 			r.coalesced.Add(1)
+			mCoalesced.Inc()
 		}
 		if e.err != nil {
 			// A cached failure still surfaces in the progress stream;
@@ -417,8 +427,11 @@ func (r *Runner) execute(ctx context.Context, key, label string, fn func(context
 	v, err := fn(ctx)
 	elapsed := time.Since(start)
 	r.executed.Add(1)
+	mExecuted.Inc()
+	mJobSeconds.Observe(elapsed.Seconds())
 	if err != nil {
 		r.failures.Add(1)
+		mFailures.Inc()
 		r.emit(Event{Kind: JobFailed, Key: key, Label: label, Err: err, Elapsed: elapsed, Completed: r.completed.Load()})
 		return nil, err
 	}

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/url"
@@ -32,8 +33,11 @@ import (
 	"dynloop/internal/expt"
 	"dynloop/internal/grid"
 	"dynloop/internal/harness"
+	"dynloop/internal/interp"
+	"dynloop/internal/obs"
 	"dynloop/internal/runner"
 	"dynloop/internal/store"
+	"dynloop/internal/tracefile"
 	"dynloop/internal/wire"
 )
 
@@ -62,6 +66,9 @@ type Config struct {
 	// (benchmark, seed) group instead of interpreting, recording it on
 	// first contact. The server does not close it.
 	Traces *harness.Traces
+	// Logger, when non-nil, receives one structured log record per
+	// request (id, endpoint, status, duration, cells, tier deltas).
+	Logger *slog.Logger
 }
 
 // DefaultMaxCells bounds the grid size of one sweep request.
@@ -109,19 +116,21 @@ func New(cfg Config) *Server {
 // Runner exposes the shared runner (for stats lines and tests).
 func (s *Server) Runner() *runner.Runner { return s.runner }
 
-// Handler returns the daemon's routes.
+// Handler returns the daemon's routes, each wrapped in the metrics
+// (and, when configured, request-logging) middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("POST /v1/grid", s.handleGrid)
-	mux.HandleFunc("GET /v1/grids", s.handleGrids)
-	mux.HandleFunc("GET /v1/cell", s.handleCell)
-	mux.HandleFunc("GET /v1/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	mux.HandleFunc("POST /v1/grid", s.instrument("/v1/grid", s.handleGrid))
+	mux.HandleFunc("GET /v1/grids", s.instrument("/v1/grids", s.handleGrids))
+	mux.HandleFunc("GET /v1/cell", s.instrument("/v1/cell", s.handleCell))
+	mux.HandleFunc("GET /v1/events", s.instrument("/v1/events", s.handleEvents))
+	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", obs.Handler().ServeHTTP))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
-	})
+	}))
 	return mux
 }
 
@@ -181,11 +190,13 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 // acquire takes one inflight slot, queueing until the client hangs up.
+// An abandoned wait counts as shed load.
 func (s *Server) acquire(ctx context.Context) error {
 	select {
 	case s.inflight <- struct{}{}:
 		return nil
 	case <-ctx.Done():
+		mHTTPShed.Inc()
 		return ctx.Err()
 	}
 }
@@ -380,9 +391,20 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rs := s.runner.Stats()
+	ictl, ifull := interp.PlaneRuns()
+	rctl, rfull := tracefile.ReplayPlaneRuns()
+	reqs, shed, inflight := HTTPTotals()
 	st := wire.Stats{
 		Workers:    uint64(s.runner.Workers()),
 		Traversals: harness.Traversals(),
+		Replays:    harness.Replays(),
+		Planes: wire.PlaneStats{
+			InterpCtl:  ictl,
+			InterpFull: ifull,
+			ReplayCtl:  rctl,
+			ReplayFull: rfull,
+		},
+		Server: wire.ServerStats{Requests: reqs, Shed: shed, InFlight: inflight},
 		Runner: wire.RunnerStats{
 			Submitted:  rs.Submitted,
 			Executed:   rs.Executed,
@@ -407,6 +429,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Gets:          ss.Gets,
 			Hits:          ss.Hits,
 			TruncatedTail: ss.TruncatedTail,
+		}
+	}
+	if s.cfg.Traces != nil {
+		ts := s.cfg.Traces.Stats()
+		st.Traces = &wire.TraceStats{
+			Replays:   ts.Replays,
+			Records:   ts.Records,
+			Fallbacks: ts.Fallbacks,
+		}
+		as := s.cfg.Traces.Archive().Stats()
+		st.Archive = &wire.ArchiveStats{
+			Recordings:    as.Recordings,
+			Records:       as.Records,
+			Invalidated:   as.Invalidated,
+			SchemaSkips:   as.SchemaSkips,
+			TruncatedTail: as.TruncatedTail,
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,25 @@
+package store
+
+import "dynloop/internal/obs"
+
+// Store metrics mirror the per-Store atomic counters into the obs
+// registry (process-global: a daemon opens exactly one result store, so
+// a /metrics scrape and Store.Stats reconcile; tests with several
+// stores compare deltas). Each operation adds a constant number of
+// atomic ops next to a disk write or read, so the overhead is noise.
+var (
+	mPuts = obs.NewCounter("dynloop_store_puts_total",
+		"Result-store Put operations.")
+	mPutBytes = obs.NewCounter("dynloop_store_put_bytes_total",
+		"Bytes appended to result-store segments by Put (framing included).")
+	mGets = obs.NewCounter("dynloop_store_gets_total",
+		"Result-store Get operations.")
+	mHits = obs.NewCounter("dynloop_store_hits_total",
+		"Result-store Gets that found their key.")
+	mRotations = obs.NewCounter("dynloop_store_rotations_total",
+		"Segment rotations triggered by Put crossing the size limit.")
+	mSegScans = obs.NewCounter("dynloop_store_segment_scans_total",
+		"Segment files scanned while rebuilding the index at Open.")
+	mTruncatedBytes = obs.NewCounter("dynloop_store_truncated_bytes_total",
+		"Torn-tail bytes discarded recovering the newest segment at Open.")
+)

@@ -147,6 +147,7 @@ func (s *Store) openSegment(path string, last bool) error {
 	if err != nil {
 		return err
 	}
+	mSegScans.Inc()
 	recs, good, err := ScanSegment(data)
 	if err != nil {
 		if !last || !errors.Is(err, errTorn) {
@@ -165,6 +166,7 @@ func (s *Store) openSegment(path string, last bool) error {
 			return err
 		}
 		s.truncated += int64(len(data)) - good
+		mTruncatedBytes.Add(uint64(int64(len(data)) - good))
 	}
 	if good < int64(len(magic)) {
 		// The tear was inside the header itself; restore the magic so
@@ -225,6 +227,7 @@ func (s *Store) Put(key string, val []byte) error {
 		if err := s.addSegment(); err != nil {
 			return err
 		}
+		mRotations.Inc()
 		active = s.segs[len(s.segs)-1]
 	}
 	if _, err := active.f.WriteAt(rec, active.size); err != nil {
@@ -235,6 +238,8 @@ func (s *Store) Put(key string, val []byte) error {
 	active.size += int64(len(rec))
 	s.idx[key] = ref{seg: len(s.segs) - 1, off: valOff, vlen: len(val)}
 	s.puts.Add(1)
+	mPuts.Inc()
+	mPutBytes.Add(uint64(len(rec)))
 	return nil
 }
 
@@ -247,11 +252,13 @@ func (s *Store) Get(key string) ([]byte, bool, error) {
 		return nil, false, ErrClosed
 	}
 	s.gets.Add(1)
+	mGets.Inc()
 	r, ok := s.idx[key]
 	if !ok {
 		return nil, false, nil
 	}
 	s.hits.Add(1)
+	mHits.Inc()
 	val := make([]byte, r.vlen)
 	if _, err := s.segs[r.seg].f.ReadAt(val, r.off); err != nil {
 		return nil, false, fmt.Errorf("%w: reading %q: %v", ErrCorrupt, key, err)

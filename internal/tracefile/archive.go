@@ -53,6 +53,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dynloop/internal/program"
 	"dynloop/internal/trace"
@@ -103,6 +104,11 @@ type Recording struct {
 	blocks []blockRef
 	events uint64
 	halted bool
+	// version is the archive schema version the file was written under.
+	// Open only loads files matching ArchiveSchemaVersion, so for a live
+	// Recording it always equals that — kept per recording so listings
+	// state it explicitly rather than inferring it.
+	version uint64
 	// maxBlock is the largest block event count, the decode buffer size
 	// a Decoder needs.
 	maxBlock int
@@ -133,6 +139,16 @@ func (r *Recording) Size() int64 { return r.size }
 
 // Blocks returns the number of CRC-framed blocks.
 func (r *Recording) Blocks() int { return len(r.blocks) }
+
+// SchemaVersion returns the archive schema version the recording's file
+// was written under.
+func (r *Recording) SchemaVersion() uint64 { return r.version }
+
+// Planes returns the event facets replaying the recording can deliver.
+// The packed v2 block format carries the header and field planes
+// separately, so every loaded recording serves both control-plane-only
+// and full-event sinks.
+func (r *Recording) Planes() trace.Planes { return trace.PlaneCtl | trace.PlaneData }
 
 // CanServe reports whether replaying the recording reproduces an
 // interpreted run at the given budget exactly: either the program
@@ -177,11 +193,21 @@ func (r *Recording) Replay(budget uint64, d *Decoder, sink trace.BatchConsumer) 
 	if d == nil {
 		d = &Decoder{}
 	}
+	start := time.Now()
 	if sink != nil {
 		if cc, ok := sink.(trace.CtlBatchConsumer); ok && trace.PlanesOf(sink) == trace.PlaneCtl {
-			return r.replayCtl(budget, d, cc)
+			n, halted, err := r.replayCtl(budget, d, cc)
+			finishReplay(start, n, true)
+			return n, halted, err
 		}
 	}
+	n, halted, err := r.replayFull(budget, d, sink)
+	finishReplay(start, n, false)
+	return n, halted, err
+}
+
+// replayFull is the full-event replay loop behind Replay.
+func (r *Recording) replayFull(budget uint64, d *Decoder, sink trace.BatchConsumer) (uint64, bool, error) {
 	limit := r.events
 	if budget != 0 && budget < limit {
 		limit = budget
@@ -373,9 +399,11 @@ func OpenArchive(dir string) (*Archive, error) {
 		switch {
 		case errors.Is(err, errSchemaSkew):
 			a.schemaSkips.Add(1)
+			mArchSchemaSkips.Inc()
 			continue
 		case errors.Is(err, errInvalid):
 			a.invalidated.Add(1)
+			mArchInvalidated.Inc()
 			continue
 		case err != nil:
 			return nil, fmt.Errorf("%s: %w", f.path, err)
@@ -385,6 +413,7 @@ func OpenArchive(dir string) (*Archive, error) {
 				return nil, fmt.Errorf("%s: %w: torn frame at byte %d in non-newest file", f.path, ErrCorrupt, tornAt)
 			}
 			a.truncated.Add(uint64(len(data) - tornAt))
+			mArchTruncatedBytes.Add(uint64(len(data) - tornAt))
 			if rec == nil {
 				// Torn inside the header: nothing salvageable.
 				if err := os.Remove(f.path); err != nil {
@@ -483,11 +512,12 @@ func parseArchive(data []byte) (*Recording, int, error) {
 	}
 
 	rec := &Recording{
-		bench: string(bench),
-		seed:  seed,
-		prog:  prog,
-		size:  int64(len(data)),
-		tmpls: buildTmpls(prog.Code),
+		bench:   string(bench),
+		seed:    seed,
+		prog:    prog,
+		version: version,
+		size:    int64(len(data)),
+		tmpls:   buildTmpls(prog.Code),
 	}
 	var scratch Decoder
 	for {
@@ -865,5 +895,6 @@ func (rec *Recorder) Commit(halted bool) error {
 	rec.a.recs[archKey{rec.bench, rec.seed}] = loaded
 	rec.a.mu.Unlock()
 	rec.a.records.Add(1)
+	mArchRecords.Inc()
 	return nil
 }

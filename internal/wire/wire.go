@@ -177,12 +177,52 @@ type StoreStats struct {
 	TruncatedTail int64  `json:"truncated_tail"`
 }
 
+// PlaneStats counts interpreter runs and archive replays by the event
+// facet the run negotiated with its sink: control-plane-only delivery
+// vs full events (see trace.PlanesOf).
+type PlaneStats struct {
+	InterpCtl  uint64 `json:"interp_ctl"`
+	InterpFull uint64 `json:"interp_full"`
+	ReplayCtl  uint64 `json:"replay_ctl"`
+	ReplayFull uint64 `json:"replay_full"`
+}
+
+// TraceStats mirrors harness.TracesStats for the stats endpoint.
+type TraceStats struct {
+	Replays   uint64 `json:"replays"`
+	Records   uint64 `json:"records"`
+	Fallbacks uint64 `json:"fallbacks"`
+}
+
+// ArchiveStats mirrors tracefile.ArchiveStats for the stats endpoint.
+type ArchiveStats struct {
+	Recordings    int    `json:"recordings"`
+	Records       uint64 `json:"records"`
+	Invalidated   uint64 `json:"invalidated"`
+	SchemaSkips   uint64 `json:"schema_skips"`
+	TruncatedTail uint64 `json:"truncated_tail"`
+}
+
+// ServerStats reports the daemon's own HTTP-layer counters: totals
+// across endpoints (the per-endpoint breakdown and latency histograms
+// live on GET /metrics).
+type ServerStats struct {
+	Requests uint64 `json:"requests"`
+	Shed     uint64 `json:"shed"`
+	InFlight int64  `json:"in_flight"`
+}
+
 // Stats is the daemon's stats response.
 type Stats struct {
-	Workers    uint64      `json:"workers"`
-	Traversals uint64      `json:"traversals"`
-	Runner     RunnerStats `json:"runner"`
-	Store      *StoreStats `json:"store,omitempty"`
+	Workers    uint64        `json:"workers"`
+	Traversals uint64        `json:"traversals"`
+	Replays    uint64        `json:"replays"`
+	Runner     RunnerStats   `json:"runner"`
+	Planes     PlaneStats    `json:"planes"`
+	Server     ServerStats   `json:"server"`
+	Store      *StoreStats   `json:"store,omitempty"`
+	Traces     *TraceStats   `json:"traces,omitempty"`
+	Archive    *ArchiveStats `json:"archive,omitempty"`
 }
 
 // AppendGrid encodes sweep rows onto b in the grid format.

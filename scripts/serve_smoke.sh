@@ -78,12 +78,42 @@ JSON
 "$BIN" grid -spec "$WORK/grid.json" -parallel 1 >"$WORK/grid-local.txt"
 "$BIN" grid -name table2 -bench swim,compress -n 200000 -parallel 1 >"$WORK/named-local.txt"
 
+# metric NAME [FILE] prints one series value from a /metrics scrape.
+metric() {
+  awk -v m="$1" '$1 == m {print $2}' "$2"
+}
+
 echo "serve_smoke: daemon round trip"
 start_daemon cold -store "$STORE"
+curl -sf "$BASE/metrics" >"$WORK/metrics0.txt"
 "$BIN" sweep "${SWEEP_ARGS[@]}" -remote "$BASE" >"$WORK/remote1.txt"
 "$BIN" sweep "${SWEEP_ARGS[@]}" -remote "$BASE" >"$WORK/remote2.txt"
 cmp "$WORK/local.txt" "$WORK/remote1.txt" || fail "remote sweep differs from local run"
 cmp "$WORK/remote1.txt" "$WORK/remote2.txt" || fail "repeat remote sweep not stable"
+
+echo "serve_smoke: metrics moved and reconcile with /v1/stats"
+curl -sf "$BASE/metrics" >"$WORK/metrics1.txt"
+for m in dynloop_runner_jobs_submitted_total dynloop_runner_jobs_executed_total \
+         dynloop_runner_cache_hits_total dynloop_interp_instructions_total \
+         'dynloop_http_requests_total{endpoint="/v1/sweep"}'; do
+  before=$(metric "$m" "$WORK/metrics0.txt")
+  after=$(metric "$m" "$WORK/metrics1.txt")
+  [ -n "$before" ] && [ -n "$after" ] || fail "series $m missing from scrape"
+  [ "$after" -gt "$before" ] || fail "series $m did not move across the sweeps ($before -> $after)"
+done
+# A fresh daemon has exactly one runner, so the scraped process totals
+# must EQUAL the runner's own /v1/stats counters, not just track them.
+STATS="$(curl -sf "$BASE/v1/stats")"
+for pair in "dynloop_runner_jobs_submitted_total submitted" \
+            "dynloop_runner_jobs_executed_total executed" \
+            "dynloop_runner_cache_hits_total cache_hits" \
+            "dynloop_runner_group_runs_total group_runs"; do
+  series=${pair% *}
+  field=${pair#* }
+  scraped=$(curl -sf "$BASE/metrics" | awk -v m="$series" '$1 == m {print $2}')
+  reported=$(echo "$STATS" | grep -o "\"$field\":[0-9]*" | head -1 | cut -d: -f2)
+  [ "$scraped" = "$reported" ] || fail "$series=$scraped does not reconcile with stats $field=$reported"
+done
 
 echo "serve_smoke: custom grid spec over POST /v1/grid"
 "$BIN" grid -spec "$WORK/grid.json" -remote "$BASE" >"$WORK/grid-remote.txt"

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# soak_smoke.sh — sustained multi-client soak of the grid-serving daemon.
+#
+# Builds the CLI, starts `dynloop serve`, and drives it with `dynloop
+# soak`: N concurrent clients looping the same small sweep for a fixed
+# duration. The soak command scrapes GET /metrics before and after the
+# load window, derives throughput and p50/p99 latency from the exported
+# histogram deltas, and asserts the scraped runner counters reconcile
+# exactly with the daemon's own /v1/stats (the command exits non-zero on
+# any mismatch). The report lands in BENCH_soak.json at the repo root
+# when run from there, or in $SOAK_OUT.
+#
+# Knobs: SOAK_CLIENTS (default 4), SOAK_DURATION (default 5s),
+# SOAK_PORT (default 19097), SOAK_OUT (default ./BENCH_soak.json).
+set -euo pipefail
+
+ADDR="127.0.0.1:${SOAK_PORT:-19097}"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+BIN="$WORK/dynloop"
+OUT="${SOAK_OUT:-BENCH_soak.json}"
+CLIENTS="${SOAK_CLIENTS:-4}"
+DURATION="${SOAK_DURATION:-5s}"
+SERVE_PID=""
+
+cleanup() {
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -9 "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "soak_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "soak_smoke: building"
+go build -o "$BIN" ./cmd/dynloop
+
+echo "soak_smoke: starting daemon"
+"$BIN" serve -addr "$ADDR" -parallel 4 2>"$WORK/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null || fail "daemon at $BASE never became healthy"
+
+echo "soak_smoke: soaking $CLIENTS clients for $DURATION"
+"$BIN" soak -remote "$BASE" -clients "$CLIENTS" -duration "$DURATION" -o "$OUT" \
+  || fail "soak run failed (reconciliation or load error; see above)"
+
+# Sanity-gate the report: the soak must have sustained real traffic and
+# produced finite quantiles. Thresholds are deliberately loose — this
+# smoke asserts the plumbing, bench_smoke.sh asserts performance.
+reqs=$(grep -o '"requests": *[0-9]*' "$OUT" | grep -o '[0-9]*')
+errs=$(grep -o '"errors": *[0-9]*' "$OUT" | grep -o '[0-9]*')
+rec=$(grep -o '"reconciled": *\(true\|false\)' "$OUT" | grep -o 'true\|false')
+[ "$reqs" -ge 10 ] || fail "only $reqs requests completed (want >= 10)"
+[ "$errs" -eq 0 ] || fail "$errs requests errored"
+[ "$rec" = "true" ] || fail "metrics did not reconcile with /v1/stats"
+
+kill -INT "$SERVE_PID"
+code=0
+wait "$SERVE_PID" || code=$?
+SERVE_PID=""
+[ "$code" -eq 0 ] || fail "daemon exited $code after SIGINT (want graceful 0)"
+
+echo "soak_smoke: report:"
+cat "$OUT"
+echo "soak_smoke: PASS"
