@@ -15,7 +15,9 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"dynloop/internal/codec"
 	"dynloop/internal/expt"
@@ -26,6 +28,19 @@ import (
 // ErrNotFound reports a cell query for a key the daemon has no result
 // for.
 var ErrNotFound = errors.New("client: no such cell")
+
+// ErrShed reports a request the daemon refused under load-shedding
+// (HTTP 422): the grid was too large or the inflight queue wait
+// expired. RetryAfter carries the daemon's jittered Retry-After hint;
+// honor it before resubmitting.
+type ErrShed struct {
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *ErrShed) Error() string {
+	return fmt.Sprintf("client: shed by daemon (retry after %v): %s", e.RetryAfter, e.Message)
+}
 
 // Client talks to one daemon. Create one with New; the zero value is
 // not usable.
@@ -44,14 +59,27 @@ func New(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
 
-// apiError extracts the daemon's JSON error envelope.
+// apiError extracts the daemon's JSON error envelope. Shed responses
+// (422) become typed *ErrShed carrying the Retry-After hint so callers
+// can back off instead of pattern-matching status text.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var e struct {
 		Error string `json:"error"`
 	}
+	msg := resp.Status
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("client: %s: %s", resp.Status, e.Error)
+		msg = e.Error
+	}
+	if resp.StatusCode == http.StatusUnprocessableEntity {
+		retry := time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
+		}
+		return &ErrShed{RetryAfter: retry, Message: msg}
+	}
+	if msg != resp.Status {
+		return fmt.Errorf("client: %s: %s", resp.Status, msg)
 	}
 	return fmt.Errorf("client: %s", resp.Status)
 }

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"net/url"
@@ -69,18 +70,39 @@ type Config struct {
 	// Logger, when non-nil, receives one structured log record per
 	// request (id, endpoint, status, duration, cells, tier deltas).
 	Logger *slog.Logger
+	// Warm lists registered grid specs for the background warmer; the
+	// single entry "all" selects every registered grid. The warmer
+	// precomputes each spec through the shared runner (and so into the
+	// store tier) whenever no foreground request is in flight. Empty
+	// disables warming.
+	Warm []string
+	// WarmBenchmarks narrows warming to these workloads for specs that
+	// do not pin their own benchmark axis (nil = all).
+	WarmBenchmarks []string
+	// QueueWait bounds how long a request may queue for an inflight
+	// slot before the daemon sheds it with 422 + Retry-After rather
+	// than letting the queue grow unboundedly. 0 selects
+	// DefaultQueueWait; negative waits forever (the pre-timeout
+	// behavior).
+	QueueWait time.Duration
 }
 
 // DefaultMaxCells bounds the grid size of one sweep request.
 const DefaultMaxCells = 100_000
 
+// DefaultQueueWait bounds how long a request queues for an inflight
+// slot before being shed.
+const DefaultQueueWait = 30 * time.Second
+
 // Server owns the shared Runner, the optional store and the progress
 // fan-out. Create one with New.
 type Server struct {
-	cfg      Config
-	runner   *runner.Runner
-	inflight chan struct{}
-	maxCells int
+	cfg       Config
+	runner    *runner.Runner
+	inflight  chan struct{}
+	maxCells  int
+	queueWait time.Duration
+	warm      *warmer // nil when warming is off
 
 	hub *hub
 }
@@ -110,8 +132,39 @@ func New(cfg Config) *Server {
 	if s.maxCells <= 0 {
 		s.maxCells = DefaultMaxCells
 	}
+	s.queueWait = cfg.QueueWait
+	if s.queueWait == 0 {
+		s.queueWait = DefaultQueueWait
+	}
 	return s
 }
+
+// StartWarmer resolves Config.Warm and launches the background grid
+// warmer; it runs until every unit is done or ctx ends.
+// ListenAndServe calls this when warming is configured; tests may call
+// it directly. Unknown spec names error out before anything runs.
+func (s *Server) StartWarmer(ctx context.Context) error {
+	w, err := newWarmer(s, s.cfg.Warm, s.cfg.WarmBenchmarks)
+	if err != nil {
+		return err
+	}
+	s.warm = w
+	go w.run(ctx)
+	return nil
+}
+
+// WarmerStats snapshots the warmer's progress; ok=false when no warmer
+// is configured.
+func (s *Server) WarmerStats() (WarmerStats, bool) {
+	if s.warm == nil {
+		return WarmerStats{}, false
+	}
+	return s.warm.stats(), true
+}
+
+// inflightNow is the number of foreground requests holding (or
+// occupying) inflight slots; the warmer yields while it is non-zero.
+func (s *Server) inflightNow() int { return len(s.inflight) }
 
 // Runner exposes the shared runner (for stats lines and tests).
 func (s *Server) Runner() *runner.Runner { return s.runner }
@@ -157,6 +210,14 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, ready chan<- s
 	// the store) instead of wasting the work already done.
 	reqCtx, cancelReqs := context.WithCancel(context.WithoutCancel(ctx))
 	defer cancelReqs()
+	if len(s.cfg.Warm) > 0 {
+		// The warmer dies with the serve ctx: shutdown stops background
+		// work immediately, only foreground requests get grace.
+		if err := s.StartWarmer(ctx); err != nil {
+			ln.Close()
+			return err
+		}
+	}
 	hs := &http.Server{
 		Handler:     s.Handler(),
 		BaseContext: func(net.Listener) context.Context { return reqCtx },
@@ -189,12 +250,39 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// acquire takes one inflight slot, queueing until the client hangs up.
-// An abandoned wait counts as shed load.
+// shed rejects a request with 422 plus a jittered Retry-After, so a
+// fleet of retrying clients spreads out instead of stampeding back in
+// lockstep. The metrics middleware counts the 422 as shed load.
+func shed(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", fmt.Sprint(1+rand.IntN(4)))
+	httpError(w, http.StatusUnprocessableEntity, format, args...)
+}
+
+// errQueueFull reports an acquire that timed out waiting for an
+// inflight slot; the handler sheds the request.
+var errQueueFull = errors.New("server: inflight queue wait exceeded")
+
+// acquire takes one inflight slot, queueing up to the configured wait.
+// A timed-out wait returns errQueueFull for the handler to shed; an
+// abandoned wait (client hung up) counts as shed load directly, since
+// no response status will ever be written.
 func (s *Server) acquire(ctx context.Context) error {
 	select {
 	case s.inflight <- struct{}{}:
 		return nil
+	default:
+	}
+	var timeout <-chan time.Time
+	if s.queueWait > 0 {
+		t := time.NewTimer(s.queueWait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return nil
+	case <-timeout:
+		return errQueueFull
 	case <-ctx.Done():
 		mHTTPShed.Inc()
 		return ctx.Err()
@@ -240,11 +328,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if cells > s.maxCells {
-		httpError(w, http.StatusUnprocessableEntity, "grid of %d cells exceeds the daemon's limit of %d", cells, s.maxCells)
+		shed(w, "grid of %d cells exceeds the daemon's limit of %d", cells, s.maxCells)
 		return
 	}
 	if err := s.acquire(r.Context()); err != nil {
-		return // client went away while queued
+		if errors.Is(err, errQueueFull) {
+			shed(w, "daemon at max inflight for %v; retry shortly", s.queueWait)
+		}
+		return // otherwise the client went away while queued
 	}
 	defer func() { <-s.inflight }()
 	rows, err := expt.Sweep(r.Context(), cfg, sw)
@@ -314,11 +405,14 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if cells > s.maxCells {
-		httpError(w, http.StatusUnprocessableEntity, "grid of %d cells exceeds the daemon's limit of %d", cells, s.maxCells)
+		shed(w, "grid of %d cells exceeds the daemon's limit of %d", cells, s.maxCells)
 		return
 	}
 	if err := s.acquire(r.Context()); err != nil {
-		return // client went away while queued
+		if errors.Is(err, errQueueFull) {
+			shed(w, "daemon at max inflight for %v; retry shortly", s.queueWait)
+		}
+		return // otherwise the client went away while queued
 	}
 	defer func() { <-s.inflight }()
 	res, err := grid.Run(r.Context(), cfg, gs)
@@ -422,13 +516,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Store != nil {
 		ss := s.cfg.Store.Stats()
 		st.Store = &wire.StoreStats{
-			Records:       ss.Records,
-			Segments:      ss.Segments,
-			Bytes:         ss.Bytes,
-			Puts:          ss.Puts,
-			Gets:          ss.Gets,
-			Hits:          ss.Hits,
-			TruncatedTail: ss.TruncatedTail,
+			Records:          ss.Records,
+			Segments:         ss.Segments,
+			Bytes:            ss.Bytes,
+			DeadBytes:        ss.DeadBytes,
+			Puts:             ss.Puts,
+			Gets:             ss.Gets,
+			Hits:             ss.Hits,
+			TruncatedTail:    ss.TruncatedTail,
+			SidecarHits:      ss.SidecarHits,
+			SidecarRebuilds:  ss.SidecarRebuilds,
+			Compactions:      ss.Compactions,
+			ReclaimedBytes:   ss.ReclaimedBytes,
+			LastCompactError: ss.LastCompactError,
+		}
+	}
+	if ws, ok := s.WarmerStats(); ok {
+		st.Warmer = &wire.WarmerStats{
+			Units:     ws.Units,
+			UnitsDone: ws.UnitsDone,
+			Cells:     ws.Cells,
+			Pauses:    ws.Pauses,
+			Errors:    ws.Errors,
+			LastError: ws.LastError,
+			Running:   ws.Running,
 		}
 	}
 	if s.cfg.Traces != nil {

@@ -1,0 +1,168 @@
+// The grid warmer: an off-peak background goroutine that precomputes
+// registered grid specs through the daemon's shared runner, so the
+// store (and memory cache) are already hot when clients ask. Warming
+// rides the exact production path — grid.Run over the shared Runner,
+// results landing in the store tier — so a warmed cell is
+// byte-identical to a demanded one, and a later request for it costs a
+// cache hit instead of a traversal.
+//
+// The warmer is deliberately polite: work is split into single-spec,
+// single-benchmark units, and before each unit it waits until the
+// daemon has zero foreground requests in flight. A warm unit that is
+// already running when load arrives still contends only through the
+// runner's worker semaphore, which foreground cells share fairly.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"dynloop/internal/grid"
+	"dynloop/internal/workload"
+)
+
+// warmPollInterval is how often a paused warmer re-checks the
+// foreground in-flight gauge.
+const warmPollInterval = 100 * time.Millisecond
+
+// WarmerStats is a snapshot of the background warmer's progress.
+type WarmerStats struct {
+	// Units is the total number of warm units (spec × benchmark)
+	// scheduled; UnitsDone counts completed ones (failed units count as
+	// done — they are not retried).
+	Units     int
+	UnitsDone int
+	// Cells counts grid cells warmed through the runner (cache hits
+	// included: a warm pass over an already-hot store is cheap, not
+	// wasted).
+	Cells uint64
+	// Pauses counts the times the warmer yielded to foreground load.
+	Pauses uint64
+	// Errors counts failed units; LastError describes the most recent.
+	Errors    uint64
+	LastError string
+	// Running reports whether the warmer goroutine is still working.
+	Running bool
+}
+
+// warmUnit is one polite slice of warming work: one registered spec,
+// optionally narrowed to a single benchmark.
+type warmUnit struct {
+	spec  string
+	bench string // "" = the spec's own benchmark axis
+}
+
+// warmer runs warm units on the server's runner whenever the daemon is
+// otherwise idle.
+type warmer struct {
+	srv   *Server
+	units []warmUnit
+
+	unitsDone atomic.Uint64
+	cells     atomic.Uint64
+	pauses    atomic.Uint64
+	errs      atomic.Uint64
+	lastErr   atomic.Value // string
+	running   atomic.Bool
+}
+
+// newWarmer resolves the configured spec names ("all" = every
+// registered grid) into the unit list. Unknown names fail here, at
+// daemon startup, not hours later in the background.
+func newWarmer(s *Server, specs, benches []string) (*warmer, error) {
+	if len(specs) == 1 && specs[0] == "all" {
+		specs = grid.Names()
+	}
+	sort.Strings(specs)
+	if len(benches) == 0 {
+		benches = workload.Names()
+	}
+	w := &warmer{srv: s}
+	for _, name := range specs {
+		e, ok := grid.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("warm: no registered grid %q", name)
+		}
+		if len(e.Spec.Benchmarks) > 0 {
+			// The spec pins its own benchmarks; warm it as one unit.
+			w.units = append(w.units, warmUnit{spec: name})
+			continue
+		}
+		for _, b := range benches {
+			w.units = append(w.units, warmUnit{spec: name, bench: b})
+		}
+	}
+	return w, nil
+}
+
+// run executes every unit, yielding to foreground load between units,
+// until done or ctx is cancelled.
+func (w *warmer) run(ctx context.Context) {
+	w.running.Store(true)
+	defer w.running.Store(false)
+	for _, u := range w.units {
+		if !w.waitIdle(ctx) {
+			return
+		}
+		e, ok := grid.Lookup(u.spec)
+		if !ok {
+			continue // validated at startup; racing unregistration is a test artifact
+		}
+		cfg := grid.Config{Runner: w.srv.runner, Traces: w.srv.cfg.Traces}
+		if u.bench != "" {
+			cfg.Benchmarks = []string{u.bench}
+		}
+		res, err := grid.Run(ctx, cfg, e.Spec)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			w.errs.Add(1)
+			w.lastErr.Store(fmt.Sprintf("%s (bench %q): %v", u.spec, u.bench, err))
+		} else {
+			w.cells.Add(uint64(len(res.Values)))
+			mWarmerCells.Add(uint64(len(res.Values)))
+		}
+		w.unitsDone.Add(1)
+	}
+}
+
+// waitIdle blocks until the daemon has no foreground request in flight
+// (or ctx ends, returning false). One yield episode counts one pause,
+// however long it lasts.
+func (w *warmer) waitIdle(ctx context.Context) bool {
+	if w.srv.inflightNow() == 0 {
+		return ctx.Err() == nil
+	}
+	w.pauses.Add(1)
+	mWarmerPauses.Inc()
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(warmPollInterval):
+		}
+		if w.srv.inflightNow() == 0 {
+			return true
+		}
+	}
+}
+
+// stats snapshots the warmer's counters.
+func (w *warmer) stats() WarmerStats {
+	st := WarmerStats{
+		Units:     len(w.units),
+		UnitsDone: int(w.unitsDone.Load()),
+		Cells:     w.cells.Load(),
+		Pauses:    w.pauses.Load(),
+		Errors:    w.errs.Load(),
+		Running:   w.running.Load(),
+	}
+	if e, ok := w.lastErr.Load().(string); ok {
+		st.LastError = e
+	}
+	return st
+}

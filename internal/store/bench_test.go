@@ -1,0 +1,142 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// benchVal approximates a codec-encoded result row (a few hundred
+// bytes of varint-packed metrics).
+var benchVal = bytes.Repeat([]byte("v"), 256)
+
+// buildBenchStore creates a garbage-heavy store with n live keys:
+// rounds full overwrite passes (80% garbage at the default 5), default
+// segment size, closed cleanly so sidecars are in place.
+func buildBenchStore(b *testing.B, dir string, n, rounds int) {
+	b.Helper()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < n; i++ {
+			if err := s.Put(fmt.Sprintf("bench|key|%08d", i), benchVal); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchOpen(b *testing.B, n int, opts Options) {
+	dir := b.TempDir()
+	buildBenchStore(b, dir, n, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(dir, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Len() != n {
+			b.Fatalf("index has %d keys, want %d", s.Len(), n)
+		}
+		b.StopTimer()
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkOpenScan100k is the cold path: every segment scanned
+// byte-for-byte to rebuild the index.
+func BenchmarkOpenScan100k(b *testing.B) {
+	benchOpen(b, 100_000, Options{DisableSidecars: true})
+}
+
+// BenchmarkOpenSidecar100k is the indexed path: per-segment sidecars
+// loaded instead of data.
+func BenchmarkOpenSidecar100k(b *testing.B) {
+	benchOpen(b, 100_000, Options{})
+}
+
+// BenchmarkGet measures warm single-threaded read latency, for both
+// open paths: reads through a sidecar-built index CRC-verify each
+// record (those bytes were never scanned), reads from a scanned store
+// skip the checksum Open already established.
+func BenchmarkGet(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		opts Options
+	}{
+		{"sidecar", Options{}},
+		{"scan", Options{DisableSidecars: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			dir := b.TempDir()
+			buildBenchStore(b, dir, 10_000, 2)
+			s, err := Open(dir, bc.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := fmt.Sprintf("bench|key|%08d", i%10_000)
+				if _, ok, err := s.Get(k); !ok || err != nil {
+					b.Fatalf("Get(%q) = %v, %v", k, ok, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentGetPut measures parallel Get throughput while a
+// writer Puts continuously — the case the lock-split serves: reads no
+// longer hold the store lock across their disk read, so they neither
+// queue behind Put's exclusive lock nor make it starve.
+func BenchmarkConcurrentGetPut(b *testing.B) {
+	dir := b.TempDir()
+	buildBenchStore(b, dir, 10_000, 2)
+	s, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	val := bytes.Repeat([]byte("w"), 100)
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Put(fmt.Sprintf("bench|key|%08d", i%10_000), val); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			k := fmt.Sprintf("bench|key|%08d", i%10_000)
+			if _, ok, err := s.Get(k); !ok || err != nil {
+				b.Fatalf("Get(%q) = %v, %v", k, ok, err)
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+}

@@ -1,0 +1,291 @@
+// Online compaction: rewrite the live records of the frozen segment
+// prefix into dense segments and atomically swap them in, reclaiming
+// superseded-record space while concurrent Puts and Gets proceed.
+//
+// Protocol (Compact):
+//
+//  1. Freeze (under the lock): rotate to a fresh active segment, so
+//     every existing record lives in an immutable prefix of frozen
+//     segments; snapshot the live keys that resolve into that prefix.
+//  2. Rewrite (unlocked): copy each snapshotted record — verbatim, its
+//     CRC re-verified — into temp files named for the lowest-numbered
+//     frozen slots, in original append order, with fresh sidecars.
+//     Concurrent Puts land in post-freeze segments and simply win.
+//  3. Swap (under the lock): rename each temp file over its slot in
+//     increasing order, splice the compacted segments in front of the
+//     post-freeze segments, and remap the index (keys untouched since
+//     the freeze move to their compacted copy; keys overwritten since
+//     keep the newer post-freeze record, and their compacted copy is
+//     charged as dead).
+//  4. Retire (unlocked): drop the old segments' references — their
+//     files close when in-flight reads drain — and delete leftover
+//     frozen files in increasing order.
+//
+// Crash safety: append order is preserved, so replaying segments
+// oldest-first after a crash at ANY step resolves every key to its
+// newest value. Renaming slots in increasing order guarantees a key's
+// compacted copy is on disk before any frozen segment that held its
+// stale copies is overwritten; deleting leftovers in increasing order
+// guarantees a stale copy never outlives the newer copy that supersedes
+// it. Temp files and orphan sidecars from an interrupted compaction are
+// swept by the next Open, and a frozen slot whose data was swapped but
+// whose sidecar was not is caught by the sidecar's size/CRC fingerprint
+// and rebuilt by scan.
+package store
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ErrCompacting reports a Compact that found another one in flight.
+var ErrCompacting = fmt.Errorf("store: compaction already in progress")
+
+// CompactStats summarize one compaction.
+type CompactStats struct {
+	// LiveRecords is the number of records carried into the compacted
+	// segments.
+	LiveRecords int
+	// SegmentsBefore and SegmentsAfter count the frozen prefix before
+	// and after the rewrite.
+	SegmentsBefore, SegmentsAfter int
+	// BytesBefore and BytesAfter measure the frozen prefix on disk;
+	// Reclaimed is their difference.
+	BytesBefore, BytesAfter int64
+	Reclaimed               int64
+}
+
+// Compact rewrites all live records of the immutable segment prefix
+// into dense segments, swaps them in atomically, and deletes the
+// superseded files. It is safe to call while other goroutines Put and
+// Get; last-write-wins is preserved for keys overwritten mid-compaction.
+// A second concurrent Compact returns ErrCompacting.
+func (s *Store) Compact() (CompactStats, error) {
+	// Phase 1: freeze.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return CompactStats{}, ErrClosed
+	}
+	if s.compacting {
+		s.mu.Unlock()
+		return CompactStats{}, ErrCompacting
+	}
+	if active := s.segs[len(s.segs)-1]; active.size > int64(len(magic)) {
+		if err := s.rotateLocked(); err != nil {
+			s.mu.Unlock()
+			return CompactStats{}, err
+		}
+	}
+	frozen := len(s.segs) - 1
+	if frozen == 0 {
+		s.mu.Unlock()
+		return CompactStats{}, nil
+	}
+	s.compacting = true
+	old := make([]*segment, frozen)
+	copy(old, s.segs[:frozen])
+	type liveRec struct {
+		key string
+		r   ref
+	}
+	snap := make([]liveRec, 0, len(s.idx))
+	for k, r := range s.idx {
+		if r.seg < frozen {
+			snap = append(snap, liveRec{k, r})
+		}
+	}
+	var before int64
+	for _, seg := range old {
+		before += seg.size
+		seg.acquire() // pin for our unlocked reads
+	}
+	hook := s.testHookAfterFreeze
+	s.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+
+	releaseReads := func() {
+		for _, seg := range old {
+			seg.release()
+		}
+	}
+
+	// Original append order, so a crash between the swap's renames or
+	// deletes still replays to last-write-wins (see package comment).
+	sort.Slice(snap, func(i, j int) bool {
+		if snap[i].r.seg != snap[j].r.seg {
+			return snap[i].r.seg < snap[j].r.seg
+		}
+		return snap[i].r.off < snap[j].r.off
+	})
+
+	// Phase 2: rewrite into temp files targeting the lowest frozen slots.
+	var (
+		outs       []*segment
+		outEntries [][]sidecarEntry
+		moved      = make(map[string]ref, len(snap))
+	)
+	fail := func(err error) (CompactStats, error) {
+		for _, o := range outs {
+			o.f.Close()
+			os.Remove(o.path + ".tmp")
+			os.Remove(sidecarPath(o.path) + ".tmp")
+		}
+		releaseReads()
+		s.mu.Lock()
+		s.compacting = false
+		s.mu.Unlock()
+		return CompactStats{}, err
+	}
+	openOut := func() error {
+		target := old[len(outs)].path
+		f, err := os.OpenFile(target+".tmp", os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte(magic)); err != nil {
+			f.Close()
+			return err
+		}
+		outs = append(outs, newSegment(target, f, int64(len(magic)), "compacted"))
+		outEntries = append(outEntries, nil)
+		return nil
+	}
+	var buf []byte
+	for _, e := range snap {
+		if cap(buf) < e.r.rlen {
+			buf = make([]byte, e.r.rlen)
+		}
+		b := buf[:e.r.rlen]
+		if _, err := old[e.r.seg].f.ReadAt(b, e.r.off); err != nil {
+			return fail(fmt.Errorf("%w: compacting %q: %v", ErrCorrupt, e.key, err))
+		}
+		// Verify before propagating: compaction must not launder a
+		// damaged record into a fresh segment with a fresh sidecar.
+		rec, err := decodeRecord(b)
+		if err != nil || rec.Key != e.key {
+			if err == nil {
+				err = fmt.Errorf("record for %q where index says %q", rec.Key, e.key)
+			}
+			return fail(fmt.Errorf("%w: compacting %q: %v", ErrCorrupt, e.key, err))
+		}
+		if len(outs) == 0 {
+			if err := openOut(); err != nil {
+				return fail(err)
+			}
+		} else if cur := outs[len(outs)-1]; cur.size > int64(len(magic)) &&
+			cur.size+int64(len(b)) > s.maxSeg && len(outs) < frozen {
+			// Rotate the output — but never beyond the slots the frozen
+			// prefix vacates; the last output absorbs any overflow.
+			if err := openOut(); err != nil {
+				return fail(err)
+			}
+		}
+		cur := outs[len(outs)-1]
+		if _, err := cur.f.WriteAt(b, cur.size); err != nil {
+			return fail(err)
+		}
+		moved[e.key] = ref{seg: len(outs) - 1, off: cur.size, rlen: e.r.rlen}
+		outEntries[len(outs)-1] = append(outEntries[len(outs)-1],
+			sidecarEntry{key: e.key, off: cur.size, rlen: int64(e.r.rlen)})
+		cur.size += int64(len(b))
+	}
+	var after int64
+	for i, o := range outs {
+		if err := o.f.Sync(); err != nil {
+			return fail(err)
+		}
+		after += o.size
+		if !s.opts.DisableSidecars {
+			data, err := buildSidecar(o.f, o.size, 0, outEntries[i])
+			if err != nil {
+				return fail(err)
+			}
+			if err := writeFileSync(sidecarPath(o.path)+".tmp", data); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	releaseReads()
+
+	// Phase 3: swap.
+	s.mu.Lock()
+	if s.closed {
+		s.compacting = false
+		s.mu.Unlock()
+		for _, o := range outs {
+			o.f.Close()
+			os.Remove(o.path + ".tmp")
+			os.Remove(sidecarPath(o.path) + ".tmp")
+		}
+		return CompactStats{}, ErrClosed
+	}
+	for i, o := range outs {
+		if err := os.Rename(o.path+".tmp", o.path); err != nil {
+			// Abort mid-swap: slots already renamed hold verbatim copies
+			// of the newest frozen records, so the on-disk store remains
+			// correct for a future Open; in-memory state still reads
+			// through the old handles and is untouched.
+			s.compacting = false
+			s.mu.Unlock()
+			for _, u := range outs[i:] {
+				os.Remove(u.path + ".tmp")
+			}
+			for _, u := range outs {
+				u.f.Close()
+				os.Remove(sidecarPath(u.path) + ".tmp")
+			}
+			return CompactStats{}, err
+		}
+		if !s.opts.DisableSidecars {
+			// Best effort: a failed sidecar rename leaves the old sidecar,
+			// which the size/CRC fingerprint exposes as stale.
+			if os.Rename(sidecarPath(o.path)+".tmp", sidecarPath(o.path)) != nil {
+				os.Remove(sidecarPath(o.path) + ".tmp")
+			}
+		}
+	}
+	outCount := len(outs)
+	for k, r := range s.idx {
+		if r.seg >= frozen {
+			// Overwritten since the freeze: the post-freeze record wins
+			// and the compacted copy (if any) is immediately dead.
+			r.seg += outCount - frozen
+			s.idx[k] = r
+			if m, ok := moved[k]; ok {
+				outs[m.seg].dead += int64(m.rlen)
+			}
+		} else {
+			s.idx[k] = moved[k]
+		}
+	}
+	s.segs = append(outs, s.segs[frozen:]...)
+	s.compacting = false
+	s.compactions.Add(1)
+	mCompactions.Inc()
+	reclaimed := before - after
+	s.reclaimed.Add(uint64(reclaimed))
+	mReclaimedBytes.Add(uint64(reclaimed))
+	s.mu.Unlock()
+
+	// Phase 4: retire old segments and delete leftover files, lowest
+	// first (increasing order is what keeps a crash mid-delete safe).
+	for _, seg := range old {
+		seg.release()
+	}
+	for i := outCount; i < frozen; i++ {
+		os.Remove(old[i].path)
+		os.Remove(sidecarPath(old[i].path))
+	}
+	return CompactStats{
+		LiveRecords:    len(snap),
+		SegmentsBefore: frozen,
+		SegmentsAfter:  outCount,
+		BytesBefore:    before,
+		BytesAfter:     after,
+		Reclaimed:      reclaimed,
+	}, nil
+}

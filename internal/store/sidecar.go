@@ -1,0 +1,325 @@
+// Index sidecars: per-segment key→offset tables that let Open rebuild
+// the in-memory index without reading segment data.
+//
+// Each immutable segment seg-NNNNNN.dlstore carries a sibling
+// seg-NNNNNN.dlidx:
+//
+//	header: magic "DLSIDX1\n"
+//	frame:  uvarint bodyLen, 4-byte little-endian CRC32 (IEEE) of body
+//	body:   uvarint sidecarVersion
+//	        uvarint segSize   — segment size the table describes
+//	        uvarint tailLen   — fingerprinted tail window length
+//	        4-byte tailCRC    — CRC32 of the segment's last tailLen bytes
+//	        uvarint dead      — self-superseded bytes inside the segment
+//	        uvarint count, then count entries:
+//	          uvarint keyLen, key, uvarint off, uvarint rlen
+//
+// Entries are the segment's live records at write time (within-segment
+// duplicates already collapsed), offset-sorted. Cross-segment
+// supersession is recomputed when Open replays segments oldest-first,
+// so an immutable segment's sidecar never goes stale by later writes —
+// only by the segment itself changing, which the segSize/tailCRC
+// fingerprint detects (torn-tail truncation, compaction swap, or any
+// other mutation). A sidecar that is missing, unparseable, or
+// mismatched is treated as absent: Open falls back to the full scan and
+// rewrites it. Sidecars are advisory, never authoritative: loads
+// bounds-check every entry and Get re-verifies each record's CRC and
+// key, so a wrong sidecar can cost a scan or an ErrCorrupt, never wrong
+// data.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"strings"
+)
+
+const (
+	sidecarMagic   = "DLSIDX1\n"
+	sidecarVersion = 1
+	// sidecarTailWindow bounds the segment tail fingerprinted by the
+	// sidecar. Segments at most this large are covered whole, so any
+	// mutation invalidates the sidecar; for larger segments the window
+	// still covers every crash-reachable mutation (appends and torn
+	// tails change the size, truncation repair changes both), while
+	// keeping sidecar validation O(64KiB) instead of O(segment).
+	sidecarTailWindow = 64 << 10
+)
+
+// sidecarPath maps seg-NNNNNN.dlstore to seg-NNNNNN.dlidx.
+func sidecarPath(segPath string) string {
+	return strings.TrimSuffix(segPath, ".dlstore") + ".dlidx"
+}
+
+// segForSidecar maps seg-NNNNNN.dlidx back to seg-NNNNNN.dlstore.
+func segForSidecar(idxPath string) string {
+	return strings.TrimSuffix(idxPath, ".dlidx") + ".dlstore"
+}
+
+// sidecarEntry is one live record in a sidecar table.
+type sidecarEntry struct {
+	key  string
+	off  int64
+	rlen int64
+}
+
+// sidecar is a decoded index sidecar.
+type sidecar struct {
+	segSize int64
+	tailLen int64
+	tailCRC uint32
+	dead    int64
+	entries []sidecarEntry
+}
+
+// appendSidecar encodes sc onto b.
+func appendSidecar(b []byte, sc *sidecar) []byte {
+	body := make([]byte, 0, 64+len(sc.entries)*24)
+	body = binary.AppendUvarint(body, sidecarVersion)
+	body = binary.AppendUvarint(body, uint64(sc.segSize))
+	body = binary.AppendUvarint(body, uint64(sc.tailLen))
+	body = binary.LittleEndian.AppendUint32(body, sc.tailCRC)
+	body = binary.AppendUvarint(body, uint64(sc.dead))
+	body = binary.AppendUvarint(body, uint64(len(sc.entries)))
+	for _, e := range sc.entries {
+		body = binary.AppendUvarint(body, uint64(len(e.key)))
+		body = append(body, e.key...)
+		body = binary.AppendUvarint(body, uint64(e.off))
+		body = binary.AppendUvarint(body, uint64(e.rlen))
+	}
+	b = append(b, sidecarMagic...)
+	b = binary.AppendUvarint(b, uint64(len(body)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(body))
+	return append(b, body...)
+}
+
+// parseSidecar decodes and validates a sidecar image. Any defect is a
+// plain error: callers treat an invalid sidecar as absent and scan the
+// segment, so damage here costs one scan, never a panic or a bad index.
+func parseSidecar(data []byte) (*sidecar, error) {
+	if len(data) < len(sidecarMagic) || string(data[:len(sidecarMagic)]) != sidecarMagic {
+		return nil, errors.New("bad sidecar magic")
+	}
+	rest := data[len(sidecarMagic):]
+	bodyLen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, errors.New("bad sidecar length")
+	}
+	if uint64(len(rest)) != uint64(n)+4+bodyLen {
+		return nil, errors.New("sidecar length does not match file")
+	}
+	crc := binary.LittleEndian.Uint32(rest[n : n+4])
+	body := rest[uint64(n)+4:]
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, errors.New("sidecar CRC mismatch")
+	}
+	pos := 0
+	uv := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("bad %s", what)
+		}
+		pos += n
+		return v, nil
+	}
+	ver, err := uv("sidecar version")
+	if err != nil {
+		return nil, err
+	}
+	if ver != sidecarVersion {
+		return nil, fmt.Errorf("sidecar version %d (this build reads %d)", ver, sidecarVersion)
+	}
+	segSize, err := uv("segment size")
+	if err != nil {
+		return nil, err
+	}
+	if segSize < uint64(len(magic)) || segSize > 1<<62 {
+		return nil, fmt.Errorf("segment size %d", segSize)
+	}
+	tailLen, err := uv("tail length")
+	if err != nil {
+		return nil, err
+	}
+	if tailLen > segSize || tailLen > sidecarTailWindow {
+		return nil, fmt.Errorf("tail window %d for segment size %d", tailLen, segSize)
+	}
+	if pos+4 > len(body) {
+		return nil, errors.New("truncated tail CRC")
+	}
+	tailCRC := binary.LittleEndian.Uint32(body[pos : pos+4])
+	pos += 4
+	dead, err := uv("dead bytes")
+	if err != nil {
+		return nil, err
+	}
+	if dead > segSize {
+		return nil, fmt.Errorf("dead bytes %d exceed segment size %d", dead, segSize)
+	}
+	count, err := uv("entry count")
+	if err != nil {
+		return nil, err
+	}
+	// Each entry takes at least 3 bytes, so a count beyond the body is a
+	// lie; reject it before sizing the slice.
+	if count > uint64(len(body)-pos) {
+		return nil, fmt.Errorf("entry count %d exceeds body", count)
+	}
+	sc := &sidecar{
+		segSize: int64(segSize),
+		tailLen: int64(tailLen),
+		tailCRC: tailCRC,
+		dead:    int64(dead),
+		entries: make([]sidecarEntry, 0, count),
+	}
+	// One string copy of the body backs every key (entries slice
+	// substrings out of it), so a 100k-entry sidecar costs one
+	// allocation to parse instead of one per key.
+	blob := string(body)
+	for i := uint64(0); i < count; i++ {
+		keyLen, err := uv("key length")
+		if err != nil {
+			return nil, err
+		}
+		if keyLen > uint64(len(body)-pos) {
+			return nil, fmt.Errorf("key length %d exceeds body", keyLen)
+		}
+		key := blob[pos : pos+int(keyLen)]
+		pos += int(keyLen)
+		off, err := uv("record offset")
+		if err != nil {
+			return nil, err
+		}
+		rlen, err := uv("record length")
+		if err != nil {
+			return nil, err
+		}
+		// Bound each operand before summing so a huge varint cannot
+		// wrap the overflow check.
+		if off < uint64(len(magic)) || off > segSize || rlen < minRecordBytes || rlen > segSize || off+rlen > segSize {
+			return nil, fmt.Errorf("entry %d out of segment bounds (off %d len %d size %d)", i, off, rlen, segSize)
+		}
+		sc.entries = append(sc.entries, sidecarEntry{key: key, off: int64(off), rlen: int64(rlen)})
+	}
+	if pos != len(body) {
+		return nil, errors.New("trailing bytes after entries")
+	}
+	return sc, nil
+}
+
+// tryLoadSidecar attempts the indexed fast path for one segment: load
+// its sidecar, verify it describes exactly the bytes on disk (size and
+// tail CRC), and return an opened segment plus its entry table without
+// reading the segment body. It mutates no store state, so Open runs it
+// concurrently across segments; any defect — missing, unparseable,
+// stale, or unreadable anything — returns nil, requesting the serial
+// scan fallback (which will surface real I/O errors itself).
+func tryLoadSidecar(path string) (*segment, []sidecarEntry) {
+	idxData, err := os.ReadFile(sidecarPath(path))
+	if err != nil {
+		return nil, nil // missing or unreadable: scan
+	}
+	sc, err := parseSidecar(idxData)
+	if err != nil {
+		return nil, nil // corrupt: scan
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil
+	}
+	st, err := f.Stat()
+	if err != nil || st.Size() != sc.segSize {
+		// Stale: the segment grew, was torn, or was swapped since the
+		// sidecar was written.
+		f.Close()
+		return nil, nil
+	}
+	tail := make([]byte, sc.tailLen)
+	if _, err := f.ReadAt(tail, sc.segSize-sc.tailLen); err != nil {
+		f.Close()
+		return nil, nil
+	}
+	if crc32.ChecksumIEEE(tail) != sc.tailCRC {
+		f.Close()
+		return nil, nil
+	}
+	seg := newSegment(path, f, sc.segSize, "sidecar")
+	seg.dead = sc.dead
+	return seg, sc.entries
+}
+
+// writeSidecar atomically (re)writes segment si's sidecar from the live
+// index. Callers hold s.mu (or own the store exclusively, as Open
+// does). Only the newest segment's sidecar ever needs refreshing — its
+// dead count and entry set are the segment's own, not affected by other
+// segments — so this is called on rotation, Sync, Close, and after a
+// scan fallback.
+func (s *Store) writeSidecar(si int) error {
+	var entries []sidecarEntry
+	for k, r := range s.idx {
+		if r.seg == si {
+			entries = append(entries, sidecarEntry{key: k, off: r.off, rlen: int64(r.rlen)})
+		}
+	}
+	return s.writeSidecarEntries(si, entries)
+}
+
+// writeSidecarEntries atomically (re)writes segment si's sidecar from an
+// explicit entry table (which it offset-sorts in place); the scan
+// fallback uses it at Open time, before the index exists.
+func (s *Store) writeSidecarEntries(si int, entries []sidecarEntry) error {
+	seg := s.segs[si]
+	sort.Slice(entries, func(i, j int) bool { return entries[i].off < entries[j].off })
+	data, err := buildSidecar(seg.f, seg.size, seg.dead, entries)
+	if err != nil {
+		return err
+	}
+	dst := sidecarPath(seg.path)
+	if err := writeFileSync(dst+".tmp", data); err != nil {
+		return err
+	}
+	return os.Rename(dst+".tmp", dst)
+}
+
+// buildSidecar encodes a sidecar for a segment data file of the given
+// size, fingerprinting its tail window through f.
+func buildSidecar(f *os.File, size, dead int64, entries []sidecarEntry) ([]byte, error) {
+	tailLen := size
+	if tailLen > sidecarTailWindow {
+		tailLen = sidecarTailWindow
+	}
+	tail := make([]byte, tailLen)
+	if _, err := f.ReadAt(tail, size-tailLen); err != nil {
+		return nil, err
+	}
+	return appendSidecar(nil, &sidecar{
+		segSize: size,
+		tailLen: tailLen,
+		tailCRC: crc32.ChecksumIEEE(tail),
+		dead:    dead,
+		entries: entries,
+	}), nil
+}
+
+// writeFileSync writes data to path and fsyncs it before returning, so
+// a subsequent rename publishes real bytes, not a hole.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,372 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fillSegments writes enough records to span several segments and
+// returns the expected live contents.
+func fillSegments(t *testing.T, s *Store, n int) map[string]string {
+	t.Helper()
+	want := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		v := fmt.Sprintf("val-%04d-%s", i, strings.Repeat("x", 40))
+		if err := s.Put(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	return want
+}
+
+func checkAll(t *testing.T, s *Store, want map[string]string) {
+	t.Helper()
+	if s.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+	}
+	for k, v := range want {
+		got, ok, err := s.Get(k)
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("Get(%q) = %q, %v, %v; want %q", k, got, ok, err, v)
+		}
+	}
+}
+
+func sidecarFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.dlidx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestSidecarOpenServesAllKeys(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{MaxSegmentBytes: 1024})
+	want := fillSegments(t, s, 64)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sidecarFiles(t, dir)) == 0 {
+		t.Fatal("no sidecars written by rotation/Close")
+	}
+
+	s2 := openT(t, dir, Options{MaxSegmentBytes: 1024})
+	st := s2.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("want a multi-segment store, got %d segments", st.Segments)
+	}
+	if st.SidecarHits != uint64(st.Segments) || st.SidecarRebuilds != 0 {
+		t.Fatalf("sidecar hits=%d rebuilds=%d, want hits=%d rebuilds=0",
+			st.SidecarHits, st.SidecarRebuilds, st.Segments)
+	}
+	checkAll(t, s2, want)
+}
+
+func TestSidecarMissingRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{MaxSegmentBytes: 1024})
+	want := fillSegments(t, s, 64)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sidecarFiles(t, dir) {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := openT(t, dir, Options{MaxSegmentBytes: 1024})
+	st := s2.Stats()
+	if st.SidecarHits != 0 || st.SidecarRebuilds != uint64(st.Segments) {
+		t.Fatalf("after deleting sidecars: hits=%d rebuilds=%d segments=%d",
+			st.SidecarHits, st.SidecarRebuilds, st.Segments)
+	}
+	checkAll(t, s2, want)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The scan fallback rewrote every sidecar, so the next Open is
+	// indexed again.
+	s3 := openT(t, dir, Options{MaxSegmentBytes: 1024})
+	st = s3.Stats()
+	if st.SidecarHits != uint64(st.Segments) {
+		t.Fatalf("after rebuild: hits=%d segments=%d", st.SidecarHits, st.Segments)
+	}
+	checkAll(t, s3, want)
+}
+
+func TestSidecarCorruptFallsBackToScan(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{MaxSegmentBytes: 1024})
+	want := fillSegments(t, s, 64)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sidecarFiles(t, dir) {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := openT(t, dir, Options{MaxSegmentBytes: 1024})
+	st := s2.Stats()
+	if st.SidecarHits != 0 || st.SidecarRebuilds != uint64(st.Segments) {
+		t.Fatalf("after corrupting sidecars: hits=%d rebuilds=%d segments=%d",
+			st.SidecarHits, st.SidecarRebuilds, st.Segments)
+	}
+	checkAll(t, s2, want)
+}
+
+// TestSidecarStaleAfterTornTailTruncation is the regression for the
+// crash window between appending a record and refreshing the active
+// segment's sidecar: the sidecar describes the pre-crash size, the
+// segment has a torn tail, and Open must detect the mismatch, scan,
+// repair, and rewrite — never serve offsets from the stale table.
+func TestSidecarStaleAfterTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{MaxSegmentBytes: 1024})
+	want := fillSegments(t, s, 64)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash mid-append: a partial record lands after the bytes the
+	// sidecar fingerprints.
+	seg := lastSegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x7f, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openT(t, dir, Options{MaxSegmentBytes: 1024})
+	st := s2.Stats()
+	if st.TruncatedTail == 0 {
+		t.Fatalf("torn tail not repaired: %+v", st)
+	}
+	if st.SidecarRebuilds == 0 {
+		t.Fatalf("stale sidecar not rebuilt: %+v", st)
+	}
+	checkAll(t, s2, want)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rewritten sidecar matches the truncated segment exactly.
+	s3 := openT(t, dir, Options{MaxSegmentBytes: 1024})
+	st = s3.Stats()
+	if st.SidecarHits != uint64(st.Segments) || st.TruncatedTail != 0 {
+		t.Fatalf("post-repair reopen: %+v", st)
+	}
+	checkAll(t, s3, want)
+}
+
+// A truncated segment (an earlier Open repaired a tear but crashed
+// before rewriting the sidecar) must also read as stale: the sidecar
+// claims a size the file no longer has.
+func TestSidecarStaleAfterShrink(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	if err := s.Put("a", []byte("va")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("vb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := lastSegment(t, dir)
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the final record off entirely; the sidecar still lists "b"
+	// at an offset past the new EOF.
+	if err := os.Truncate(seg, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, Options{})
+	if st := s2.Stats(); st.SidecarHits != 0 {
+		t.Fatalf("shrunk segment served from sidecar: %+v", st)
+	}
+	if v, ok, err := s2.Get("a"); err != nil || !ok || string(v) != "va" {
+		t.Fatalf("Get(a) = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := s2.Get("b"); ok {
+		t.Fatal("truncated-away key still served")
+	}
+}
+
+// Small segments are fingerprinted whole, so mid-file corruption under
+// a matching sidecar is still caught at Open — the crash-safety
+// contract (ErrCorrupt for once-durable bytes) survives the fast path.
+func TestSidecarDoesNotMaskMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	if err := s.Put("a", bytes.Repeat([]byte("x"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", bytes.Repeat([]byte("y"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(magic)+10] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open succeeded over mid-file corruption")
+	}
+}
+
+// A fingerprint-valid sidecar whose entries point at the wrong records
+// must surface as ErrCorrupt on read, never as another key's bytes.
+func TestAdversarialSidecarCannotServeWrongBytes(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	if err := s.Put("a", []byte("value-of-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("value-of-b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-point "a" at b's record (and vice versa) while keeping the
+	// segment fingerprint honest.
+	idxPath := sidecarFiles(t, dir)[0]
+	data, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := parseSidecar(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.entries) != 2 {
+		t.Fatalf("want 2 entries, got %d", len(sc.entries))
+	}
+	sc.entries[0].key, sc.entries[1].key = sc.entries[1].key, sc.entries[0].key
+	if err := os.WriteFile(idxPath, appendSidecar(nil, sc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Options{})
+	if st := s2.Stats(); st.SidecarHits != 1 {
+		t.Fatalf("crafted sidecar rejected up front (hits=%d); the Get-side check is untested", st.SidecarHits)
+	}
+	for _, k := range []string{"a", "b"} {
+		v, ok, err := s2.Get(k)
+		if err == nil && ok {
+			t.Fatalf("Get(%q) served %q through a lying sidecar", k, v)
+		}
+	}
+}
+
+// FuzzIndexSidecar feeds arbitrary bytes as a segment's sidecar:
+// opening the store must never panic and never serve a wrong value for
+// a known key — every answer is re-verified against a scan of the
+// segment. Any fuzzed sidecar either loses the fingerprint check
+// (scan fallback, full correctness) or passes it, in which case the
+// per-read CRC+key verification must catch bad entries.
+func FuzzIndexSidecar(f *testing.F) {
+	// Seeds: a genuine sidecar, a truncation of it, and a bit flip.
+	seedDir := f.TempDir()
+	s, err := Open(seedDir, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		f.Fatal(err)
+	}
+	segPaths, _ := filepath.Glob(filepath.Join(seedDir, "seg-*.dlstore"))
+	if len(segPaths) != 1 {
+		f.Fatalf("want 1 seed segment, got %d", len(segPaths))
+	}
+	segBytes, err := os.ReadFile(segPaths[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	genuine, err := os.ReadFile(sidecarPath(segPaths[0]))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(genuine)
+	f.Add(genuine[:len(genuine)/2])
+	flipped := append([]byte(nil), genuine...)
+	flipped[len(flipped)-3] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte(sidecarMagic))
+	f.Add([]byte{})
+
+	recs, _, err := ScanSegment(segBytes)
+	if err != nil {
+		f.Fatal(err)
+	}
+	want := make(map[string]string, len(recs))
+	for _, r := range recs {
+		want[r.Key] = string(r.Val)
+	}
+
+	f.Fuzz(func(t *testing.T, idx []byte) {
+		// parseSidecar must be total.
+		_, _ = parseSidecar(idx)
+
+		dir := t.TempDir()
+		segPath := filepath.Join(dir, "seg-000001.dlstore")
+		if err := os.WriteFile(segPath, segBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(sidecarPath(segPath), idx, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("Open over fuzzed sidecar: %v", err)
+		}
+		defer st.Close()
+		for k, v := range want {
+			got, ok, err := st.Get(k)
+			if err != nil {
+				continue // detected bad index: acceptable
+			}
+			if ok && string(got) != v {
+				t.Fatalf("Get(%q) = %q, want %q (sidecar indexed wrong offset silently)", k, got, v)
+			}
+		}
+	})
+}
